@@ -1,0 +1,228 @@
+// Package actdsm is a from-scratch Go reproduction of "Active Correlation
+// Tracking" (Thitikamol & Keleher, ICDCS 1999): a page-based software
+// distributed shared memory in the style of CVM (lazy release consistency,
+// multi-writer twins and diffs), a per-node user-level thread engine with
+// migration, the SPLASH-2-style applications the paper evaluates, and —
+// the paper's contribution — active and passive correlation tracking with
+// cut-cost-driven thread placement.
+//
+// The package is a facade: it re-exports the stable surface of the
+// internal packages so applications, tools, and examples program against
+// one import. The building blocks compose as follows:
+//
+//	app, _ := actdsm.NewApp("SOR", actdsm.AppConfig{Threads: 64})
+//	sys, _ := actdsm.NewSystem(app, 8)
+//	defer sys.Close()
+//	tracker := sys.TrackIteration(1)   // active correlation tracking
+//	_ = sys.Run()
+//	m := tracker.Matrix()              // thread correlations
+//	best := actdsm.MinCost(m, 8)       // placement from cut costs
+//
+// or, for whole experiments, the one-shot Run/TrackMatrix helpers and the
+// Table1..Table6/Figure2/Figure3 reproduction harness.
+package actdsm
+
+import (
+	"actdsm/internal/apps"
+	"actdsm/internal/core"
+	"actdsm/internal/dsm"
+	"actdsm/internal/experiments"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/placement"
+	"actdsm/internal/sim"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// Core building blocks, re-exported.
+type (
+	// App is a runnable DSM application (SOR, FFT6..8, LU1k/2k, Ocean,
+	// Water, Spatial, Barnes, or a custom app).
+	App = apps.App
+	// AppConfig selects thread count, input scale, iteration count, and
+	// verification for an application.
+	AppConfig = apps.Config
+	// Scale selects test-sized or paper-sized inputs.
+	Scale = apps.Scale
+	// Layout allocates named page-aligned regions of the shared segment.
+	Layout = memlayout.Layout
+	// Region is a named page-aligned range of the shared segment.
+	Region = memlayout.Region
+	// Body is one application thread's code.
+	Body = threads.Body
+	// Ctx is a thread's handle to shared memory and synchronization.
+	Ctx = threads.Ctx
+	// Hooks observe engine events (iterations, barriers, thread runs).
+	Hooks = threads.Hooks
+	// Engine runs application threads over a DSM cluster.
+	Engine = threads.Engine
+	// Cluster is the DSM substrate.
+	Cluster = dsm.Cluster
+	// ClusterConfig configures a DSM cluster.
+	ClusterConfig = dsm.Config
+	// Stats holds the DSM's protocol counters.
+	Stats = dsm.Stats
+	// Snapshot is a point-in-time copy of protocol counters.
+	Snapshot = dsm.Snapshot
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Costs is the virtual-time cost model.
+	Costs = sim.Costs
+	// RNG is the deterministic random-number generator.
+	RNG = sim.RNG
+	// Bitmap is a per-thread page-access bitmap.
+	Bitmap = vm.Bitmap
+	// Matrix is a symmetric thread-correlation matrix.
+	Matrix = core.Matrix
+	// ActiveTracker implements the paper's active correlation tracking.
+	ActiveTracker = core.ActiveTracker
+	// PassiveTracker implements fault-snooping passive tracking, with
+	// the §1 aging mechanism (Decay).
+	PassiveTracker = core.PassiveTracker
+	// DensityTracker captures per-access densities — the §1 "ideal"
+	// correlation measure, available here because the software MMU
+	// observes every access.
+	DensityTracker = core.DensityTracker
+	// Move is one thread migration of a reconfiguration plan.
+	Move = placement.Move
+)
+
+// Input-size classes.
+const (
+	// ScaleTest selects small inputs that run in milliseconds.
+	ScaleTest = apps.ScaleTest
+	// ScalePaper selects the paper's Table 1 inputs.
+	ScalePaper = apps.ScalePaper
+)
+
+// PageSize is the shared-segment page size in bytes.
+const PageSize = memlayout.PageSize
+
+// Protocol selects the DSM coherence protocol.
+type Protocol = dsm.Protocol
+
+// Coherence protocols.
+const (
+	// MultiWriter is the CVM-like lazy-release-consistency protocol.
+	MultiWriter = dsm.MultiWriter
+	// SingleWriter is the ownership/invalidation protocol used by the
+	// protocol ablation (paper §6's comparison point).
+	SingleWriter = dsm.SingleWriter
+)
+
+// NewApp builds a named application; see AppNames for the catalogue.
+func NewApp(name string, cfg AppConfig) (App, error) { return apps.New(name, cfg) }
+
+// AppNames lists the available applications.
+func AppNames() []string { return apps.Names() }
+
+// SharedPages returns an application's shared-segment size in pages.
+func SharedPages(a App) (int, error) { return apps.SharedPages(a) }
+
+// NewRNG returns a deterministic random-number generator.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// DefaultCosts returns the default virtual-time cost model.
+func DefaultCosts() Costs { return sim.DefaultCosts() }
+
+// NewMatrix returns an n×n zero correlation matrix.
+func NewMatrix(n int) *Matrix { return core.NewMatrix(n) }
+
+// FromBitmaps builds a correlation matrix from per-thread access bitmaps.
+func FromBitmaps(b []*Bitmap) *Matrix { return core.FromBitmaps(b) }
+
+// Placement heuristics (paper §5.1).
+var (
+	// Stretch divides threads into contiguous equal blocks.
+	Stretch = placement.Stretch
+	// MinCost clusters threads by affinity and refines by swaps.
+	MinCost = placement.MinCost
+	// Optimal solves small instances exactly.
+	Optimal = placement.Optimal
+	// RandomBalanced returns a random balanced placement.
+	RandomBalanced = placement.RandomBalanced
+	// RandomMin returns a random placement with a per-node minimum.
+	RandomMin = placement.RandomMin
+	// Refine improves a placement by cut-reducing swaps.
+	Refine = placement.Refine
+	// Anneal improves a placement by simulated annealing over swaps.
+	Anneal = placement.Anneal
+	// OptimalCapacities solves small capacity-constrained instances
+	// exactly.
+	OptimalCapacities = placement.OptimalCapacities
+	// Plan computes the single round of migrations between placements.
+	Plan = placement.Plan
+	// AlignLabels relabels a target placement to minimize migrations.
+	AlignLabels = placement.AlignLabels
+	// CapacitiesForSpeeds apportions threads proportionally to node
+	// speeds (heterogeneous clusters, paper §2).
+	CapacitiesForSpeeds = placement.CapacitiesForSpeeds
+	// StretchCapacities is Stretch with explicit per-node capacities.
+	StretchCapacities = placement.StretchCapacities
+	// MinCostCapacities is MinCost with explicit per-node capacities.
+	MinCostCapacities = placement.MinCostCapacities
+)
+
+// Experiment harness (the paper's tables and figures).
+type (
+	// ExperimentOptions configures the reproduction harness.
+	ExperimentOptions = experiments.Options
+	// RunConfig describes one application run.
+	RunConfig = experiments.RunConfig
+	// RunResult holds one run's measurements.
+	RunResult = experiments.RunResult
+	// MapResult is one rendered correlation map.
+	MapResult = experiments.MapResult
+	// Table2Row is one application's cut-cost regression (plus the
+	// Figure 1 scatter).
+	Table2Row = experiments.Table2Row
+	// Table5Row is one application's tracking-overhead measurement.
+	Table5Row = experiments.Table5Row
+	// Table6Row is one (application, heuristic) performance row.
+	Table6Row = experiments.Table6Row
+	// Figure2Series is one application's passive-completeness curve.
+	Figure2Series = experiments.Figure2Series
+	// Figure3Config is one free-zone analysis panel.
+	Figure3Config = experiments.Figure3Config
+	// MapSummary summarizes a correlation map's structure.
+	MapSummary = experiments.MapSummary
+)
+
+// Summarize computes a MapSummary for a correlation matrix.
+var Summarize = experiments.Summarize
+
+// Experiment entry points; each returns typed rows, and the matching
+// Format function renders them in the paper's layout.
+var (
+	Run         = experiments.Run
+	TrackMatrix = experiments.TrackMatrix
+
+	Table1  = experiments.Table1
+	Table2  = experiments.Table2
+	Table3  = experiments.Table3
+	Table4  = experiments.Table4
+	Table5  = experiments.Table5
+	Table6  = experiments.Table6
+	Figure2 = experiments.Figure2
+	Figure3 = experiments.Figure3
+
+	AblationHeuristics = experiments.AblationHeuristics
+	AblationScaling    = experiments.AblationScaling
+	AblationDensity    = experiments.AblationDensity
+	AblationProtocol   = experiments.AblationProtocol
+
+	FormatTable1             = experiments.FormatTable1
+	FormatTable2             = experiments.FormatTable2
+	Table2CSV                = experiments.Table2CSV
+	FormatTable5             = experiments.FormatTable5
+	FormatTable6             = experiments.FormatTable6
+	FormatFigure2            = experiments.FormatFigure2
+	FormatFigure3            = experiments.FormatFigure3
+	FormatAblationHeuristics = experiments.FormatAblationHeuristics
+	FormatAblationScaling    = experiments.FormatAblationScaling
+	FormatAblationDensity    = experiments.FormatAblationDensity
+	FormatAblationProtocol   = experiments.FormatAblationProtocol
+
+	// PaperApps lists the paper's Table 1 applications.
+	PaperApps = experiments.PaperApps
+)

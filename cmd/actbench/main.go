@@ -1,0 +1,234 @@
+// Command actbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	actbench [-scale test|paper] [-threads N] [-nodes N] [-configs N]
+//	         [-seed N] [-apps a,b,c] [-only table2,figure3] [-maps-dir DIR]
+//
+// With no -only flag every experiment runs in paper order. -scale test
+// (the default) finishes in seconds; -scale paper uses the Table 1 inputs
+// and can take tens of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"actdsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "actbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleFlag = flag.String("scale", "test", "input scale: test or paper")
+		threads   = flag.Int("threads", 64, "application threads")
+		nodes     = flag.Int("nodes", 8, "cluster nodes")
+		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
+		seed      = flag.Uint64("seed", 1999, "random seed")
+		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation)")
+		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
+		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
+	)
+	flag.Parse()
+
+	opts := actdsm.ExperimentOptions{
+		Threads:       *threads,
+		Nodes:         *nodes,
+		RandomConfigs: *configs,
+		Seed:          *seed,
+	}
+	switch *scaleFlag {
+	case "test":
+		opts.Scale = actdsm.ScaleTest
+	case "paper":
+		opts.Scale = actdsm.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, e := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if selected("table1") {
+		if err := section("Table 1: application characteristics", func() (string, error) {
+			rows, err := actdsm.Table1(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatTable1(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("table2") {
+		if err := section("Table 2: remote misses as a function of cut costs", func() (string, error) {
+			rows, err := actdsm.Table2(opts)
+			if err != nil {
+				return "", err
+			}
+			if *fig1CSV != "" {
+				if err := os.WriteFile(*fig1CSV, []byte(actdsm.Table2CSV(rows)), 0o644); err != nil {
+					return "", err
+				}
+			}
+			return actdsm.FormatTable2(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("table3") {
+		if err := section("Table 3: correlation maps (32/48/64 threads)", func() (string, error) {
+			maps, err := actdsm.Table3(opts)
+			if err != nil {
+				return "", err
+			}
+			return renderMaps(maps, *mapsDir)
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("table4") {
+		if err := section("Table 4: 64-thread FFT versus input set", func() (string, error) {
+			maps, err := actdsm.Table4(opts)
+			if err != nil {
+				return "", err
+			}
+			return renderMaps(maps, *mapsDir)
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("table5") {
+		if err := section("Table 5: tracking overhead", func() (string, error) {
+			rows, err := actdsm.Table5(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatTable5(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("figure2") {
+		if err := section("Figure 2: passive information gathering", func() (string, error) {
+			series, err := actdsm.Figure2(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatFigure2(series), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("figure3") {
+		if err := section("Figure 3: 32-thread FFT free zones", func() (string, error) {
+			cfgs, err := actdsm.Figure3(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatFigure3(cfgs), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("table6") {
+		if err := section("Table 6: 8-node performance by heuristic", func() (string, error) {
+			rows, err := actdsm.Table6(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatTable6(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("ablation") {
+		if err := section("Ablation: heuristic quality (paper §5.1)", func() (string, error) {
+			rows, err := actdsm.AblationHeuristics(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatAblationHeuristics(rows), nil
+		}); err != nil {
+			return err
+		}
+		if err := section("Ablation: tracking-cost scaling (paper §4.2)", func() (string, error) {
+			rows, err := actdsm.AblationScaling(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatAblationScaling(rows), nil
+		}); err != nil {
+			return err
+		}
+		if err := section("Ablation: page-count vs access-density correlation (paper §1)", func() (string, error) {
+			rows, err := actdsm.AblationDensity(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatAblationDensity(rows), nil
+		}); err != nil {
+			return err
+		}
+		if err := section("Ablation: multi-writer vs single-writer protocol (paper §6)", func() (string, error) {
+			rows, err := actdsm.AblationProtocol(opts)
+			if err != nil {
+				return "", err
+			}
+			return actdsm.FormatAblationProtocol(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func section(title string, f func() (string, error)) error {
+	start := time.Now()
+	out, err := f()
+	if err != nil {
+		return fmt.Errorf("%s: %w", title, err)
+	}
+	fmt.Printf("== %s  (%.1fs)\n%s\n", title, time.Since(start).Seconds(), out)
+	return nil
+}
+
+// renderMaps prints map summaries and optionally writes PGM images.
+func renderMaps(maps []actdsm.MapResult, dir string) (string, error) {
+	var b strings.Builder
+	for _, m := range maps {
+		fmt.Fprintf(&b, "-- %s, %d threads --\n%s\n", m.App, m.Threads, m.ASCII)
+		if dir != "" {
+			for ext, data := range map[string]string{
+				"pgm": m.Matrix.RenderPGM(),
+				"svg": m.Matrix.RenderSVG(6, nil),
+			} {
+				name := filepath.Join(dir, fmt.Sprintf("%s-%dt.%s", m.App, m.Threads, ext))
+				if err := os.WriteFile(name, []byte(data), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", name, err)
+				}
+				fmt.Fprintf(&b, "(wrote %s)\n", name)
+			}
+		}
+	}
+	return b.String(), nil
+}

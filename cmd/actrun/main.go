@@ -1,0 +1,103 @@
+// Command actrun executes one application under a chosen placement policy
+// and prints run statistics — a quick way to compare placements.
+//
+// Usage:
+//
+//	actrun -app LU1k [-threads 64] [-nodes 8] [-iters 5]
+//	       [-placement stretch|mincost|random] [-scale test|paper]
+//	       [-seed N] [-verify] [-tcp]
+//
+// The mincost policy first runs a short tracked execution to obtain
+// thread correlations, then derives the placement with the min-cost
+// heuristic (paper §5.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"actdsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "actrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app       = flag.String("app", "SOR", "application name")
+		threads   = flag.Int("threads", 64, "application threads")
+		nodes     = flag.Int("nodes", 8, "cluster nodes")
+		iters     = flag.Int("iters", 5, "iterations to run")
+		policy    = flag.String("placement", "stretch", "stretch, mincost, or random")
+		scaleFlag = flag.String("scale", "test", "input scale: test or paper")
+		seed      = flag.Uint64("seed", 1, "seed for the random policy")
+		verify    = flag.Bool("verify", false, "enable numerical verification")
+		useTCP    = flag.Bool("tcp", false, "run the DSM protocol over loopback TCP")
+	)
+	flag.Parse()
+
+	scale := actdsm.ScaleTest
+	if *scaleFlag == "paper" {
+		scale = actdsm.ScalePaper
+	} else if *scaleFlag != "test" {
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	var assign []int
+	var cut int64 = -1
+	switch *policy {
+	case "stretch":
+		assign = actdsm.Stretch(*threads, *nodes)
+	case "random":
+		assign = actdsm.RandomBalanced(*threads, *nodes, actdsm.NewRNG(*seed))
+	case "mincost":
+		m, err := actdsm.TrackMatrix(*app, *threads, *nodes, scale)
+		if err != nil {
+			return fmt.Errorf("tracking run: %w", err)
+		}
+		assign = actdsm.MinCost(m, *nodes)
+		cut = m.CutCost(assign)
+	default:
+		return fmt.Errorf("unknown placement policy %q", *policy)
+	}
+
+	appInst, err := actdsm.NewApp(*app, actdsm.AppConfig{
+		Threads: *threads, Iterations: *iters, Verify: *verify, Scale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	opts := []actdsm.SystemOption{actdsm.WithPlacement(assign)}
+	if *useTCP {
+		opts = append(opts, actdsm.WithTCP())
+	}
+	sys, err := actdsm.NewSystem(appInst, *nodes, opts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+	if err := sys.Run(); err != nil {
+		return err
+	}
+
+	st := sys.Cluster().Stats().Snapshot()
+	fmt.Printf("%s  threads=%d nodes=%d iters=%d placement=%s\n",
+		*app, *threads, *nodes, sys.Engine().Iteration(), *policy)
+	if cut >= 0 {
+		fmt.Printf("  cut cost        %d\n", cut)
+	}
+	fmt.Printf("  simulated time  %.4f s\n", sys.Elapsed().Seconds())
+	fmt.Printf("  remote misses   %d\n", st.RemoteMisses)
+	fmt.Printf("  messages        %d\n", st.Messages)
+	fmt.Printf("  total bytes     %.2f MB\n", float64(st.BytesTotal)/1e6)
+	fmt.Printf("  diff bytes      %.2f MB\n", float64(st.BytesDiff)/1e6)
+	fmt.Printf("  barriers        %d\n", st.Barriers)
+	fmt.Printf("  lock acquires   %d\n", st.LockAcquires)
+	fmt.Printf("  gc rounds       %d (pages collected %d)\n", st.GCRounds, st.GCCollections)
+	return nil
+}

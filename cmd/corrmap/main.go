@@ -1,0 +1,80 @@
+// Command corrmap renders the correlation map of one application
+// configuration, obtained by active correlation tracking.
+//
+// Usage:
+//
+//	corrmap -app FFT6 [-threads 64] [-nodes 8] [-scale test|paper]
+//	        [-pgm out.pgm] [-free-zones nodes]
+//
+// The map prints as ASCII shading (darker = more sharing, origin at the
+// lower left, as in the paper's Table 3). With -pgm it is also written as
+// a portable graymap. With -free-zones N the map is overlaid with the
+// intra-node "free zones" of a contiguous N-node placement (Figure 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"actdsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corrmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app       = flag.String("app", "SOR", "application name")
+		threads   = flag.Int("threads", 64, "application threads")
+		nodes     = flag.Int("nodes", 8, "cluster nodes for the tracked run")
+		scaleFlag = flag.String("scale", "test", "input scale: test or paper")
+		pgm       = flag.String("pgm", "", "also write a PGM image to this path")
+		svg       = flag.String("svg", "", "also write an SVG heatmap to this path")
+		freeZones = flag.Int("free-zones", 0, "overlay free zones of a contiguous N-node placement")
+	)
+	flag.Parse()
+
+	scale := actdsm.ScaleTest
+	if *scaleFlag == "paper" {
+		scale = actdsm.ScalePaper
+	} else if *scaleFlag != "test" {
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	m, err := actdsm.TrackMatrix(*app, *threads, *nodes, scale)
+	if err != nil {
+		return err
+	}
+	s := actdsm.Summarize(m)
+	fmt.Printf("%s, %d threads: total sharing %d, diagonal %.0f%%, background %.0f%% of pairs\n",
+		*app, *threads, m.TotalSharing(), 100*s.DiagonalFrac, 100*s.BackgroundFrac)
+	if *freeZones > 0 {
+		assign := actdsm.Stretch(*threads, *freeZones)
+		fmt.Printf("free zones for %d contiguous nodes (cut cost %d, free sharing %.1f%%):\n%s",
+			*freeZones, m.CutCost(assign), 100*m.FreeSharing(assign), m.FreeZoneOverlay(assign))
+	} else {
+		fmt.Print(m.RenderASCII())
+	}
+	if *pgm != "" {
+		if err := os.WriteFile(*pgm, []byte(m.RenderPGM()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *pgm)
+	}
+	if *svg != "" {
+		var assign []int
+		if *freeZones > 0 {
+			assign = actdsm.Stretch(*threads, *freeZones)
+		}
+		if err := os.WriteFile(*svg, []byte(m.RenderSVG(8, assign)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+	return nil
+}

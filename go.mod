@@ -1,0 +1,3 @@
+module actdsm
+
+go 1.23

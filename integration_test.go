@@ -1,0 +1,107 @@
+package actdsm_test
+
+import (
+	"testing"
+
+	"actdsm"
+)
+
+// TestFullStackSoak drives every major mechanism in one run: an
+// application with numerical verification, aggressive diff garbage
+// collection, active correlation tracking mid-run, and a min-cost
+// migration applied while the application keeps running — the paper's
+// complete track → place → migrate loop under GC pressure.
+func TestFullStackSoak(t *testing.T) {
+	app, err := actdsm.NewApp("Ocean", actdsm.AppConfig{
+		Threads: 16, Iterations: 10, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from the worst case: random placement; tiny GC threshold so
+	// collection rounds interleave with everything else.
+	bad := actdsm.RandomBalanced(16, 4, actdsm.NewRNG(11))
+	sys, err := actdsm.NewSystem(app, 4,
+		actdsm.WithPlacement(bad),
+		actdsm.WithGCThreshold(4096),
+		actdsm.WithShuffle(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+
+	tracker := sys.TrackIteration(1)
+	eng := sys.Engine()
+	migrated := false
+	var missesBefore, missesAfter int64
+	lastStats := sys.Cluster().Stats().Snapshot()
+	sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+		cur := sys.Cluster().Stats().Snapshot()
+		delta := cur.Sub(lastStats).RemoteMisses
+		lastStats = cur
+		switch {
+		case iter == 0 || iter == 1:
+			// warmup / tracked
+		case !migrated && tracker.Done():
+			missesBefore = delta
+			m := tracker.Matrix()
+			target := actdsm.MinCost(m, 4)
+			aligned := actdsm.AlignLabels(target, eng.Placement(), 4)
+			if _, err := eng.ApplyPlacement(aligned); err != nil {
+				t.Errorf("migration: %v", err)
+			}
+			migrated = true
+		case iter == 9:
+			missesAfter = delta
+		}
+	}})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !migrated {
+		t.Fatal("migration never happened")
+	}
+	st := sys.Cluster().Stats().Snapshot()
+	if st.GCRounds == 0 {
+		t.Fatal("GC never triggered despite tiny threshold")
+	}
+	if tracker.TrackingFaults() == 0 {
+		t.Fatal("no tracking faults")
+	}
+	// The coherence invariant must hold at the end.
+	if err := sys.Cluster().CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	// Min-cost placement must not be worse than the random start in
+	// steady state (Ocean's nearest-neighbour structure makes it
+	// strictly better in practice).
+	if missesAfter > missesBefore {
+		t.Fatalf("misses after migration %d > before %d", missesAfter, missesBefore)
+	}
+}
+
+// TestFullStackSoakTCP repeats a shorter soak over real sockets.
+func TestFullStackSoakTCP(t *testing.T) {
+	app, err := actdsm.NewApp("Spatial", actdsm.AppConfig{
+		Threads: 8, Iterations: 4, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := actdsm.NewSystem(app, 3, actdsm.WithTCP(), actdsm.WithGCThreshold(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	tracker := sys.TrackIteration(1)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !tracker.Done() {
+		t.Fatal("tracking incomplete over TCP")
+	}
+	if err := sys.Cluster().CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,534 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// barnes models SPLASH-2 Barnes-Hut: n bodies under gravity, with an
+// octree rebuilt every iteration and forces computed by tree traversal
+// under the opening criterion θ. Threads own contiguous body blocks; the
+// bounding box is reduced under a lock, thread 0 publishes the tree into
+// a shared region, and every thread traverses it — the shared tree pages
+// give Barnes its all-over background sharing while the body regions give
+// a diagonal, matching the paper's Barnes maps. Paper input: 8192 bodies
+// (a body record is 15 float64s ≈ 120 bytes ⇒ Table 1's 251 pages).
+type barnes struct {
+	threads  int
+	iters    int
+	nbody    int
+	maxNodes int
+	verify   bool
+	bodies   memlayout.Region // per body: pos3, vel3, acc3, mass, pad5
+	treeF    memlayout.Region // per node: com3, mass, center3, halfSize
+	treeI    memlayout.Region // per node: 8 child indices (-1 = empty, -2 = leaf marker in slot 0)
+	ctl      memlayout.Region // bbox min/max (6), node count, body-in-tree count
+}
+
+// Body record layout in float64 slots.
+const (
+	bRec  = 15
+	bPos  = 0
+	bVel  = 3
+	bAcc  = 6
+	bMass = 9
+)
+
+// Tree node float64 layout.
+const (
+	tnRec    = 8
+	tnCom    = 0
+	tnMass   = 3
+	tnCenter = 4
+	tnHalf   = 7
+)
+
+const (
+	barnesDT    = 1e-3
+	barnesTheta = 0.6
+	barnesEps2  = 0.05
+	barnesLock  = int32(31000)
+)
+
+func newBarnes(cfg Config) (*barnes, error) {
+	nbody := 512
+	if cfg.Scale == ScalePaper {
+		nbody = 8192
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 4
+	}
+	if cfg.Threads > nbody {
+		return nil, fmt.Errorf("apps: Barnes: %d threads exceed %d bodies", cfg.Threads, nbody)
+	}
+	return &barnes{
+		threads: cfg.Threads,
+		iters:   iters,
+		nbody:   nbody,
+		// A Barnes-Hut octree over a non-degenerate distribution has
+		// ~1.5n nodes; 3n leaves room for clustered inputs.
+		maxNodes: 3 * nbody,
+		verify:   cfg.Verify,
+	}, nil
+}
+
+func (b *barnes) Name() string    { return "Barnes" }
+func (b *barnes) Threads() int    { return b.threads }
+func (b *barnes) Iterations() int { return b.iters }
+
+func (b *barnes) Setup(l *memlayout.Layout) error {
+	var err error
+	if b.bodies, err = l.Alloc("barnes.bodies", b.nbody*bRec*8); err != nil {
+		return fmt.Errorf("apps: Barnes setup: %w", err)
+	}
+	if b.treeF, err = l.Alloc("barnes.treeF", b.maxNodes*tnRec*8); err != nil {
+		return fmt.Errorf("apps: Barnes setup: %w", err)
+	}
+	if b.treeI, err = l.Alloc("barnes.treeI", b.maxNodes*8*4); err != nil {
+		return fmt.Errorf("apps: Barnes setup: %w", err)
+	}
+	if b.ctl, err = l.Alloc("barnes.ctl", 128); err != nil {
+		return fmt.Errorf("apps: Barnes setup: %w", err)
+	}
+	return nil
+}
+
+func (b *barnes) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		if tid == 0 {
+			if err := b.initialize(ctx); err != nil {
+				return err
+			}
+		}
+		ctx.Barrier()
+		start, count := BlockRange(b.nbody, b.threads, tid)
+		for iter := 0; iter < b.iters; iter++ {
+			// Phase 1: bounding box, reduced under a lock.
+			if err := b.reduceBBox(ctx, tid, start, count); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			// Phase 2: thread 0 builds and publishes the octree.
+			if tid == 0 {
+				if err := b.buildTree(ctx); err != nil {
+					return err
+				}
+			}
+			ctx.Barrier()
+			// Phase 3: forces by tree traversal.
+			if err := b.forces(ctx, start, count); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			// Phase 4: integrate own bodies.
+			if err := b.integrate(ctx, start, count); err != nil {
+				return err
+			}
+			if b.verify && iter == b.iters-1 {
+				ctx.Barrier()
+				if tid == 0 {
+					if err := b.check(ctx); err != nil {
+						return err
+					}
+				}
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+func (b *barnes) initialize(ctx *threads.Ctx) error {
+	v, err := ctx.F64(b.bodies, 0, b.nbody*bRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < b.nbody; i++ {
+		base := i * bRec
+		// Deterministic shell-ish distribution.
+		u := float64(i%127)/127 - 0.5
+		w := float64((i*31)%113)/113 - 0.5
+		q := float64((i*57)%101)/101 - 0.5
+		v.Set(base+bPos, 10*u)
+		v.Set(base+bPos+1, 10*w)
+		v.Set(base+bPos+2, 10*q)
+		v.Set(base+bVel, 0.1*w)
+		v.Set(base+bVel+1, -0.1*u)
+		v.Set(base+bVel+2, 0.02*q)
+		v.Set(base+bMass, 1.0/float64(b.nbody))
+	}
+	ctx.Compute(b.nbody * bRec)
+	return nil
+}
+
+// reduceBBox merges each thread's local bounding box into the shared one
+// under a lock; thread 0 resets it first via iteration parity in ctl.
+func (b *barnes) reduceBBox(ctx *threads.Ctx, tid, start, count int) error {
+	v, err := ctx.F64(b.bodies, start*bRec, count*bRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	lo := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for i := 0; i < count; i++ {
+		for d := 0; d < 3; d++ {
+			p := v.Get(i*bRec + bPos + d)
+			if p < lo[d] {
+				lo[d] = p
+			}
+			if p > hi[d] {
+				hi[d] = p
+			}
+		}
+	}
+	ctx.Compute(count * 6)
+	if err := ctx.Lock(barnesLock); err != nil {
+		return err
+	}
+	c, err := ctx.F64(b.ctl, 0, 8, vm.Write)
+	if err != nil {
+		return err
+	}
+	if c.Get(6) == 0 { // first contributor this iteration resets
+		for d := 0; d < 3; d++ {
+			c.Set(d, lo[d])
+			c.Set(3+d, hi[d])
+		}
+	} else {
+		for d := 0; d < 3; d++ {
+			if lo[d] < c.Get(d) {
+				c.Set(d, lo[d])
+			}
+			if hi[d] > c.Get(3+d) {
+				c.Set(3+d, hi[d])
+			}
+		}
+	}
+	c.Set(6, c.Get(6)+1)
+	if c.Get(6) == float64(b.threads) {
+		c.Set(6, 0) // ready for next iteration
+	}
+	return ctx.Unlock(barnesLock)
+}
+
+// treeNode is the private build-time representation.
+type treeNode struct {
+	center   [3]float64
+	half     float64
+	children [8]int32
+	com      [3]float64
+	mass     float64
+	leafBody int32 // -1 internal
+}
+
+// buildTree constructs the octree privately and publishes it to the
+// shared tree regions.
+func (b *barnes) buildTree(ctx *threads.Ctx) error {
+	bodies, err := ctx.F64(b.bodies, 0, b.nbody*bRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	c, err := ctx.F64(b.ctl, 0, 8, vm.Read)
+	if err != nil {
+		return err
+	}
+	var center [3]float64
+	half := 0.0
+	for d := 0; d < 3; d++ {
+		lo, hi := c.Get(d), c.Get(3+d)
+		center[d] = (lo + hi) / 2
+		if h := (hi-lo)/2 + 1e-9; h > half {
+			half = h
+		}
+	}
+
+	nodes := make([]treeNode, 1, b.nbody*2)
+	nodes[0] = newTreeNode(center, half)
+	for i := 0; i < b.nbody; i++ {
+		p := [3]float64{
+			bodies.Get(i*bRec + bPos),
+			bodies.Get(i*bRec + bPos + 1),
+			bodies.Get(i*bRec + bPos + 2),
+		}
+		m := bodies.Get(i*bRec + bMass)
+		var insertErr error
+		nodes, insertErr = b.insert(nodes, 0, int32(i), p, m, 0)
+		if insertErr != nil {
+			return insertErr
+		}
+	}
+	computeCOM(nodes, 0)
+	if len(nodes) > b.maxNodes {
+		return fmt.Errorf("apps: Barnes: tree grew to %d nodes (max %d)", len(nodes), b.maxNodes)
+	}
+
+	// Publish.
+	tf, err := ctx.F64(b.treeF, 0, len(nodes)*tnRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	ti, err := ctx.I32(b.treeI, 0, len(nodes)*8, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i, n := range nodes {
+		base := i * tnRec
+		tf.Set(base+tnCom, n.com[0])
+		tf.Set(base+tnCom+1, n.com[1])
+		tf.Set(base+tnCom+2, n.com[2])
+		tf.Set(base+tnMass, n.mass)
+		tf.Set(base+tnCenter, n.center[0])
+		tf.Set(base+tnCenter+1, n.center[1])
+		tf.Set(base+tnCenter+2, n.center[2])
+		tf.Set(base+tnHalf, n.half)
+		for ch := 0; ch < 8; ch++ {
+			ti.Set(i*8+ch, n.children[ch])
+		}
+	}
+	cw, err := ctx.F64(b.ctl, 0, 8, vm.Write)
+	if err != nil {
+		return err
+	}
+	cw.Set(7, float64(len(nodes)))
+	ctx.Compute(b.nbody * 30)
+	return nil
+}
+
+func newTreeNode(center [3]float64, half float64) treeNode {
+	n := treeNode{center: center, half: half, leafBody: -1}
+	for i := range n.children {
+		n.children[i] = -1
+	}
+	return n
+}
+
+func (b *barnes) insert(nodes []treeNode, ni int, body int32, p [3]float64, m float64, depth int) ([]treeNode, error) {
+	if depth > 64 {
+		return nodes, fmt.Errorf("apps: Barnes: insertion depth exceeded (coincident bodies)")
+	}
+	n := &nodes[ni]
+	oct := octant(n.center, p)
+	child := n.children[oct]
+	switch {
+	case child == -1 && n.leafBody == -1 && isEmptyInternal(n):
+		// Empty node: make it a leaf.
+		n.leafBody = body
+		n.com = p
+		n.mass = m
+		return nodes, nil
+	case n.leafBody >= 0:
+		// Leaf: split it. Push the old body into a child directly
+		// (resetting and re-inserting would make the node look empty
+		// and loop), then insert the new body normally.
+		old := n.leafBody
+		oldCom := n.com
+		oldMass := n.mass
+		n.leafBody = -1
+		n.com = [3]float64{}
+		n.mass = 0
+		oldOct := octant(n.center, oldCom)
+		nc := newTreeNode(childCenter(n.center, n.half, oldOct), n.half/2)
+		nc.leafBody = old
+		nc.com = oldCom
+		nc.mass = oldMass
+		nodes = append(nodes, nc)
+		nodes[ni].children[oldOct] = int32(len(nodes) - 1)
+		return b.insert(nodes, ni, body, p, m, depth)
+	case child == -1:
+		// Internal node, empty octant: create a leaf child.
+		nc := newTreeNode(childCenter(n.center, n.half, oct), n.half/2)
+		nc.leafBody = body
+		nc.com = p
+		nc.mass = m
+		nodes = append(nodes, nc)
+		nodes[ni].children[oct] = int32(len(nodes) - 1)
+		return nodes, nil
+	default:
+		return b.insert(nodes, int(child), body, p, m, depth+1)
+	}
+}
+
+func isEmptyInternal(n *treeNode) bool {
+	for _, c := range n.children {
+		if c != -1 {
+			return false
+		}
+	}
+	return n.mass == 0
+}
+
+func octant(center, p [3]float64) int {
+	o := 0
+	for d := 0; d < 3; d++ {
+		if p[d] >= center[d] {
+			o |= 1 << d
+		}
+	}
+	return o
+}
+
+func childCenter(center [3]float64, half float64, oct int) [3]float64 {
+	out := center
+	for d := 0; d < 3; d++ {
+		if oct&(1<<d) != 0 {
+			out[d] += half / 2
+		} else {
+			out[d] -= half / 2
+		}
+	}
+	return out
+}
+
+// computeCOM fills internal nodes' centres of mass bottom-up.
+func computeCOM(nodes []treeNode, ni int) (mass float64, com [3]float64) {
+	n := &nodes[ni]
+	if n.leafBody >= 0 {
+		return n.mass, n.com
+	}
+	var total float64
+	var acc [3]float64
+	for _, c := range n.children {
+		if c < 0 {
+			continue
+		}
+		m, cc := computeCOM(nodes, int(c))
+		total += m
+		for d := 0; d < 3; d++ {
+			acc[d] += m * cc[d]
+		}
+	}
+	if total > 0 {
+		for d := 0; d < 3; d++ {
+			acc[d] /= total
+		}
+	}
+	n.mass = total
+	n.com = acc
+	return total, acc
+}
+
+// forces traverses the shared tree for each owned body.
+func (b *barnes) forces(ctx *threads.Ctx, start, count int) error {
+	c, err := ctx.F64(b.ctl, 0, 8, vm.Read)
+	if err != nil {
+		return err
+	}
+	nnodes := int(c.Get(7))
+	if nnodes <= 0 {
+		return fmt.Errorf("apps: Barnes: empty tree")
+	}
+	tf, err := ctx.F64(b.treeF, 0, nnodes*tnRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	ti, err := ctx.I32(b.treeI, 0, nnodes*8, vm.Read)
+	if err != nil {
+		return err
+	}
+	bodies, err := ctx.F64(b.bodies, start*bRec, count*bRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	stack := make([]int, 0, 128)
+	for i := 0; i < count; i++ {
+		base := i * bRec
+		p := [3]float64{bodies.Get(base + bPos), bodies.Get(base + bPos + 1), bodies.Get(base + bPos + 2)}
+		var acc [3]float64
+		work := 0
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nb := ni * tnRec
+			mass := tf.Get(nb + tnMass)
+			if mass == 0 {
+				continue
+			}
+			dx := tf.Get(nb+tnCom) - p[0]
+			dy := tf.Get(nb+tnCom+1) - p[1]
+			dz := tf.Get(nb+tnCom+2) - p[2]
+			r2 := dx*dx + dy*dy + dz*dz
+			size := 2 * tf.Get(nb+tnHalf)
+			leaf := true
+			for ch := 0; ch < 8; ch++ {
+				if ti.Get(ni*8+ch) >= 0 {
+					leaf = false
+					break
+				}
+			}
+			if leaf || size*size < barnesTheta*barnesTheta*r2 {
+				if r2 < 1e-12 {
+					continue // self
+				}
+				inv := mass / ((r2 + barnesEps2) * math.Sqrt(r2+barnesEps2))
+				acc[0] += inv * dx
+				acc[1] += inv * dy
+				acc[2] += inv * dz
+				work += 12
+				continue
+			}
+			for ch := 0; ch < 8; ch++ {
+				if k := ti.Get(ni*8 + ch); k >= 0 {
+					stack = append(stack, int(k))
+				}
+			}
+		}
+		bodies.Set(base+bAcc, acc[0])
+		bodies.Set(base+bAcc+1, acc[1])
+		bodies.Set(base+bAcc+2, acc[2])
+		ctx.Compute(work)
+	}
+	return nil
+}
+
+func (b *barnes) integrate(ctx *threads.Ctx, start, count int) error {
+	v, err := ctx.F64(b.bodies, start*bRec, count*bRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		base := i * bRec
+		for d := 0; d < 3; d++ {
+			vel := v.Get(base+bVel+d) + v.Get(base+bAcc+d)*barnesDT
+			v.Set(base+bVel+d, vel)
+			v.Set(base+bPos+d, v.Get(base+bPos+d)+vel*barnesDT)
+		}
+	}
+	ctx.Compute(count * 12)
+	return nil
+}
+
+// check verifies all bodies remain finite and mass entered the tree.
+func (b *barnes) check(ctx *threads.Ctx) error {
+	v, err := ctx.F64(b.bodies, 0, b.nbody*bRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < b.nbody; i++ {
+		for d := 0; d < 3; d++ {
+			p := v.Get(i*bRec + bPos + d)
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("apps: Barnes: body %d not finite", i)
+			}
+		}
+	}
+	c, err := ctx.F64(b.ctl, 0, 8, vm.Read)
+	if err != nil {
+		return err
+	}
+	nnodes := int(c.Get(7))
+	tf, err := ctx.F64(b.treeF, 0, tnRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	rootMass := tf.Get(tnMass)
+	if math.Abs(rootMass-1.0) > 1e-9 {
+		return fmt.Errorf("apps: Barnes: root mass %v, want 1 (tree has %d nodes)", rootMass, nnodes)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildTestTree inserts bodies into an octree rooted at a box containing
+// them all, mirroring barnes.buildTree's private construction.
+func buildTestTree(t *testing.T, pos [][3]float64, masses []float64) []treeNode {
+	t.Helper()
+	b := &barnes{nbody: len(pos), maxNodes: 8 * (len(pos) + 1)}
+	var lo, hi [3]float64
+	for d := 0; d < 3; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range pos {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], p[d])
+			hi[d] = math.Max(hi[d], p[d])
+		}
+	}
+	var center [3]float64
+	half := 1e-9
+	for d := 0; d < 3; d++ {
+		center[d] = (lo[d] + hi[d]) / 2
+		half = math.Max(half, (hi[d]-lo[d])/2+1e-9)
+	}
+	nodes := []treeNode{newTreeNode(center, half)}
+	for i := range pos {
+		var err error
+		nodes, err = b.insert(nodes, 0, int32(i), pos[i], masses[i], 0)
+		if err != nil {
+			t.Fatalf("insert body %d: %v", i, err)
+		}
+	}
+	computeCOM(nodes, 0)
+	return nodes
+}
+
+func TestBarnesTreeMassConservation(t *testing.T) {
+	check := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 100 {
+			seeds = seeds[:100]
+		}
+		var pos [][3]float64
+		var masses []float64
+		var total float64
+		seen := map[[3]float64]bool{}
+		for _, s := range seeds {
+			p := [3]float64{
+				float64(s%97) - 48,
+				float64((s/7)%89) - 44,
+				float64((s/13)%83) - 41,
+			}
+			if seen[p] {
+				continue // coincident bodies are rejected by design
+			}
+			seen[p] = true
+			pos = append(pos, p)
+			m := 1 + float64(s%5)
+			masses = append(masses, m)
+			total += m
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		nodes := buildTestTree(t, pos, masses)
+		return math.Abs(nodes[0].mass-total) < 1e-9*math.Max(total, 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarnesTreeContainsAllBodies(t *testing.T) {
+	pos := [][3]float64{
+		{0, 0, 0}, {1, 1, 1}, {-1, -1, -1}, {1, -1, 0}, {0.5, 0.5, 0.5},
+	}
+	masses := []float64{1, 2, 3, 4, 5}
+	nodes := buildTestTree(t, pos, masses)
+	// Count leaves; each body must appear exactly once.
+	seen := make([]bool, len(pos))
+	var walk func(ni int)
+	walk = func(ni int) {
+		n := &nodes[ni]
+		if n.leafBody >= 0 {
+			if seen[n.leafBody] {
+				t.Fatalf("body %d appears twice", n.leafBody)
+			}
+			seen[n.leafBody] = true
+			return
+		}
+		for _, c := range n.children {
+			if c >= 0 {
+				walk(int(c))
+			}
+		}
+	}
+	walk(0)
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("body %d missing from tree", i)
+		}
+	}
+}
+
+func TestBarnesTreeCOMMatchesDirect(t *testing.T) {
+	pos := [][3]float64{{2, 0, 0}, {-2, 0, 0}, {0, 4, 0}}
+	masses := []float64{1, 1, 2}
+	nodes := buildTestTree(t, pos, masses)
+	// Direct COM: x = (2-2+0)/4 = 0, y = (0+0+8)/4 = 2.
+	if math.Abs(nodes[0].com[0]) > 1e-12 || math.Abs(nodes[0].com[1]-2) > 1e-12 {
+		t.Fatalf("root COM = %v", nodes[0].com)
+	}
+}
+
+func TestBarnesTreeCoincidentBodiesDepthCap(t *testing.T) {
+	// Two bodies at the same position must hit the depth guard, not
+	// recurse forever.
+	b := &barnes{nbody: 2, maxNodes: 1024}
+	nodes := []treeNode{newTreeNode([3]float64{0, 0, 0}, 1)}
+	var err error
+	nodes, err = b.insert(nodes, 0, 0, [3]float64{0.1, 0.1, 0.1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.insert(nodes, 0, 1, [3]float64{0.1, 0.1, 0.1}, 1, 0)
+	if err == nil {
+		t.Fatal("expected depth-cap error for coincident bodies")
+	}
+}
+
+func TestBarnesTreeNodeCountBounded(t *testing.T) {
+	// A well-spread distribution stays within ~3n nodes (the Setup
+	// region bound).
+	n := 200
+	pos := make([][3]float64, n)
+	masses := make([]float64, n)
+	for i := range pos {
+		pos[i] = [3]float64{
+			float64(i%29) * 1.01,
+			float64((i*7)%31) * 0.97,
+			float64((i*13)%37) * 1.03,
+		}
+		masses[i] = 1
+	}
+	nodes := buildTestTree(t, pos, masses)
+	if len(nodes) > 3*n {
+		t.Fatalf("tree has %d nodes for %d bodies", len(nodes), n)
+	}
+}

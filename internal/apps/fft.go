@@ -1,0 +1,283 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// fft is a six-step 1D FFT over n = R·C complex64 points, the structure of
+// the SPLASH-2 radix-√n FFT: column FFTs, twiddle multiplication, row
+// FFTs, with matrix transposes between phases. The transposes are the
+// communication-heavy phases: a thread writes its own block of destination
+// rows while reading column ranges of every source row, and the page
+// geometry of those column ranges produces the thread-cluster structure in
+// the correlation maps — clusters whose size and count change with the
+// input size, the paper's Table 4 observation.
+//
+// The paper's inputs are labelled by the 2^6×2^6×2^k point counts:
+// FFT6 = 2^18, FFT7 = 2^19, FFT8 = 2^20 points. Each iteration performs a
+// forward and an inverse transform, so the data returns to its initial
+// values, which the Verify mode checks.
+type fft struct {
+	name    string
+	threads int
+	iters   int
+	r, c    int // matrix factorization n = r*c
+	verify  bool
+	data    memlayout.Region
+	trans   memlayout.Region
+}
+
+func newFFT(name string, cfg Config, k int) (*fft, error) {
+	// Paper scale: n = 2^(12+k); rows fixed at 64 so row length (and
+	// with it the transpose page geometry) grows with the input. Test
+	// scale keeps rows long enough (≥2 pages) that the three inputs
+	// still produce distinct transpose page geometries.
+	r, c := 64, 1024<<(k-6) // test scale: 2^(16+k-6) points
+	if cfg.Scale == ScalePaper {
+		r, c = 64, 1<<(6+k)
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 4
+	}
+	if cfg.Threads > r {
+		return nil, fmt.Errorf("apps: %s: %d threads exceed %d matrix rows", name, cfg.Threads, r)
+	}
+	return &fft{
+		name:    name,
+		threads: cfg.Threads,
+		iters:   iters,
+		r:       r,
+		c:       c,
+		verify:  cfg.Verify,
+	}, nil
+}
+
+func (f *fft) Name() string    { return f.name }
+func (f *fft) Threads() int    { return f.threads }
+func (f *fft) Iterations() int { return f.iters }
+
+func (f *fft) n() int { return f.r * f.c }
+
+func (f *fft) Setup(l *memlayout.Layout) error {
+	var err error
+	if f.data, err = l.Alloc(f.name+".data", f.n()*8); err != nil {
+		return fmt.Errorf("apps: %s setup: %w", f.name, err)
+	}
+	if f.trans, err = l.Alloc(f.name+".trans", f.n()*8); err != nil {
+		return fmt.Errorf("apps: %s setup: %w", f.name, err)
+	}
+	return nil
+}
+
+// initial is the deterministic input signal.
+func (f *fft) initial(j int) complex128 {
+	s := float64(j%97)/97 - 0.5
+	t := float64(j%61)/61 - 0.5
+	return complex(s, t)
+}
+
+func (f *fft) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		n := f.n()
+		if tid == 0 {
+			v, err := ctx.F32(f.data, 0, 2*n, vm.Write)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < n; j++ {
+				x := f.initial(j)
+				v.Set(2*j, float32(real(x)))
+				v.Set(2*j+1, float32(imag(x)))
+			}
+			ctx.Compute(n)
+		}
+		ctx.Barrier()
+		for iter := 0; iter < f.iters; iter++ {
+			// Forward: data → trans.
+			if err := f.sixStep(ctx, tid, f.data, f.trans, f.r, f.c, -1, 1); err != nil {
+				return err
+			}
+			// Inverse: trans → data (viewing trans as a C×R
+			// matrix), scaled by 1/n.
+			if err := f.sixStep(ctx, tid, f.trans, f.data, f.c, f.r, +1, 1/float64(n)); err != nil {
+				return err
+			}
+			if f.verify && tid == 0 && iter == f.iters-1 {
+				if err := f.check(ctx); err != nil {
+					return err
+				}
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+// sixStep computes dst = DFT_sign(src) (natural order), where src holds n
+// points viewed as an R×C row-major matrix. Phases, each barrier
+// separated:
+//
+//	A: transpose src (R×C) → dst (C×R)
+//	B: length-R FFT of each dst row, then twiddle by ω^(c·p)
+//	C: transpose dst (C×R) → src (R×C)   [src is clobbered]
+//	D: length-C FFT of each src row, scaled by `scale`
+//	E: transpose src (R×C) → dst (C×R): dst linear index q·R+p = k
+func (f *fft) sixStep(ctx *threads.Ctx, tid int, src, dst memlayout.Region, r, c, sign int, scale float64) error {
+	if err := f.transpose(ctx, tid, src, dst, r, c); err != nil {
+		return err
+	}
+	ctx.Barrier()
+	if err := f.fftRows(ctx, tid, dst, c, r, sign, true, 1); err != nil {
+		return err
+	}
+	ctx.Barrier()
+	if err := f.transpose(ctx, tid, dst, src, c, r); err != nil {
+		return err
+	}
+	ctx.Barrier()
+	if err := f.fftRows(ctx, tid, src, r, c, sign, false, scale); err != nil {
+		return err
+	}
+	ctx.Barrier()
+	if err := f.transpose(ctx, tid, src, dst, r, c); err != nil {
+		return err
+	}
+	ctx.Barrier()
+	return nil
+}
+
+// transpose writes dst[c][r] = src[r][c] for src an R×C matrix. The thread
+// owns a block of dst rows (a column range of src): the reads of every
+// src row's column sub-range are where cross-thread page sharing happens.
+func (f *fft) transpose(ctx *threads.Ctx, tid int, src, dst memlayout.Region, r, c int) error {
+	c0, ccnt := BlockRange(c, f.threads, tid)
+	if ccnt == 0 {
+		return nil
+	}
+	out, err := ctx.F32(dst, 2*c0*r, 2*ccnt*r, vm.Write)
+	if err != nil {
+		return err
+	}
+	for row := 0; row < r; row++ {
+		in, err := ctx.F32(src, 2*(row*c+c0), 2*ccnt, vm.Read)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < ccnt; j++ {
+			// dst row (c0+j), column `row`.
+			out.Set(2*(j*r+row), in.Get(2*j))
+			out.Set(2*(j*r+row)+1, in.Get(2*j+1))
+		}
+	}
+	ctx.Compute(r * ccnt)
+	return nil
+}
+
+// fftRows runs an in-place length-l FFT on each of this thread's rows of a
+// rows×l matrix stored in region m. With twiddle set, element p of row c
+// is additionally multiplied by ω_n^(c·p) (the six-step twiddle phase).
+func (f *fft) fftRows(ctx *threads.Ctx, tid int, m memlayout.Region, rows, l, sign int, twiddle bool, scale float64) error {
+	r0, rcnt := BlockRange(rows, f.threads, tid)
+	if rcnt == 0 {
+		return nil
+	}
+	v, err := ctx.F32(m, 2*r0*l, 2*rcnt*l, vm.Write)
+	if err != nil {
+		return err
+	}
+	buf := make([]complex128, l)
+	n := f.n()
+	for i := 0; i < rcnt; i++ {
+		row := r0 + i
+		for j := 0; j < l; j++ {
+			buf[j] = complex(float64(v.Get(2*(i*l+j))), float64(v.Get(2*(i*l+j)+1)))
+		}
+		fftInPlace(buf, sign)
+		if twiddle {
+			for p := 0; p < l; p++ {
+				ang := float64(sign) * 2 * math.Pi * float64(row*p) / float64(n)
+				buf[p] *= cmplx.Exp(complex(0, ang))
+			}
+		}
+		for j := 0; j < l; j++ {
+			x := buf[j] * complex(scale, 0)
+			v.Set(2*(i*l+j), float32(real(x)))
+			v.Set(2*(i*l+j)+1, float32(imag(x)))
+		}
+		ctx.Compute(5 * l * log2int(l))
+	}
+	return nil
+}
+
+// fftInPlace is an iterative radix-2 Cooley-Tukey FFT; sign -1 is the
+// forward transform. len(a) must be a power of two.
+func fftInPlace(a []complex128, sign int) {
+	n := len(a)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := float64(sign) * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				t := a[i+j+length/2] * w
+				a[i+j] = u + t
+				a[i+j+length/2] = u - t
+				w *= wl
+			}
+		}
+	}
+}
+
+func log2int(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// check verifies the forward+inverse round trip reproduced the initial
+// signal within float32 tolerance.
+func (f *fft) check(ctx *threads.Ctx) error {
+	n := f.n()
+	v, err := ctx.F32(f.data, 0, 2*n, vm.Read)
+	if err != nil {
+		return err
+	}
+	var worst float64
+	for j := 0; j < n; j++ {
+		want := f.initial(j)
+		dre := math.Abs(float64(v.Get(2*j)) - real(want))
+		dim := math.Abs(float64(v.Get(2*j+1)) - imag(want))
+		if dre > worst {
+			worst = dre
+		}
+		if dim > worst {
+			worst = dim
+		}
+	}
+	if worst > 2e-3 {
+		return fmt.Errorf("apps: %s: round-trip error %g", f.name, worst)
+	}
+	return nil
+}

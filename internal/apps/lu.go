@@ -1,0 +1,331 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// lu is blocked dense LU factorization without pivoting, following the
+// SPLASH-2 kernel: the n×n float32 matrix is stored block-major (each
+// B×B block contiguous — with B=32 a block is exactly one 4 KiB page) and
+// blocks are assigned to a pr×pc thread grid by 2D scatter:
+// owner(I,J) = (I mod pr)·pc + (J mod pc). One outer elimination step is
+// one application iteration; the panel/interior data flow produces the
+// block-structured correlation maps of the paper's Table 3.
+type lu struct {
+	name    string
+	threads int
+	n       int // matrix dimension
+	b       int // block size
+	nb      int // blocks per dimension
+	pr, pc  int // thread grid
+	verify  bool
+	iters   int
+	mat     memlayout.Region
+}
+
+func newLU(name string, cfg Config, paperN int) (*lu, error) {
+	// Test scale keeps the two LU configurations distinct (the paper's
+	// LU2k has 4x the pages of LU1k).
+	n, b := 128, 16
+	if paperN >= 2048 {
+		n = 256
+	}
+	if cfg.Scale == ScalePaper {
+		n, b = paperN, 32
+	}
+	nb := n / b
+	pr, pc := threadGrid(cfg.Threads)
+	iters := nb
+	if cfg.Iterations > 0 && cfg.Iterations < iters {
+		iters = cfg.Iterations
+	}
+	if nb < 2 {
+		return nil, fmt.Errorf("apps: %s: matrix %d too small for block size %d", name, n, b)
+	}
+	return &lu{
+		name:    name,
+		threads: cfg.Threads,
+		n:       n,
+		b:       b,
+		nb:      nb,
+		pr:      pr,
+		pc:      pc,
+		verify:  cfg.Verify,
+		iters:   iters,
+	}, nil
+}
+
+// threadGrid factors t into the most square pr×pc grid with pr ≤ pc.
+func threadGrid(t int) (pr, pc int) {
+	pr = 1
+	for d := 1; d*d <= t; d++ {
+		if t%d == 0 {
+			pr = d
+		}
+	}
+	return pr, t / pr
+}
+
+func (a *lu) Name() string    { return a.name }
+func (a *lu) Threads() int    { return a.threads }
+func (a *lu) Iterations() int { return a.iters }
+
+func (a *lu) Setup(l *memlayout.Layout) error {
+	var err error
+	a.mat, err = l.Alloc(a.name+".mat", a.n*a.n*4)
+	if err != nil {
+		return fmt.Errorf("apps: %s setup: %w", a.name, err)
+	}
+	return nil
+}
+
+func (a *lu) owner(bi, bj int) int { return (bi%a.pr)*a.pc + bj%a.pc }
+
+// blockOff returns the element offset of block (bi, bj) in block-major
+// storage.
+func (a *lu) blockOff(bi, bj int) int { return (bi*a.nb + bj) * a.b * a.b }
+
+// initial is the deterministic, diagonally dominant test matrix:
+// pivoting-free LU stays well-conditioned on it.
+func (a *lu) initial(i, j int) float32 {
+	v := float32((i*131+j*17)%29-14) / 29
+	if i == j {
+		v += float32(a.n)
+	}
+	return v
+}
+
+// readBlock copies block (bi, bj) into a private buffer.
+func (a *lu) readBlock(ctx *threads.Ctx, bi, bj int, acc vm.Access) (memlayout.F32, error) {
+	return ctx.F32(a.mat, a.blockOff(bi, bj), a.b*a.b, acc)
+}
+
+func (a *lu) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		b, nb := a.b, a.nb
+		if tid == 0 {
+			v, err := ctx.F32(a.mat, 0, a.n*a.n, vm.Write)
+			if err != nil {
+				return err
+			}
+			for bi := 0; bi < nb; bi++ {
+				for bj := 0; bj < nb; bj++ {
+					off := a.blockOff(bi, bj)
+					for i := 0; i < b; i++ {
+						for j := 0; j < b; j++ {
+							v.Set(off+i*b+j, a.initial(bi*b+i, bj*b+j))
+						}
+					}
+				}
+			}
+			ctx.Compute(a.n * a.n)
+		}
+		ctx.Barrier()
+
+		for k := 0; k < a.iters; k++ {
+			// Phase 1: factor the diagonal block.
+			if a.owner(k, k) == tid {
+				if err := a.factorDiag(ctx, k); err != nil {
+					return err
+				}
+			}
+			ctx.Barrier()
+			// Phase 2: perimeter panels.
+			for bi := k + 1; bi < nb; bi++ {
+				if a.owner(bi, k) == tid {
+					if err := a.panelCol(ctx, bi, k); err != nil {
+						return err
+					}
+				}
+			}
+			for bj := k + 1; bj < nb; bj++ {
+				if a.owner(k, bj) == tid {
+					if err := a.panelRow(ctx, k, bj); err != nil {
+						return err
+					}
+				}
+			}
+			ctx.Barrier()
+			// Phase 3: interior update.
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					if a.owner(bi, bj) == tid {
+						if err := a.interior(ctx, bi, bj, k); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if a.verify && k == a.iters-1 && a.iters == nb {
+				ctx.Barrier()
+				if tid == 0 {
+					if err := a.check(ctx); err != nil {
+						return err
+					}
+				}
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+// factorDiag computes the in-place unit-lower/upper factorization of the
+// diagonal block.
+func (a *lu) factorDiag(ctx *threads.Ctx, k int) error {
+	b := a.b
+	blk, err := a.readBlock(ctx, k, k, vm.Write)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < b; p++ {
+		piv := blk.Get(p*b + p)
+		if piv == 0 {
+			return fmt.Errorf("apps: %s: zero pivot at step %d", a.name, k)
+		}
+		for i := p + 1; i < b; i++ {
+			m := blk.Get(i*b+p) / piv
+			blk.Set(i*b+p, m)
+			for j := p + 1; j < b; j++ {
+				blk.Set(i*b+j, blk.Get(i*b+j)-m*blk.Get(p*b+j))
+			}
+		}
+	}
+	ctx.Compute(b * b * b / 3)
+	return nil
+}
+
+// panelCol solves X·U_kk = A[bi][k] in place (produces an L panel).
+func (a *lu) panelCol(ctx *threads.Ctx, bi, k int) error {
+	b := a.b
+	diag, err := a.readBlock(ctx, k, k, vm.Read)
+	if err != nil {
+		return err
+	}
+	blk, err := a.readBlock(ctx, bi, k, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < b; i++ {
+		for p := 0; p < b; p++ {
+			v := blk.Get(i*b + p)
+			for q := 0; q < p; q++ {
+				v -= blk.Get(i*b+q) * diag.Get(q*b+p)
+			}
+			blk.Set(i*b+p, v/diag.Get(p*b+p))
+		}
+	}
+	ctx.Compute(b * b * b / 2)
+	return nil
+}
+
+// panelRow solves L_kk·X = A[k][bj] in place (produces a U panel).
+func (a *lu) panelRow(ctx *threads.Ctx, k, bj int) error {
+	b := a.b
+	diag, err := a.readBlock(ctx, k, k, vm.Read)
+	if err != nil {
+		return err
+	}
+	blk, err := a.readBlock(ctx, k, bj, vm.Write)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < b; j++ {
+		for p := 0; p < b; p++ {
+			v := blk.Get(p*b + j)
+			for q := 0; q < p; q++ {
+				v -= diag.Get(p*b+q) * blk.Get(q*b+j)
+			}
+			blk.Set(p*b+j, v) // L has unit diagonal
+		}
+	}
+	ctx.Compute(b * b * b / 2)
+	return nil
+}
+
+// interior applies A[bi][bj] -= L[bi][k] · U[k][bj].
+func (a *lu) interior(ctx *threads.Ctx, bi, bj, k int) error {
+	b := a.b
+	lp, err := a.readBlock(ctx, bi, k, vm.Read)
+	if err != nil {
+		return err
+	}
+	up, err := a.readBlock(ctx, k, bj, vm.Read)
+	if err != nil {
+		return err
+	}
+	blk, err := a.readBlock(ctx, bi, bj, vm.Write)
+	if err != nil {
+		return err
+	}
+	// Copy panels out of the views once: the kernel is O(b³) and view
+	// accessors are the hot path otherwise.
+	lbuf := make([]float32, b*b)
+	ubuf := make([]float32, b*b)
+	for i := 0; i < b*b; i++ {
+		lbuf[i] = lp.Get(i)
+		ubuf[i] = up.Get(i)
+	}
+	for i := 0; i < b; i++ {
+		for p := 0; p < b; p++ {
+			m := lbuf[i*b+p]
+			if m == 0 {
+				continue
+			}
+			for j := 0; j < b; j++ {
+				blk.Set(i*b+j, blk.Get(i*b+j)-m*ubuf[p*b+j])
+			}
+		}
+	}
+	ctx.Compute(b * b * b)
+	return nil
+}
+
+// check reconstructs L·U and compares against the initial matrix.
+// Only run at test scale (O(n³) in the verifier itself).
+func (a *lu) check(ctx *threads.Ctx) error {
+	if a.n > 256 {
+		return nil
+	}
+	n, b, nb := a.n, a.b, a.nb
+	v, err := ctx.F32(a.mat, 0, n*n, vm.Read)
+	if err != nil {
+		return err
+	}
+	at := func(i, j int) float64 {
+		bi, bj := i/b, j/b
+		return float64(v.Get(a.blockOff(bi, bj) + (i%b)*b + (j % b)))
+	}
+	_ = nb
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L·U)[i][j] with L unit-lower.
+			var s float64
+			kmax := min(i, j)
+			for k := 0; k < kmax; k++ {
+				s += at(i, k) * at(k, j)
+			}
+			if i <= j {
+				s += at(i, j) // L[i][i] = 1 times U[i][j]
+			} else {
+				s += at(i, j) * at(j, j)
+			}
+			diff := math.Abs(s - float64(a.initial(i, j)))
+			if diff > worst {
+				worst = diff
+			}
+		}
+	}
+	// float32 blocked elimination on a diagonally dominant matrix:
+	// residual stays tiny relative to the diagonal magnitude n.
+	if worst > float64(a.n)*1e-4 {
+		return fmt.Errorf("apps: %s: max |L·U - A| = %g", a.name, worst)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package apps
+
+import (
+	"fmt"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// ocean models the SPLASH-2 Ocean simulation's memory behaviour: many
+// (n+2)×(n+2) float64 grids relaxed with red-black nearest-neighbour
+// stencils (the multigrid work arrays of the original), plus a
+// lock-protected global residual reduction each iteration. Threads own
+// contiguous row blocks across all fields, so the correlation maps show
+// the banded nearest-neighbour diagonal over an all-to-all background
+// (the reduction page) that the paper's Table 3 shows for Ocean. The
+// paper's input is a 258×258 ocean (Table 1: 3191 shared pages ≈ 24
+// double-precision grids plus control data).
+type ocean struct {
+	threads int
+	iters   int
+	g       int // grid edge including boundary
+	fields  int
+	verify  bool
+	grids   memlayout.Region
+	red     memlayout.Region // reduction cell + control
+}
+
+func newOcean(cfg Config) (*ocean, error) {
+	// Test scale still admits 64 threads (bounded by interior rows).
+	g, fields := 66, 3
+	if cfg.Scale == ScalePaper {
+		g, fields = 258, 24
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 6
+	}
+	if cfg.Threads > g-2 {
+		return nil, fmt.Errorf("apps: Ocean: %d threads exceed %d interior rows", cfg.Threads, g-2)
+	}
+	return &ocean{
+		threads: cfg.Threads,
+		iters:   iters,
+		g:       g,
+		fields:  fields,
+		verify:  cfg.Verify,
+	}, nil
+}
+
+func (o *ocean) Name() string    { return "Ocean" }
+func (o *ocean) Threads() int    { return o.threads }
+func (o *ocean) Iterations() int { return o.iters }
+
+func (o *ocean) Setup(l *memlayout.Layout) error {
+	var err error
+	if o.grids, err = l.Alloc("ocean.grids", o.fields*o.g*o.g*8); err != nil {
+		return fmt.Errorf("apps: Ocean setup: %w", err)
+	}
+	if o.red, err = l.Alloc("ocean.reduction", 64); err != nil {
+		return fmt.Errorf("apps: Ocean setup: %w", err)
+	}
+	return nil
+}
+
+const (
+	oceanBoundary = 50.0
+	oceanLock     = int32(9001)
+)
+
+func (o *ocean) fieldOff(f int) int { return f * o.g * o.g }
+
+func (o *ocean) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		g := o.g
+		if tid == 0 {
+			v, err := ctx.F64(o.grids, 0, o.fields*g*g, vm.Write)
+			if err != nil {
+				return err
+			}
+			for f := 0; f < o.fields; f++ {
+				base := o.fieldOff(f)
+				hi := oceanBoundary * float64(f+1) / float64(o.fields)
+				// Hot west boundary plus a seeded interior (an
+				// all-zero interior makes relaxation writes
+				// silent stores, hiding steady-state sharing).
+				for i := 0; i < g; i++ {
+					for j := 0; j < g; j++ {
+						v.Set(base+i*g+j, hi*float64((i*31+j*17+f*7)%89)/89)
+					}
+				}
+				for j := 0; j < g; j++ {
+					v.Set(base+j*g, hi)
+				}
+			}
+			ctx.Compute(o.fields * g * g)
+		}
+		ctx.Barrier()
+
+		start, count := BlockRange(g-2, o.threads, tid)
+		start++
+		for iter := 0; iter < o.iters; iter++ {
+			var localRes float64
+			for phase := 0; phase < 2; phase++ {
+				for f := 0; f < o.fields; f++ {
+					res, err := o.relaxField(ctx, f, start, count, phase)
+					if err != nil {
+						return err
+					}
+					localRes += res
+				}
+				ctx.Barrier()
+			}
+			// Lock-protected residual reduction (the all-to-all
+			// background sharing).
+			if err := ctx.Lock(oceanLock); err != nil {
+				return err
+			}
+			acc, err := ctx.F64(o.red, 0, 2, vm.Write)
+			if err != nil {
+				return err
+			}
+			acc.Set(0, acc.Get(0)+localRes)
+			acc.Set(1, acc.Get(1)+1)
+			if err := ctx.Unlock(oceanLock); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			if tid == 0 {
+				acc, err := ctx.F64(o.red, 0, 2, vm.Write)
+				if err != nil {
+					return err
+				}
+				if o.verify && iter == o.iters-1 {
+					if got := acc.Get(1); got != float64(o.threads) {
+						return fmt.Errorf("apps: Ocean: reduction saw %v contributions, want %d", got, o.threads)
+					}
+					if err := o.check(ctx); err != nil {
+						return err
+					}
+				}
+				acc.Set(0, 0)
+				acc.Set(1, 0)
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+// relaxField runs one red-black colour phase on the thread's rows of one
+// field and returns the local residual contribution.
+func (o *ocean) relaxField(ctx *threads.Ctx, f, start, count, phase int) (float64, error) {
+	g := o.g
+	base := o.fieldOff(f)
+	own, err := ctx.F64(o.grids, base+start*g, count*g, vm.Write)
+	if err != nil {
+		return 0, err
+	}
+	up, err := ctx.F64(o.grids, base+(start-1)*g, g, vm.Read)
+	if err != nil {
+		return 0, err
+	}
+	down, err := ctx.F64(o.grids, base+(start+count)*g, g, vm.Read)
+	if err != nil {
+		return 0, err
+	}
+	get := func(i, j int) float64 {
+		switch {
+		case i < 0:
+			return up.Get(j)
+		case i >= count:
+			return down.Get(j)
+		default:
+			return own.Get(i*g + j)
+		}
+	}
+	var res float64
+	work := 0
+	for i := 0; i < count; i++ {
+		row := start + i
+		for j := 1 + (row+phase)%2; j < g-1; j += 2 {
+			v := 0.25 * (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1))
+			d := v - own.Get(i*g+j)
+			own.Set(i*g+j, own.Get(i*g+j)+d)
+			res += d * d
+			work++
+		}
+	}
+	ctx.Compute(work * 6)
+	return res, nil
+}
+
+// check verifies the maximum principle on every field.
+func (o *ocean) check(ctx *threads.Ctx) error {
+	g := o.g
+	v, err := ctx.F64(o.grids, 0, o.fields*g*g, vm.Read)
+	if err != nil {
+		return err
+	}
+	for f := 0; f < o.fields; f++ {
+		base := o.fieldOff(f)
+		hi := oceanBoundary * float64(f+1) / float64(o.fields)
+		for i := 1; i < g-1; i++ {
+			for j := 1; j < g-1; j++ {
+				x := v.Get(base + i*g + j)
+				if x < 0 || x > hi {
+					return fmt.Errorf("apps: Ocean: field %d cell (%d,%d) = %v outside [0,%v]", f, i, j, x, hi)
+				}
+			}
+		}
+	}
+	return nil
+}

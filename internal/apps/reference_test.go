@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"testing"
+
+	"actdsm/internal/dsm"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// TestSORMatchesSequentialReference runs SOR on a 4-node DSM and compares
+// the final grid bit-for-bit against a plain sequential red-black SOR:
+// the coherence protocol must be completely invisible to the numerics.
+// Red-black ordering makes the parallel and sequential update orders
+// produce identical floating-point results.
+func TestSORMatchesSequentialReference(t *testing.T) {
+	const nthreads, nodes = 8, 4
+	a, err := New("SOR", Config{Threads: nthreads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.(*sor)
+	rows, cols, iters := s.rows, s.cols, s.iters
+
+	// Sequential reference, mirroring the app's init and relaxation.
+	ref := make([]float32, rows*cols)
+	for j := 0; j < cols; j++ {
+		ref[j] = sorBoundary
+	}
+	for i := 1; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			ref[i*cols+j] = float32((i*37+j*11)%97) * sorBoundary / 97
+		}
+	}
+	for iter := 0; iter < iters; iter++ {
+		for phase := 0; phase < 2; phase++ {
+			for i := 1; i < rows-1; i++ {
+				for j := 1 + (i+phase)%2; j < cols-1; j += 2 {
+					v := 0.25 * (ref[(i-1)*cols+j] + ref[(i+1)*cols+j] +
+						ref[i*cols+j-1] + ref[i*cols+j+1])
+					cur := ref[i*cols+j]
+					ref[i*cols+j] = cur + s.omega*(v-cur)
+				}
+			}
+		}
+	}
+
+	// DSM run.
+	layout := memlayout.NewLayout()
+	if err := a.Setup(layout); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dsm.New(dsm.Config{Nodes: nodes, Pages: layout.TotalPages()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	e, err := threads.NewEngine(cl, threads.Config{Threads: nthreads, SchedulerEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(a.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the final grid through the DSM from an arbitrary node.
+	b, _, err := cl.Span(2, 0, s.grid.Off, rows*cols*4, vm.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := memlayout.ViewF32(b)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g := got.Get(i*cols + j); g != ref[i*cols+j] {
+				t.Fatalf("cell (%d,%d): dsm %v, reference %v", i, j, g, ref[i*cols+j])
+			}
+		}
+	}
+}
+
+// TestLUMatchesSequentialReference factorizes the same matrix with a
+// plain sequential blocked LU and compares every element exactly.
+func TestLUMatchesSequentialReference(t *testing.T) {
+	const nthreads, nodes = 4, 2
+	a, err := New("LU1k", Config{Threads: nthreads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := a.(*lu)
+	n, bs, nb := l.n, l.b, l.nb
+
+	// Sequential reference: identical blocked algorithm over a plain
+	// array in block-major order.
+	ref := make([]float32, n*n)
+	at := func(bi, bj, i, j int) *float32 {
+		return &ref[l.blockOff(bi, bj)+i*bs+j]
+	}
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			for i := 0; i < bs; i++ {
+				for j := 0; j < bs; j++ {
+					*at(bi, bj, i, j) = l.initial(bi*bs+i, bj*bs+j)
+				}
+			}
+		}
+	}
+	for k := 0; k < nb; k++ {
+		// Diagonal factorization.
+		for p := 0; p < bs; p++ {
+			piv := *at(k, k, p, p)
+			for i := p + 1; i < bs; i++ {
+				m := *at(k, k, i, p) / piv
+				*at(k, k, i, p) = m
+				for j := p + 1; j < bs; j++ {
+					*at(k, k, i, j) -= m * *at(k, k, p, j)
+				}
+			}
+		}
+		// Panels.
+		for bi := k + 1; bi < nb; bi++ {
+			for i := 0; i < bs; i++ {
+				for p := 0; p < bs; p++ {
+					v := *at(bi, k, i, p)
+					for q := 0; q < p; q++ {
+						v -= *at(bi, k, i, q) * *at(k, k, q, p)
+					}
+					*at(bi, k, i, p) = v / *at(k, k, p, p)
+				}
+			}
+		}
+		for bj := k + 1; bj < nb; bj++ {
+			for j := 0; j < bs; j++ {
+				for p := 0; p < bs; p++ {
+					v := *at(k, bj, p, j)
+					for q := 0; q < p; q++ {
+						v -= *at(k, k, p, q) * *at(k, bj, q, j)
+					}
+					*at(k, bj, p, j) = v
+				}
+			}
+		}
+		// Interior.
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				for i := 0; i < bs; i++ {
+					for p := 0; p < bs; p++ {
+						m := *at(bi, k, i, p)
+						if m == 0 {
+							continue
+						}
+						for j := 0; j < bs; j++ {
+							*at(bi, bj, i, j) -= m * *at(k, bj, p, j)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	layout := memlayout.NewLayout()
+	if err := a.Setup(layout); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dsm.New(dsm.Config{Nodes: nodes, Pages: layout.TotalPages()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	e, err := threads.NewEngine(cl, threads.Config{Threads: nthreads, SchedulerEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(a.Body); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := cl.Span(1, 0, l.mat.Off, n*n*4, vm.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := memlayout.ViewF32(b)
+	for i := 0; i < n*n; i++ {
+		if g := got.Get(i); g != ref[i] {
+			t.Fatalf("element %d: dsm %v, reference %v", i, g, ref[i])
+		}
+	}
+}

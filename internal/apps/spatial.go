@@ -1,0 +1,411 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// spatial models SPLASH-2 Water-Spatial: molecules binned into a g×g×g
+// grid of cells (cell edge = interaction cutoff), with forces computed
+// only against the 27 neighbouring cells. Threads own contiguous ranges of
+// cells, so the force phase reads neighbour cells (3D nearest-neighbour
+// sharing), while the re-binning phase moves migrating molecules between
+// cells under per-cell locks and a lock-protected global kinetic-energy
+// reduction adds light all-to-all sharing — the multiple distinct phase
+// patterns the paper notes for Spatial. Paper input: 4096 molecules.
+type spatial struct {
+	threads int
+	iters   int
+	nmol    int
+	g       int // cells per edge
+	maxPer  int // slot capacity per cell
+	verify  bool
+	cells   memlayout.Region // per-slot: pos3, vel3, force3, pad3 = 12 f64
+	occ     memlayout.Region // per-cell occupancy int32
+	red     memlayout.Region // global reduction cell
+}
+
+// Slot layout in float64s.
+const (
+	sRec   = 12
+	sPos   = 0
+	sVel   = 3
+	sForce = 6
+)
+
+const (
+	spatialDT       = 5e-4
+	spatialLockBase = int32(20000)
+	spatialRedLock  = int32(19999)
+)
+
+func newSpatial(cfg Config) (*spatial, error) {
+	nmol, g := 512, 6
+	if cfg.Scale == ScalePaper {
+		nmol, g = 4096, 8
+	}
+	ncells := g * g * g
+	maxPer := 4 * (nmol/ncells + 1)
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 5
+	}
+	if cfg.Threads > ncells {
+		return nil, fmt.Errorf("apps: Spatial: %d threads exceed %d cells", cfg.Threads, ncells)
+	}
+	return &spatial{
+		threads: cfg.Threads,
+		iters:   iters,
+		nmol:    nmol,
+		g:       g,
+		maxPer:  maxPer,
+		verify:  cfg.Verify,
+	}, nil
+}
+
+func (s *spatial) Name() string    { return "Spatial" }
+func (s *spatial) Threads() int    { return s.threads }
+func (s *spatial) Iterations() int { return s.iters }
+
+func (s *spatial) ncells() int { return s.g * s.g * s.g }
+
+func (s *spatial) Setup(l *memlayout.Layout) error {
+	var err error
+	if s.cells, err = l.Alloc("spatial.cells", s.ncells()*s.maxPer*sRec*8); err != nil {
+		return fmt.Errorf("apps: Spatial setup: %w", err)
+	}
+	if s.occ, err = l.Alloc("spatial.occ", s.ncells()*4); err != nil {
+		return fmt.Errorf("apps: Spatial setup: %w", err)
+	}
+	if s.red, err = l.Alloc("spatial.red", 64); err != nil {
+		return fmt.Errorf("apps: Spatial setup: %w", err)
+	}
+	return nil
+}
+
+// cellOf maps a position to its cell index, wrapping at box edges (box
+// side = g, cell edge = 1).
+func (s *spatial) cellOf(x, y, z float64) int {
+	wrap := func(v float64) int {
+		c := int(math.Floor(v))
+		c %= s.g
+		if c < 0 {
+			c += s.g
+		}
+		return c
+	}
+	return (wrap(x)*s.g+wrap(y))*s.g + wrap(z)
+}
+
+func (s *spatial) slotOff(cell, slot int) int { return (cell*s.maxPer + slot) * sRec }
+
+func (s *spatial) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		if tid == 0 {
+			if err := s.initialize(ctx); err != nil {
+				return err
+			}
+		}
+		ctx.Barrier()
+		start, count := BlockRange(s.ncells(), s.threads, tid)
+		for iter := 0; iter < s.iters; iter++ {
+			var localKE float64
+			if err := s.forces(ctx, start, count); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			ke, err := s.integrate(ctx, start, count)
+			if err != nil {
+				return err
+			}
+			localKE = ke
+			ctx.Barrier()
+			if err := s.rebin(ctx, start, count); err != nil {
+				return err
+			}
+			// Global kinetic-energy reduction under a lock.
+			if err := ctx.Lock(spatialRedLock); err != nil {
+				return err
+			}
+			acc, err := ctx.F64(s.red, 0, 1, vm.Write)
+			if err != nil {
+				return err
+			}
+			acc.Set(0, acc.Get(0)+localKE)
+			if err := ctx.Unlock(spatialRedLock); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			if tid == 0 {
+				acc, err := ctx.F64(s.red, 0, 1, vm.Write)
+				if err != nil {
+					return err
+				}
+				if s.verify && iter == s.iters-1 {
+					if ke := acc.Get(0); math.IsNaN(ke) || math.IsInf(ke, 0) || ke < 0 {
+						return fmt.Errorf("apps: Spatial: bad kinetic energy %v", ke)
+					}
+					if err := s.check(ctx); err != nil {
+						return err
+					}
+				}
+				acc.Set(0, 0)
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+func (s *spatial) initialize(ctx *threads.Ctx) error {
+	occ, err := ctx.I32(s.occ, 0, s.ncells(), vm.Write)
+	if err != nil {
+		return err
+	}
+	cv, err := ctx.F64(s.cells, 0, s.ncells()*s.maxPer*sRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.nmol; i++ {
+		// Jittered lattice over the whole box.
+		x := float64(s.g) * (float64(i%17)/17 + 0.01)
+		y := float64(s.g) * (float64((i/17)%19)/19 + 0.02)
+		z := float64(s.g) * (float64(i%23)/23 + 0.03)
+		cell := s.cellOf(x, y, z)
+		slot := int(occ.Get(cell))
+		if slot >= s.maxPer {
+			return fmt.Errorf("apps: Spatial: cell %d overflow at init", cell)
+		}
+		off := s.slotOff(cell, slot)
+		cv.Set(off+sPos, x)
+		cv.Set(off+sPos+1, y)
+		cv.Set(off+sPos+2, z)
+		// Small deterministic initial velocity.
+		cv.Set(off+sVel, 0.05*(float64(i%7)/7-0.5))
+		cv.Set(off+sVel+1, 0.05*(float64(i%11)/11-0.5))
+		cv.Set(off+sVel+2, 0.05*(float64(i%13)/13-0.5))
+		occ.Set(cell, int32(slot+1))
+	}
+	ctx.Compute(s.nmol * 10)
+	return nil
+}
+
+// neighbours lists cell and its 26 neighbours (wrapping).
+func (s *spatial) neighbours(cell int) []int {
+	g := s.g
+	cx, cy, cz := cell/(g*g), (cell/g)%g, cell%g
+	out := make([]int, 0, 27)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				x, y, z := (cx+dx+g)%g, (cy+dy+g)%g, (cz+dz+g)%g
+				out = append(out, (x*g+y)*g+z)
+			}
+		}
+	}
+	return out
+}
+
+// forces computes forces on molecules of owned cells from molecules in the
+// 27-cell neighbourhood (reads of neighbour cells are the sharing).
+func (s *spatial) forces(ctx *threads.Ctx, start, count int) error {
+	occAll, err := ctx.I32(s.occ, 0, s.ncells(), vm.Read)
+	if err != nil {
+		return err
+	}
+	for cell := start; cell < start+count; cell++ {
+		n := int(occAll.Get(cell))
+		if n == 0 {
+			continue
+		}
+		own, err := ctx.F64(s.cells, s.slotOff(cell, 0), s.maxPer*sRec, vm.Write)
+		if err != nil {
+			return err
+		}
+		work := 0
+		for _, nb := range s.neighbours(cell) {
+			m := int(occAll.Get(nb))
+			if m == 0 {
+				continue
+			}
+			nbv, err := ctx.F64(s.cells, s.slotOff(nb, 0), s.maxPer*sRec, vm.Read)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				xi := own.Get(i*sRec + sPos)
+				yi := own.Get(i*sRec + sPos + 1)
+				zi := own.Get(i*sRec + sPos + 2)
+				for j := 0; j < m; j++ {
+					if nb == cell && j == i {
+						continue
+					}
+					fx, fy, fz := pairForce(xi, yi, zi,
+						nbv.Get(j*sRec+sPos), nbv.Get(j*sRec+sPos+1), nbv.Get(j*sRec+sPos+2))
+					own.Set(i*sRec+sForce, own.Get(i*sRec+sForce)+fx)
+					own.Set(i*sRec+sForce+1, own.Get(i*sRec+sForce+1)+fy)
+					own.Set(i*sRec+sForce+2, own.Get(i*sRec+sForce+2)+fz)
+					work++
+				}
+			}
+		}
+		ctx.Compute(work * 12)
+	}
+	return nil
+}
+
+// integrate advances owned molecules and returns local kinetic energy.
+func (s *spatial) integrate(ctx *threads.Ctx, start, count int) (float64, error) {
+	occAll, err := ctx.I32(s.occ, start, count, vm.Read)
+	if err != nil {
+		return 0, err
+	}
+	var ke float64
+	for c := 0; c < count; c++ {
+		cell := start + c
+		n := int(occAll.Get(c))
+		if n == 0 {
+			continue
+		}
+		v, err := ctx.F64(s.cells, s.slotOff(cell, 0), s.maxPer*sRec, vm.Write)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			off := i * sRec
+			for d := 0; d < 3; d++ {
+				vel := v.Get(off+sVel+d) + v.Get(off+sForce+d)*spatialDT
+				v.Set(off+sVel+d, vel)
+				p := v.Get(off+sPos+d) + vel*spatialDT
+				// Wrap into the box.
+				box := float64(s.g)
+				if p < 0 {
+					p += box
+				} else if p >= box {
+					p -= box
+				}
+				v.Set(off+sPos+d, p)
+				v.Set(off+sForce+d, 0)
+				ke += 0.5 * vel * vel
+			}
+		}
+		ctx.Compute(n * 15)
+	}
+	return ke, nil
+}
+
+// rebin moves molecules that left their cell into the correct cell,
+// locking both cells involved in each move (ordered by cell index to
+// avoid lock-order inversion; the engine's global lock table serializes
+// anyway, but the discipline matches what a real DSM program needs).
+func (s *spatial) rebin(ctx *threads.Ctx, start, count int) error {
+	for cell := start; cell < start+count; cell++ {
+		occ, err := ctx.I32(s.occ, cell, 1, vm.Read)
+		if err != nil {
+			return err
+		}
+		n := int(occ.Get(0))
+		for i := 0; i < n; i++ {
+			v, err := ctx.F64(s.cells, s.slotOff(cell, i), sRec, vm.Read)
+			if err != nil {
+				return err
+			}
+			dest := s.cellOf(v.Get(sPos), v.Get(sPos+1), v.Get(sPos+2))
+			if dest == cell {
+				continue
+			}
+			if err := s.moveMolecule(ctx, cell, i, dest); err != nil {
+				return err
+			}
+			// The compaction swapped the last molecule into slot
+			// i; revisit it.
+			n--
+			i--
+		}
+	}
+	return nil
+}
+
+func (s *spatial) moveMolecule(ctx *threads.Ctx, from, slot, to int) error {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if err := ctx.Lock(spatialLockBase + int32(lo)); err != nil {
+		return err
+	}
+	if err := ctx.Lock(spatialLockBase + int32(hi)); err != nil {
+		return err
+	}
+	defer func() {
+		_ = ctx.Unlock(spatialLockBase + int32(hi))
+		_ = ctx.Unlock(spatialLockBase + int32(lo))
+	}()
+
+	occ, err := ctx.I32(s.occ, 0, s.ncells(), vm.Write)
+	if err != nil {
+		return err
+	}
+	nFrom := int(occ.Get(from))
+	nTo := int(occ.Get(to))
+	if nTo >= s.maxPer {
+		return fmt.Errorf("apps: Spatial: cell %d overflow during rebin", to)
+	}
+	src, err := ctx.F64(s.cells, s.slotOff(from, 0), s.maxPer*sRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	dst, err := ctx.F64(s.cells, s.slotOff(to, 0), s.maxPer*sRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < sRec; d++ {
+		dst.Set(nTo*sRec+d, src.Get(slot*sRec+d))
+	}
+	// Compact source: move last slot into the vacated one.
+	if slot != nFrom-1 {
+		for d := 0; d < sRec; d++ {
+			src.Set(slot*sRec+d, src.Get((nFrom-1)*sRec+d))
+		}
+	}
+	occ.Set(from, int32(nFrom-1))
+	occ.Set(to, int32(nTo+1))
+	ctx.Compute(2 * sRec)
+	return nil
+}
+
+// check verifies molecule conservation and that every stored molecule is
+// inside the box and binned in the right cell.
+func (s *spatial) check(ctx *threads.Ctx) error {
+	occ, err := ctx.I32(s.occ, 0, s.ncells(), vm.Read)
+	if err != nil {
+		return err
+	}
+	cv, err := ctx.F64(s.cells, 0, s.ncells()*s.maxPer*sRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for cell := 0; cell < s.ncells(); cell++ {
+		n := int(occ.Get(cell))
+		if n < 0 || n > s.maxPer {
+			return fmt.Errorf("apps: Spatial: cell %d occupancy %d", cell, n)
+		}
+		total += n
+		for i := 0; i < n; i++ {
+			off := s.slotOff(cell, i)
+			x, y, z := cv.Get(off+sPos), cv.Get(off+sPos+1), cv.Get(off+sPos+2)
+			if s.cellOf(x, y, z) != cell {
+				return fmt.Errorf("apps: Spatial: molecule in cell %d binned wrong (%v,%v,%v)", cell, x, y, z)
+			}
+		}
+	}
+	if total != s.nmol {
+		return fmt.Errorf("apps: Spatial: %d molecules, want %d", total, s.nmol)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// water models SPLASH-2 Water-Nsquared: n molecules with O(n²/2) pairwise
+// interactions. Each thread owns a contiguous molecule block and computes
+// the interactions between its molecules and the following n/2 molecules
+// (wrapping), accumulating partner forces privately and merging them into
+// the shared force fields under per-block locks. Every thread therefore
+// reads the positions of half the molecule array starting at its own block
+// — producing the paper's distinctive Water correlation map, where
+// nearest-neighbour sharing starts high, decreases with distance, and
+// rises again as the half-window wraps.
+//
+// A molecule record is 42 float64s (336 bytes), matching Table 1's 44
+// shared pages for 512 molecules.
+type water struct {
+	threads int
+	iters   int
+	nmol    int
+	verify  bool
+	mol     memlayout.Region
+}
+
+// Molecule record layout in float64 slots.
+const (
+	wRec   = 42 // slots per molecule
+	wPos   = 0  // 3 atom positions × 3 coords
+	wVel   = 9
+	wForce = 18
+	wAcc   = 27 // previous-step force for Verlet-style integration
+	wMisc  = 36 // 6 spare slots (potential terms in the original)
+)
+
+const (
+	waterDT       = 1e-3
+	waterLockBase = int32(7000)
+)
+
+func newWater(cfg Config) (*water, error) {
+	nmol := 256
+	if cfg.Scale == ScalePaper {
+		nmol = 512
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 5
+	}
+	if cfg.Threads > nmol {
+		return nil, fmt.Errorf("apps: Water: %d threads exceed %d molecules", cfg.Threads, nmol)
+	}
+	return &water{threads: cfg.Threads, iters: iters, nmol: nmol, verify: cfg.Verify}, nil
+}
+
+func (w *water) Name() string    { return "Water" }
+func (w *water) Threads() int    { return w.threads }
+func (w *water) Iterations() int { return w.iters }
+
+func (w *water) Setup(l *memlayout.Layout) error {
+	var err error
+	w.mol, err = l.Alloc("water.mol", w.nmol*wRec*8)
+	if err != nil {
+		return fmt.Errorf("apps: Water setup: %w", err)
+	}
+	return nil
+}
+
+// initPos places molecule centres on a jittered lattice.
+func (w *water) initPos(i int) (x, y, z float64) {
+	side := int(math.Cbrt(float64(w.nmol))) + 1
+	x = float64(i%side) + 0.3*float64((i*7)%10)/10
+	y = float64((i/side)%side) + 0.3*float64((i*13)%10)/10
+	z = float64(i/(side*side)) + 0.3*float64((i*29)%10)/10
+	return x, y, z
+}
+
+func (w *water) Body(tid int) threads.Body {
+	return func(ctx *threads.Ctx) error {
+		if tid == 0 {
+			v, err := ctx.F64(w.mol, 0, w.nmol*wRec, vm.Write)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < w.nmol; i++ {
+				x, y, z := w.initPos(i)
+				base := i * wRec
+				// Three atoms at small rigid offsets around the
+				// centre.
+				for a := 0; a < 3; a++ {
+					v.Set(base+wPos+3*a, x+0.05*float64(a))
+					v.Set(base+wPos+3*a+1, y-0.05*float64(a))
+					v.Set(base+wPos+3*a+2, z)
+				}
+			}
+			ctx.Compute(w.nmol * wRec)
+		}
+		ctx.Barrier()
+
+		start, count := BlockRange(w.nmol, w.threads, tid)
+		window := w.nmol / 2
+		for iter := 0; iter < w.iters; iter++ {
+			// Force phase: private accumulation over own block ×
+			// half-window.
+			contrib := make(map[int][3]float64)
+			if err := w.forces(ctx, start, count, window, contrib); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			// Merge phase: per-block locks serialize updates to
+			// each owner's force fields.
+			if err := w.merge(ctx, contrib); err != nil {
+				return err
+			}
+			ctx.Barrier()
+			// Integrate own molecules.
+			if err := w.integrate(ctx, start, count); err != nil {
+				return err
+			}
+			if w.verify && iter == w.iters-1 {
+				ctx.Barrier()
+				if tid == 0 {
+					if err := w.check(ctx); err != nil {
+						return err
+					}
+				}
+			}
+			ctx.EndIteration()
+		}
+		return nil
+	}
+}
+
+// pairForce is a capped inverse-square attraction/repulsion between
+// molecule centres.
+func pairForce(xi, yi, zi, xj, yj, zj float64) (fx, fy, fz float64) {
+	dx, dy, dz := xj-xi, yj-yi, zj-zi
+	r2 := dx*dx + dy*dy + dz*dz + 0.25 // softened
+	inv := 1 / (r2 * math.Sqrt(r2))
+	// Repulsive core, weak attraction tail.
+	s := inv - 0.02/r2
+	return s * dx, s * dy, s * dz
+}
+
+func (w *water) forces(ctx *threads.Ctx, start, count, window int, contrib map[int][3]float64) error {
+	// Read the half-window of positions beginning at our block. The
+	// window wraps, so read as up to two spans.
+	for _, i := range rangeOwned(start, count) {
+		base := i * wRec
+		me, err := ctx.F64(w.mol, base+wPos, 3, vm.Read)
+		if err != nil {
+			return err
+		}
+		xi, yi, zi := me.Get(0), me.Get(1), me.Get(2)
+		for k := 1; k <= window; k++ {
+			j := (i + k) % w.nmol
+			// With an even molecule count the k = n/2 pair would
+			// be visited from both ends; keep only one.
+			if k == window && w.nmol%2 == 0 && i > j {
+				continue
+			}
+			other, err := ctx.F64(w.mol, j*wRec+wPos, 3, vm.Read)
+			if err != nil {
+				return err
+			}
+			fx, fy, fz := pairForce(xi, yi, zi, other.Get(0), other.Get(1), other.Get(2))
+			ci := contrib[i]
+			contrib[i] = [3]float64{ci[0] + fx, ci[1] + fy, ci[2] + fz}
+			cj := contrib[j]
+			contrib[j] = [3]float64{cj[0] - fx, cj[1] - fy, cj[2] - fz}
+		}
+		ctx.Compute(window * 12)
+	}
+	return nil
+}
+
+func rangeOwned(start, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// merge adds this thread's private force contributions into the shared
+// force fields under the owning block's lock.
+func (w *water) merge(ctx *threads.Ctx, contrib map[int][3]float64) error {
+	// Group contributions by owning thread block for lock batching.
+	byBlock := make(map[int][]int)
+	for mol := range contrib {
+		b := w.blockOf(mol)
+		byBlock[b] = append(byBlock[b], mol)
+	}
+	// Deterministic lock order avoids spurious ordering differences.
+	for b := 0; b < w.threads; b++ {
+		mols, ok := byBlock[b]
+		if !ok {
+			continue
+		}
+		if err := ctx.Lock(waterLockBase + int32(b)); err != nil {
+			return err
+		}
+		for _, mol := range mols {
+			f := contrib[mol]
+			fv, err := ctx.F64(w.mol, mol*wRec+wForce, 3, vm.Write)
+			if err != nil {
+				return err
+			}
+			fv.Set(0, fv.Get(0)+f[0])
+			fv.Set(1, fv.Get(1)+f[1])
+			fv.Set(2, fv.Get(2)+f[2])
+		}
+		if err := ctx.Unlock(waterLockBase + int32(b)); err != nil {
+			return err
+		}
+		ctx.Compute(len(mols) * 6)
+	}
+	return nil
+}
+
+// blockOf returns the thread owning a molecule under BlockRange.
+func (w *water) blockOf(mol int) int {
+	for t := 0; t < w.threads; t++ {
+		s, c := BlockRange(w.nmol, w.threads, t)
+		if mol >= s && mol < s+c {
+			return t
+		}
+	}
+	return w.threads - 1
+}
+
+func (w *water) integrate(ctx *threads.Ctx, start, count int) error {
+	v, err := ctx.F64(w.mol, start*wRec, count*wRec, vm.Write)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		base := i * wRec
+		for d := 0; d < 3; d++ {
+			f := v.Get(base + wForce + d)
+			vel := v.Get(base+wVel+d) + f*waterDT
+			v.Set(base+wVel+d, vel)
+			// Move all three atoms rigidly.
+			for a := 0; a < 3; a++ {
+				p := v.Get(base + wPos + 3*a + d)
+				v.Set(base+wPos+3*a+d, p+vel*waterDT)
+			}
+			v.Set(base+wAcc+d, f)
+			v.Set(base+wForce+d, 0)
+		}
+	}
+	ctx.Compute(count * 30)
+	return nil
+}
+
+// check verifies momentum conservation (forces are applied antisymmetric
+// pairs, so total velocity must remain ~0) and that positions are finite.
+func (w *water) check(ctx *threads.Ctx) error {
+	v, err := ctx.F64(w.mol, 0, w.nmol*wRec, vm.Read)
+	if err != nil {
+		return err
+	}
+	var px, py, pz float64
+	for i := 0; i < w.nmol; i++ {
+		base := i * wRec
+		px += v.Get(base + wVel)
+		py += v.Get(base + wVel + 1)
+		pz += v.Get(base + wVel + 2)
+		for s := 0; s < 9; s++ {
+			if p := v.Get(base + wPos + s); math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("apps: Water: molecule %d position not finite", i)
+			}
+		}
+	}
+	tol := 1e-9 * float64(w.nmol)
+	if math.Abs(px) > tol || math.Abs(py) > tol || math.Abs(pz) > tol {
+		return fmt.Errorf("apps: Water: momentum drift (%g, %g, %g)", px, py, pz)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// ActiveTracker implements active correlation tracking (paper §4.2): for
+// one designated iteration, each node's thread scheduler is disabled so
+// threads run serially between barriers; at the start of the phase and at
+// every local thread switch all pages are re-protected (correlation bits
+// armed), and the first access by the current thread to each page is
+// recorded in that thread's access bitmap. At the end of the iteration the
+// bitmaps give complete access information for every thread.
+type ActiveTracker struct {
+	engine  *threads.Engine
+	bitmaps []*vm.Bitmap
+
+	// trackIter is the 0-based iteration to track.
+	trackIter int
+	active    bool
+	done      bool
+	savedSch  bool
+	// lastTID[node] is the last thread that ran on node during the
+	// tracked phase, to re-arm correlation bits only at real switches.
+	lastTID []int
+
+	// nodeFaults counts tracking faults per node. curPages is the set
+	// of distinct pages any local thread touched in the *current*
+	// synchronization interval; at each barrier its count is folded
+	// into nodePageIntervals and it resets. The sharing degree is then
+	// faults ÷ Σ per-interval distinct pages, which is bounded by the
+	// local thread count (each thread faults at most once per page per
+	// interval).
+	nodeFaults        []int64
+	curPages          []*vm.Bitmap
+	nodePageIntervals []int64
+}
+
+// NewActiveTracker prepares a tracker that will track iteration trackIter
+// (0-based) of the engine's run.
+func NewActiveTracker(e *threads.Engine, trackIter int) *ActiveTracker {
+	nthreads := e.NumThreads()
+	npages := e.Cluster().NumPages()
+	nnodes := e.Cluster().NumNodes()
+	t := &ActiveTracker{
+		engine:            e,
+		bitmaps:           make([]*vm.Bitmap, nthreads),
+		trackIter:         trackIter,
+		lastTID:           make([]int, nnodes),
+		nodeFaults:        make([]int64, nnodes),
+		curPages:          make([]*vm.Bitmap, nnodes),
+		nodePageIntervals: make([]int64, nnodes),
+	}
+	for i := range t.bitmaps {
+		t.bitmaps[i] = vm.NewBitmap(npages)
+	}
+	for n := range t.curPages {
+		t.curPages[n] = vm.NewBitmap(npages)
+		t.lastTID[n] = -1
+	}
+	return t
+}
+
+// Hooks wraps next with the tracker's instrumentation; install the result
+// with engine.SetHooks.
+func (t *ActiveTracker) Hooks(next threads.Hooks) threads.Hooks {
+	return threads.Hooks{
+		OnIteration: func(iter int) {
+			// The hook fires after iteration iter completes; arm
+			// the phase when the next iteration is the tracked
+			// one, and tear it down when the tracked one ends.
+			if iter+1 == t.trackIter && !t.done {
+				t.begin()
+			}
+			if iter == t.trackIter && t.active {
+				t.end()
+			}
+			if next.OnIteration != nil {
+				next.OnIteration(iter)
+			}
+		},
+		OnBarrier: func() {
+			if t.active {
+				t.flushInterval()
+			}
+			if next.OnBarrier != nil {
+				next.OnBarrier()
+			}
+		},
+		OnThreadRun: func(node, tid int) {
+			if t.active && t.lastTID[node] != tid {
+				// Paper §4.2 step 3: at a thread switch the
+				// system re-protects all pages for the
+				// incoming thread.
+				cost := t.engine.Cluster().RearmTracking(node)
+				t.engine.AdvanceNode(node, cost)
+				t.lastTID[node] = tid
+			}
+			if next.OnThreadRun != nil {
+				next.OnThreadRun(node, tid)
+			}
+		},
+	}
+}
+
+// Start arms tracking before the first iteration (for trackIter == 0,
+// where no preceding OnIteration hook exists). Call it after engine
+// creation and before Run.
+func (t *ActiveTracker) Start() {
+	if t.trackIter == 0 && !t.done && !t.active {
+		t.begin()
+	}
+}
+
+func (t *ActiveTracker) begin() {
+	t.active = true
+	// Paper §4.2 step 1: the scheduler is placed in a mode that
+	// prevents thread switching until the next barrier; all pages are
+	// read-protected and correlation bits set.
+	t.savedSch = t.engine.SchedulerEnabled()
+	t.engine.SetSchedulerEnabled(false)
+	cl := t.engine.Cluster()
+	for node := 0; node < cl.NumNodes(); node++ {
+		node := node
+		cost := cl.BeginTracking(node, func(tid int, p vm.PageID) {
+			t.bitmaps[tid].Set(p)
+			t.nodeFaults[node]++
+			t.curPages[node].Set(p)
+		})
+		t.engine.AdvanceNode(node, cost)
+		t.lastTID[node] = -1
+	}
+}
+
+// flushInterval folds the current interval's distinct-page counts into
+// the sharing-degree denominator at an interval boundary (barrier).
+func (t *ActiveTracker) flushInterval() {
+	for n := range t.curPages {
+		if c := t.curPages[n].Count(); c > 0 {
+			t.nodePageIntervals[n] += int64(c)
+			t.curPages[n].Reset()
+		}
+	}
+}
+
+func (t *ActiveTracker) end() {
+	t.flushInterval()
+	t.active = false
+	t.done = true
+	cl := t.engine.Cluster()
+	for node := 0; node < cl.NumNodes(); node++ {
+		cl.EndTracking(node)
+	}
+	t.engine.SetSchedulerEnabled(t.savedSch)
+}
+
+// Done reports whether the tracked iteration has completed.
+func (t *ActiveTracker) Done() bool { return t.done }
+
+// Retrack arms the tracker for another iteration (0-based, and it must
+// not have started yet), clearing all previously gathered information.
+// Adaptive applications (paper §7) re-track periodically — or when
+// Matrix().Distance against the last tracked matrix crosses a threshold —
+// and migrate to a fresh min-cost placement.
+func (t *ActiveTracker) Retrack(iter int) error {
+	if t.active {
+		return errors.New("core: Retrack during an active tracking phase")
+	}
+	if iter <= t.engine.Iteration() {
+		return fmt.Errorf("core: Retrack(%d) but iteration %d has already run",
+			iter, t.engine.Iteration())
+	}
+	t.trackIter = iter
+	t.done = false
+	for i := range t.bitmaps {
+		t.bitmaps[i].Reset()
+	}
+	for n := range t.nodeFaults {
+		t.nodeFaults[n] = 0
+		t.nodePageIntervals[n] = 0
+		t.curPages[n].Reset()
+		t.lastTID[n] = -1
+	}
+	return nil
+}
+
+// Bitmaps returns the per-thread access bitmaps gathered by the tracked
+// iteration.
+func (t *ActiveTracker) Bitmaps() []*vm.Bitmap { return t.bitmaps }
+
+// Matrix builds the thread-correlation matrix from the gathered bitmaps.
+func (t *ActiveTracker) Matrix() *Matrix { return FromBitmaps(t.bitmaps) }
+
+// TrackingFaults returns the total number of correlation faults the
+// tracked iteration induced (Table 5's "Tracking" column).
+func (t *ActiveTracker) TrackingFaults() int64 {
+	var tot int64
+	for _, f := range t.nodeFaults {
+		tot += f
+	}
+	return tot
+}
+
+// SharingDegree is the average number of local threads touching each
+// distinct locally-accessed shared page per synchronization interval
+// (Table 5's last column): total tracking faults divided by the summed
+// per-interval distinct-page counts. A value of 1 means no local sharing;
+// the value is bounded by the per-node thread count, reached when every
+// local thread touches every locally-touched page.
+func (t *ActiveTracker) SharingDegree() float64 {
+	var faults, pages int64
+	for n := range t.nodeFaults {
+		faults += t.nodeFaults[n]
+		pages += t.nodePageIntervals[n]
+	}
+	if pages == 0 {
+		return 0
+	}
+	return float64(faults) / float64(pages)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CorrelationMap renders a correlation matrix the way the paper's Table 3
+// presents it: an n×n grid where darker cells mean more sharing between
+// the two threads at that cell's coordinates, origin at the lower left.
+
+// shades orders glyphs from no sharing to maximum sharing.
+const shades = " .:-=+*#%@"
+
+// RenderASCII draws the matrix as ASCII art, one character per thread
+// pair, rows printed top-down with thread 0's row at the bottom (matching
+// the paper's lower-left origin). Intensity is scaled to the largest
+// off-diagonal entry; the diagonal (self-correlation) is rendered like any
+// other cell but capped at full intensity.
+func (m *Matrix) RenderASCII() string {
+	mx := m.Max()
+	var b strings.Builder
+	b.Grow((m.n + 1) * (m.n + 3))
+	for row := m.n - 1; row >= 0; row-- {
+		for col := 0; col < m.n; col++ {
+			b.WriteByte(shadeFor(m.At(row, col), mx))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func shadeFor(v, mx int64) byte {
+	if mx <= 0 || v <= 0 {
+		return shades[0]
+	}
+	if v >= mx {
+		return shades[len(shades)-1]
+	}
+	idx := int(v * int64(len(shades)-1) / mx)
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// RenderPGM emits the matrix as a binary-free plain PGM (P2) image, dark
+// cells for high correlation, suitable for external viewers. The first
+// image row corresponds to the highest-numbered thread, matching
+// RenderASCII's orientation.
+func (m *Matrix) RenderPGM() string {
+	mx := m.Max()
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", m.n, m.n)
+	for row := m.n - 1; row >= 0; row-- {
+		for col := 0; col < m.n; col++ {
+			v := m.At(row, col)
+			gray := 255
+			if mx > 0 {
+				if v > mx {
+					v = mx
+				}
+				gray = int(255 - v*255/mx)
+			}
+			if col > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", gray)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FreeZoneOverlay renders the matrix like RenderASCII but marks cells
+// whose thread pair shares a node under assign — the paper's Figure 3
+// "free zones" where sharing causes no network communication. Free-zone
+// cells with sharing are shown as '□'-style brackets by lowercasing the
+// shade scale to '(' for light and 'O' for dark; exact glyphs matter less
+// than the visual block structure.
+func (m *Matrix) FreeZoneOverlay(assign []int) string {
+	mx := m.Max()
+	var b strings.Builder
+	for row := m.n - 1; row >= 0; row-- {
+		for col := 0; col < m.n; col++ {
+			c := shadeFor(m.At(row, col), mx)
+			if assign[row] == assign[col] {
+				if c == ' ' {
+					c = '('
+				} else {
+					c = 'O'
+				}
+			}
+			b.WriteByte(c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

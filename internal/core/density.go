@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// DensityTracker captures per-thread per-page *access counts* for one
+// iteration — the paper's "ideal" sharing measure (§1): a density
+// function of access rates whose per-page products give thread
+// correlations. The paper explains why real page-based DSMs cannot
+// capture this (once a page is mapped, accesses proceed transparently,
+// and binary-rewriting approaches tax every write); this repo's software
+// MMU observes every span access, so the ideal is available as an oracle
+// to compare the practical page-set correlation against.
+//
+// Unlike ActiveTracker, density tracking needs no page re-protection and
+// no scheduler changes — and correspondingly, it models an
+// instrumentation no real system of the paper's era could afford.
+type DensityTracker struct {
+	engine    *threads.Engine
+	trackIter int
+	active    bool
+	done      bool
+	npages    int
+	// counts[tid][page] is the number of span accesses.
+	counts [][]int64
+}
+
+// NewDensityTracker prepares a density tracker for the given 0-based
+// iteration.
+func NewDensityTracker(e *threads.Engine, trackIter int) *DensityTracker {
+	nthreads := e.NumThreads()
+	npages := e.Cluster().NumPages()
+	t := &DensityTracker{
+		engine:    e,
+		trackIter: trackIter,
+		npages:    npages,
+		counts:    make([][]int64, nthreads),
+	}
+	for i := range t.counts {
+		t.counts[i] = make([]int64, npages)
+	}
+	e.Cluster().AddAccessHook(func(node, tid int, p vm.PageID, a vm.Access) {
+		if t.active && tid >= 0 && tid < len(t.counts) {
+			t.counts[tid][p]++
+		}
+	})
+	return t
+}
+
+// Hooks wraps next with the tracker's iteration windowing; install the
+// result with engine.SetHooks.
+func (t *DensityTracker) Hooks(next threads.Hooks) threads.Hooks {
+	return threads.Hooks{
+		OnIteration: func(iter int) {
+			if iter+1 == t.trackIter && !t.done {
+				t.active = true
+			}
+			if iter == t.trackIter && t.active {
+				t.active = false
+				t.done = true
+			}
+			if next.OnIteration != nil {
+				next.OnIteration(iter)
+			}
+		},
+		OnBarrier:   next.OnBarrier,
+		OnThreadRun: next.OnThreadRun,
+	}
+}
+
+// Start arms tracking before the first iteration (for trackIter == 0).
+func (t *DensityTracker) Start() {
+	if t.trackIter == 0 && !t.done {
+		t.active = true
+	}
+}
+
+// Done reports whether the tracked iteration completed.
+func (t *DensityTracker) Done() bool { return t.done }
+
+// Counts returns the raw access counts (tid → page → accesses).
+func (t *DensityTracker) Counts() [][]int64 { return t.counts }
+
+// Matrix builds the density-product correlation matrix of the paper's §1:
+// correlation(i, j) = Σ_p d_i(p)·d_j(p), with each thread's density
+// normalized to unit L2 norm so the result is comparable in magnitude to
+// the page-count correlation (the normalized products sum to ≤ the page
+// count scale). Entries are scaled by the shared page count to stay in
+// integer range meaningfully.
+func (t *DensityTracker) Matrix() *Matrix {
+	n := len(t.counts)
+	norms := make([]float64, n)
+	for i, row := range t.counts {
+		var s float64
+		for _, c := range row {
+			s += float64(c) * float64(c)
+		}
+		norms[i] = math.Sqrt(s)
+	}
+	m := NewMatrix(n)
+	const scale = 1 << 16
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if norms[i] == 0 || norms[j] == 0 {
+				continue
+			}
+			var dot float64
+			for p := 0; p < t.npages; p++ {
+				if t.counts[i][p] != 0 && t.counts[j][p] != 0 {
+					dot += float64(t.counts[i][p]) * float64(t.counts[j][p])
+				}
+			}
+			cos := dot / (norms[i] * norms[j])
+			m.Set(i, j, int64(cos*scale))
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"actdsm/internal/dsm"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// densityWorkload: thread 0 touches page 0 heavily and page 1 once;
+// thread 1 touches page 1 heavily; thread 2 touches page 0 once. Binary
+// correlation sees corr(0,1) == corr(0,2) == 1 shared page; density
+// correlation must rank (0,1) below (0,... wait — it must rank pairs by
+// access intensity: (0,2) shares the heavy page 0, (0,1) shares page 1
+// which thread 0 barely touches.
+func runDensityWorkload(t *testing.T) (*DensityTracker, *ActiveTracker) {
+	t.Helper()
+	cl, err := dsm.New(dsm.Config{Nodes: 1, Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	e, err := threads.NewEngine(cl, threads.Config{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := NewDensityTracker(e, 0)
+	at := NewActiveTracker(e, 0)
+	e.SetHooks(at.Hooks(dt.Hooks(threads.Hooks{})))
+	dt.Start()
+	at.Start()
+	err = e.Run(func(tid int) threads.Body {
+		return func(ctx *threads.Ctx) error {
+			touch := func(page, times int) error {
+				for k := 0; k < times; k++ {
+					if _, err := ctx.Span(page*memlayout.PageSize, 8, vm.Read); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			switch tid {
+			case 0:
+				if err := touch(0, 50); err != nil {
+					return err
+				}
+				if err := touch(1, 1); err != nil {
+					return err
+				}
+			case 1:
+				if err := touch(1, 50); err != nil {
+					return err
+				}
+			case 2:
+				if err := touch(0, 1); err != nil {
+					return err
+				}
+			}
+			ctx.EndIteration()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt, at
+}
+
+func TestDensityDistinguishesIntensity(t *testing.T) {
+	dt, at := runDensityWorkload(t)
+	if !dt.Done() {
+		t.Fatal("density tracking incomplete")
+	}
+	bm := at.Matrix()
+	// Binary page-count correlation cannot tell the pairs apart.
+	if bm.At(0, 1) != 1 || bm.At(0, 2) != 1 {
+		t.Fatalf("binary correlations: (0,1)=%d (0,2)=%d, want 1 and 1",
+			bm.At(0, 1), bm.At(0, 2))
+	}
+	dm := dt.Matrix()
+	// Density correlation must rank the heavy-page pair far above the
+	// light one: thread 0's mass is on page 0, which thread 2 shares,
+	// while thread 1 shares only the barely-touched page 1.
+	if dm.At(0, 2) <= dm.At(0, 1) {
+		t.Fatalf("density correlations: (0,2)=%d should exceed (0,1)=%d",
+			dm.At(0, 2), dm.At(0, 1))
+	}
+	if dm.At(1, 2) != 0 {
+		t.Fatalf("disjoint threads have density correlation %d", dm.At(1, 2))
+	}
+}
+
+func TestDensityCountsWindowed(t *testing.T) {
+	// Accesses outside the tracked iteration must not count.
+	cl, err := dsm.New(dsm.Config{Nodes: 1, Pages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	e, err := threads.NewEngine(cl, threads.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := NewDensityTracker(e, 1) // track only iteration 1
+	e.SetHooks(dt.Hooks(threads.Hooks{}))
+	dt.Start()
+	err = e.Run(func(tid int) threads.Body {
+		return func(ctx *threads.Ctx) error {
+			for iter := 0; iter < 3; iter++ {
+				touches := 1
+				if iter == 1 {
+					touches = 7
+				}
+				for k := 0; k < touches; k++ {
+					if _, err := ctx.Span(0, 4, vm.Read); err != nil {
+						return err
+					}
+				}
+				ctx.EndIteration()
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dt.Counts()[0][0]; got != 7 {
+		t.Fatalf("counts = %d, want 7 (tracked iteration only)", got)
+	}
+}
+
+func TestPassiveAging(t *testing.T) {
+	cl, err := dsm.New(dsm.Config{Nodes: 2, Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	e, err := threads.NewEngine(cl, threads.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewPassiveTracker(e)
+	err = e.Run(func(tid int) threads.Body {
+		return func(ctx *threads.Ctx) error {
+			if tid == 1 {
+				// Page 0 is managed by node 0; node 1's access is
+				// a remote fault the passive tracker sees.
+				if _, err := ctx.Span(4, 4, vm.Read); err != nil {
+					return err
+				}
+			}
+			ctx.EndIteration()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Bitmaps()[1].Get(0) {
+		t.Fatal("observation missing")
+	}
+	if pt.Weight(1, 0) != 1 {
+		t.Fatalf("weight = %v", pt.Weight(1, 0))
+	}
+	// Three decays at 0.5: weight 0.125, still above threshold.
+	pt.Decay(0.5)
+	pt.Decay(0.5)
+	pt.Decay(0.5)
+	if !pt.Bitmaps()[1].Get(0) {
+		t.Fatal("observation aged out too early")
+	}
+	// Two more: 0.03125 < 0.05 → forgotten.
+	pt.Decay(0.5)
+	pt.Decay(0.5)
+	if pt.Bitmaps()[1].Get(0) {
+		t.Fatal("observation survived aging")
+	}
+	if pt.Weight(1, 0) != 0 {
+		t.Fatalf("weight after age-out = %v", pt.Weight(1, 0))
+	}
+}

@@ -1,0 +1,162 @@
+// Package core implements the paper's primary contribution: thread
+// correlation tracking. It provides the correlation matrix and cut-cost
+// abstractions (paper §2), correlation maps (§3), and the active and
+// passive correlation-tracking mechanisms (§4) layered over the DSM and
+// thread engine.
+package core
+
+import (
+	"fmt"
+
+	"actdsm/internal/vm"
+)
+
+// Matrix is a symmetric thread-correlation matrix: entry (i, j) is the
+// number of shared pages threads i and j both access — the paper's
+// definition of thread correlation.
+type Matrix struct {
+	n    int
+	vals []int64
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, vals: make([]int64, n*n)}
+}
+
+// FromBitmaps builds the correlation matrix from per-thread access
+// bitmaps: correlation(i, j) = |pages(i) ∩ pages(j)|.
+func FromBitmaps(bitmaps []*vm.Bitmap) *Matrix {
+	m := NewMatrix(len(bitmaps))
+	for i := 0; i < m.n; i++ {
+		for j := i; j < m.n; j++ {
+			c := int64(bitmaps[i].AndCount(bitmaps[j]))
+			m.vals[i*m.n+j] = c
+			m.vals[j*m.n+i] = c
+		}
+	}
+	return m
+}
+
+// N returns the thread count.
+func (m *Matrix) N() int { return m.n }
+
+// At returns correlation(i, j).
+func (m *Matrix) At(i, j int) int64 { return m.vals[i*m.n+j] }
+
+// Set assigns correlation(i, j) (and its mirror).
+func (m *Matrix) Set(i, j int, v int64) {
+	m.vals[i*m.n+j] = v
+	m.vals[j*m.n+i] = v
+}
+
+// Add increments correlation(i, j) (and its mirror) by v.
+func (m *Matrix) Add(i, j int, v int64) {
+	m.vals[i*m.n+j] += v
+	if i != j {
+		m.vals[j*m.n+i] += v
+	}
+}
+
+// Max returns the largest off-diagonal entry.
+func (m *Matrix) Max() int64 {
+	var mx int64
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j && m.vals[i*m.n+j] > mx {
+				mx = m.vals[i*m.n+j]
+			}
+		}
+	}
+	return mx
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.n)
+	copy(c.vals, m.vals)
+	return c
+}
+
+// CutCost is the aggregate correlation of thread pairs placed on distinct
+// nodes under assign (thread → node): the count of page-sharings that must
+// cross the network (paper §2). Each unordered pair counts once.
+func (m *Matrix) CutCost(assign []int) int64 {
+	var cost int64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if assign[i] != assign[j] {
+				cost += m.vals[i*m.n+j]
+			}
+		}
+	}
+	return cost
+}
+
+// TotalSharing is the aggregate correlation over all unordered pairs — the
+// cut cost of the degenerate one-thread-per-node placement, and the
+// denominator of the free-sharing fraction.
+func (m *Matrix) TotalSharing() int64 {
+	var tot int64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			tot += m.vals[i*m.n+j]
+		}
+	}
+	return tot
+}
+
+// FreeSharing is the fraction of total pairwise sharing that stays inside
+// nodes ("free zones", paper Figure 3) under assign.
+func (m *Matrix) FreeSharing(assign []int) float64 {
+	tot := m.TotalSharing()
+	if tot == 0 {
+		return 1
+	}
+	return float64(tot-m.CutCost(assign)) / float64(tot)
+}
+
+// Distance measures how much the sharing pattern changed between two
+// same-size matrices: the L1 difference of their entries normalized by
+// the larger total sharing, in [0, 1] for non-negative matrices (0 =
+// identical, 1 = completely disjoint). Adaptive applications (paper §7)
+// can re-track when the distance since the last tracked iteration
+// crosses a threshold, instead of re-tracking on a fixed schedule.
+func (m *Matrix) Distance(o *Matrix) float64 {
+	if m.n != o.n {
+		return 1
+	}
+	var l1, tot int64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			a, b := m.At(i, j), o.At(i, j)
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+			if a > b {
+				tot += a
+			} else {
+				tot += b
+			}
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(l1) / float64(tot)
+}
+
+// Validate checks that assign is a legal placement for this matrix.
+func ValidateAssignment(assign []int, threads, nodes int) error {
+	if len(assign) != threads {
+		return fmt.Errorf("core: assignment has %d entries for %d threads", len(assign), threads)
+	}
+	for tid, n := range assign {
+		if n < 0 || n >= nodes {
+			return fmt.Errorf("core: thread %d assigned to invalid node %d", tid, n)
+		}
+	}
+	return nil
+}

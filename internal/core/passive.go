@@ -1,0 +1,101 @@
+package core
+
+import (
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// PassiveTracker implements the passive correlation tracking of previous
+// systems (paper §4.1): it learns (thread, page) pairs only by snooping
+// existing remote faults. Because the first local thread to validate a
+// page hides all other local threads' accesses to it, the information is
+// inherently partial, and multiple rounds of migration are needed to
+// reveal more (each migration changes which accesses fault remotely).
+type PassiveTracker struct {
+	engine  *threads.Engine
+	bitmaps []*vm.Bitmap
+	// weights carries an observation weight per (thread, page) so old
+	// information can be aged away — §1: "changes in sharing patterns
+	// are usually accommodated through the use of an aging mechanism".
+	weights [][]float64
+	enabled bool
+}
+
+// agedOutThreshold is the weight below which an aged observation is
+// dropped entirely.
+const agedOutThreshold = 0.05
+
+// NewPassiveTracker installs the remote-fault hook on the engine's
+// cluster and begins gathering. Only one remote-fault observer can be
+// installed per cluster.
+func NewPassiveTracker(e *threads.Engine) *PassiveTracker {
+	t := &PassiveTracker{
+		engine:  e,
+		bitmaps: make([]*vm.Bitmap, e.NumThreads()),
+		weights: make([][]float64, e.NumThreads()),
+		enabled: true,
+	}
+	npages := e.Cluster().NumPages()
+	for i := range t.bitmaps {
+		t.bitmaps[i] = vm.NewBitmap(npages)
+		t.weights[i] = make([]float64, npages)
+	}
+	e.Cluster().SetRemoteFaultHook(func(node, tid int, p vm.PageID) {
+		if t.enabled && tid >= 0 && tid < len(t.bitmaps) {
+			t.bitmaps[tid].Set(p)
+			t.weights[tid][p] = 1
+		}
+	})
+	return t
+}
+
+// Decay ages all observations by factor (0 < factor < 1): weights are
+// multiplied and observations that fall below the age-out threshold are
+// forgotten. Call once per epoch (e.g. per iteration) so stale sharing
+// information stops influencing placement as the pattern drifts.
+func (t *PassiveTracker) Decay(factor float64) {
+	for tid := range t.weights {
+		for p, w := range t.weights[tid] {
+			if w == 0 {
+				continue
+			}
+			w *= factor
+			if w < agedOutThreshold {
+				w = 0
+				t.bitmaps[tid].Clear(vm.PageID(p))
+			}
+			t.weights[tid][p] = w
+		}
+	}
+}
+
+// Weight returns the current observation weight for (thread, page).
+func (t *PassiveTracker) Weight(tid int, p vm.PageID) float64 {
+	return t.weights[tid][p]
+}
+
+// SetEnabled pauses or resumes gathering.
+func (t *PassiveTracker) SetEnabled(on bool) { t.enabled = on }
+
+// Bitmaps returns the access information gathered so far.
+func (t *PassiveTracker) Bitmaps() []*vm.Bitmap { return t.bitmaps }
+
+// Matrix builds a thread-correlation matrix from the partial information.
+func (t *PassiveTracker) Matrix() *Matrix { return FromBitmaps(t.bitmaps) }
+
+// Completeness reports the fraction of the true (thread, page) access
+// pairs that passive tracking has discovered, measured against reference
+// bitmaps from an active tracker — the y-axis of the paper's Figure 2.
+func (t *PassiveTracker) Completeness(reference []*vm.Bitmap) float64 {
+	var have, want int64
+	for i, ref := range reference {
+		want += int64(ref.Count())
+		if i < len(t.bitmaps) {
+			have += int64(t.bitmaps[i].AndCount(ref))
+		}
+	}
+	if want == 0 {
+		return 1
+	}
+	return float64(have) / float64(want)
+}

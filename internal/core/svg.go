@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSVG draws the correlation map as a self-contained SVG heatmap:
+// one cell per thread pair, dark cells for high correlation, origin at
+// the lower left (the paper's Table 3 orientation), with optional node
+// free-zone outlines when assign is non-nil (Figure 3's squares).
+//
+// cellPx sets the pixel size per cell (clamped to [2, 32]).
+func (m *Matrix) RenderSVG(cellPx int, assign []int) string {
+	if cellPx < 2 {
+		cellPx = 2
+	}
+	if cellPx > 32 {
+		cellPx = 32
+	}
+	n := m.N()
+	size := n * cellPx
+	mx := m.Max()
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		size, size, size, size)
+	b.WriteString(`<rect width="100%" height="100%" fill="#ffffff"/>`)
+	for row := 0; row < n; row++ {
+		// Row 0 at the bottom.
+		y := (n - 1 - row) * cellPx
+		for col := 0; col < n; col++ {
+			v := m.At(row, col)
+			if v <= 0 {
+				continue
+			}
+			if v > mx {
+				v = mx
+			}
+			gray := 255
+			if mx > 0 {
+				gray = int(255 - v*255/mx)
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#%02x%02x%02x"/>`,
+				col*cellPx, y, cellPx, cellPx, gray, gray, gray)
+		}
+	}
+	if assign != nil && len(assign) == n {
+		// Outline each node's contiguous runs as free-zone squares.
+		for _, zone := range freeZoneRects(assign) {
+			fmt.Fprintf(&b,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#cc3333" stroke-width="1.5"/>`,
+				zone.lo*cellPx, (n-zone.hi-1)*cellPx,
+				(zone.hi-zone.lo+1)*cellPx, (zone.hi-zone.lo+1)*cellPx)
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// zoneRect is a contiguous run of threads on one node.
+type zoneRect struct{ lo, hi int }
+
+// freeZoneRects returns the maximal contiguous same-node thread runs: the
+// squares along the diagonal where sharing is free.
+func freeZoneRects(assign []int) []zoneRect {
+	var out []zoneRect
+	lo := 0
+	for i := 1; i <= len(assign); i++ {
+		if i == len(assign) || assign[i] != assign[lo] {
+			out = append(out, zoneRect{lo: lo, hi: i - 1})
+			lo = i
+		}
+	}
+	return out
+}

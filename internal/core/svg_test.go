@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVGBasics(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(0, 1, 10)
+	m.Set(2, 3, 5)
+	svg := m.RenderSVG(8, nil)
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg" width="32" height="32"`) {
+		t.Fatalf("header: %.80s", svg)
+	}
+	if !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("unterminated svg")
+	}
+	// Max correlation cell is black; the 5-valued cell is mid-gray.
+	if !strings.Contains(svg, `fill="#000000"`) {
+		t.Fatal("no black cell for max correlation")
+	}
+	if !strings.Contains(svg, `fill="#808080"`) {
+		t.Fatalf("no mid-gray cell: %s", svg)
+	}
+	// Zero cells are not emitted (background shows through).
+	if strings.Count(svg, "<rect") >= 4*4+1 {
+		t.Fatal("zero cells emitted")
+	}
+}
+
+func TestRenderSVGFreeZones(t *testing.T) {
+	m := NewMatrix(6)
+	m.Set(0, 1, 3)
+	svg := m.RenderSVG(4, []int{0, 0, 1, 1, 1, 2})
+	// Three zones → three stroke rectangles.
+	if got := strings.Count(svg, `stroke="#cc3333"`); got != 3 {
+		t.Fatalf("free-zone outlines = %d, want 3\n%s", got, svg)
+	}
+}
+
+func TestRenderSVGCellClamp(t *testing.T) {
+	m := NewMatrix(2)
+	tiny := m.RenderSVG(0, nil)
+	if !strings.Contains(tiny, `width="4"`) {
+		t.Fatalf("cell floor not applied: %.80s", tiny)
+	}
+	huge := m.RenderSVG(1000, nil)
+	if !strings.Contains(huge, `width="64"`) {
+		t.Fatalf("cell cap not applied: %.80s", huge)
+	}
+}
+
+func TestFreeZoneRects(t *testing.T) {
+	zs := freeZoneRects([]int{0, 0, 1, 0, 0, 0})
+	want := []zoneRect{{0, 1}, {2, 2}, {3, 5}}
+	if len(zs) != len(want) {
+		t.Fatalf("zones = %v", zs)
+	}
+	for i := range want {
+		if zs[i] != want[i] {
+			t.Fatalf("zones = %v, want %v", zs, want)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+// Package dsm implements a CVM-like page-based software distributed
+// shared memory with lazy release consistency and a multi-writer
+// protocol: intervals, Lamport-stamped write notices, twins and
+// word-granularity diffs, centralized barrier and lock managers that
+// piggyback consistency information, and periodic diff garbage
+// collection.
+//
+// The paper's mechanisms (active and passive correlation tracking, thread
+// placement) are layered on top in internal/core and internal/placement;
+// this package provides the substrate they instrument.
+//
+// Known simplifications relative to CVM, documented in DESIGN.md:
+// diffs are created eagerly at interval end rather than lazily on request,
+// and lock grants carry per-lock notice histories (plus the releaser's
+// full program-order history since the last barrier) rather than full
+// transitive causal histories. Both preserve the behaviour of the
+// barrier- and lock-structured applications the paper studies.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
+	"actdsm/internal/sim"
+	"actdsm/internal/transport"
+	"actdsm/internal/vm"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the number of DSM nodes.
+	Nodes int
+	// Pages is the size of the shared segment in pages.
+	Pages int
+	// Costs is the virtual-time cost model; zero value selects
+	// sim.DefaultCosts.
+	Costs sim.Costs
+	// GCThresholdBytes triggers diff garbage collection when the
+	// cluster-wide stored diff volume exceeds it at a barrier.
+	// 0 selects a default; negative disables GC.
+	GCThresholdBytes int
+	// UseTCP routes protocol messages over real loopback TCP sockets
+	// instead of in-process dispatch.
+	UseTCP bool
+	// Protocol selects the coherence protocol; zero value selects
+	// MultiWriter.
+	Protocol Protocol
+}
+
+// defaultGCThreshold reflects CVM's memory budget (194 MB nodes): diffs
+// accumulate across several iterations before a collection — paper-scale
+// SOR writes ~16 MB of diffs per iteration and CVM collected "periodically",
+// not every barrier.
+const defaultGCThreshold = 64 << 20
+
+// Cluster is a running DSM cluster.
+type Cluster struct {
+	cfg   Config
+	costs sim.Costs
+	nodes []*node
+	tr    transport.Transport
+	stats Stats
+
+	episode int32
+	// barrier accumulates BarrierEnter state at the barrier manager
+	// (node 0); guarded by barrierMu because enters may arrive on
+	// transport server goroutines.
+	barrierMu sync.Mutex
+	barrier   barrierState
+
+	onRemoteFault func(node, tid int, p vm.PageID)
+	onAccess      []func(node, tid int, p vm.PageID, a vm.Access)
+}
+
+type barrierState struct {
+	entered int
+	lam     int32
+	notices []msg.Notice
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("dsm: Nodes must be positive")
+	}
+	if cfg.Pages <= 0 {
+		return nil, errors.New("dsm: Pages must be positive")
+	}
+	if cfg.Costs == (sim.Costs{}) {
+		cfg.Costs = sim.DefaultCosts()
+	}
+	if cfg.GCThresholdBytes == 0 {
+		cfg.GCThresholdBytes = defaultGCThreshold
+	}
+	if cfg.Protocol == 0 {
+		cfg.Protocol = MultiWriter
+	}
+	c := &Cluster{cfg: cfg, costs: cfg.Costs}
+	c.nodes = make([]*node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = newNode(i, c, cfg.Pages)
+	}
+	handlers := make([]transport.Handler, cfg.Nodes)
+	for i := range handlers {
+		n := c.nodes[i]
+		handlers[i] = func(from int, payload []byte) ([]byte, error) {
+			m, err := msg.Decode(payload)
+			if err != nil {
+				return nil, err
+			}
+			reply, err := n.serve(from, m)
+			if err != nil {
+				return nil, err
+			}
+			return msg.Encode(reply), nil
+		}
+	}
+	if cfg.UseTCP {
+		tr, err := transport.NewTCP(handlers)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: start transport: %w", err)
+		}
+		c.tr = tr
+	} else {
+		c.tr = transport.NewLocal(handlers)
+	}
+	return c, nil
+}
+
+// Close releases the cluster's transport.
+func (c *Cluster) Close() error { return c.tr.Close() }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return c.cfg.Nodes }
+
+// NumPages returns the shared segment size in pages.
+func (c *Cluster) NumPages() int { return c.cfg.Pages }
+
+// Costs returns the cluster's cost model.
+func (c *Cluster) Costs() sim.Costs { return c.costs }
+
+// Stats returns the cluster's protocol counters.
+func (c *Cluster) Stats() *Stats { return &c.stats }
+
+// SetRemoteFaultHook installs f, called on every remote miss with the
+// faulting node, thread, and page. Passive correlation tracking (paper
+// §4.1) observes sharing exclusively through this hook.
+func (c *Cluster) SetRemoteFaultHook(f func(node, tid int, p vm.PageID)) {
+	c.onRemoteFault = f
+}
+
+func (c *Cluster) notifyRemoteFault(node, tid int, p vm.PageID) {
+	if c.onRemoteFault != nil {
+		c.onRemoteFault(node, tid, p)
+	}
+}
+
+// AddAccessHook installs f, called once per page for every span access —
+// not just faults. Real page-based DSMs cannot observe these transparent
+// accesses (the paper's §1 notes that access *rates* are therefore out of
+// reach); the software MMU can, which enables the density-tracking and
+// trace-recording extensions in internal/core and internal/trace. Hooks
+// compose: each added hook sees every access, in installation order. The
+// hooks are instrumentation only: they charge no virtual time.
+func (c *Cluster) AddAccessHook(f func(node, tid int, p vm.PageID, a vm.Access)) {
+	c.onAccess = append(c.onAccess, f)
+}
+
+// manager returns the page's manager node (round-robin distribution).
+func (c *Cluster) manager(p vm.PageID) int { return int(p) % c.cfg.Nodes }
+
+// call sends m and returns the decoded reply plus the requester-side wire
+// cost. All protocol traffic is accounted here.
+func (c *Cluster) call(from, to int, m msg.Message) (msg.Message, sim.Time, error) {
+	b := msg.Encode(m)
+	rb, err := c.tr.Call(from, to, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	reply, err := msg.Decode(rb)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dsm: decode reply: %w", err)
+	}
+	c.stats.Messages.Add(2)
+	c.stats.BytesTotal.Add(int64(len(b) + len(rb)))
+	return reply, c.costs.FetchCost(len(b), len(rb)), nil
+}
+
+// Span validates the pages covering [off, off+size) for access a by
+// thread tid on the given node and returns the raw segment window,
+// together with the virtual-time charges the access incurred. The window
+// aliases the node's segment: writes through it are the shared writes the
+// twin/diff machinery captures.
+//
+// The window is valid until the next synchronization operation; after a
+// barrier or lock transfer the application must re-acquire its spans.
+func (c *Cluster) Span(node, tid, off, size int, a vm.Access) ([]byte, sim.ThreadInterval, error) {
+	var ti sim.ThreadInterval
+	if size <= 0 || off < 0 || off+size > c.cfg.Pages*memlayout.PageSize {
+		return nil, ti, fmt.Errorf("dsm: span [%d,%d) out of segment", off, off+size)
+	}
+	n := c.nodes[node]
+	// Memory-barrier handshake: server goroutines mutate protocol state
+	// under n.mu; taking it once orders their writes before this span's
+	// unlocked protection checks. The engine guarantees no server-side
+	// mutation overlaps the span itself.
+	n.mu.Lock()
+	n.charge = &ti
+	n.curTID = tid
+	n.mu.Unlock()
+	first := vm.PageID(off / memlayout.PageSize)
+	last := vm.PageID((off + size - 1) / memlayout.PageSize)
+	for p := first; p <= last; p++ {
+		trackF, _, err := n.as.Touch(tid, p, a)
+		if trackF {
+			c.stats.TrackingFaults.Add(1)
+			ti.Overhead += c.costs.TrackFault
+		}
+		if err != nil {
+			n.charge = nil
+			return nil, ti, err
+		}
+		for _, hook := range c.onAccess {
+			hook(node, tid, p, a)
+		}
+	}
+	n.charge = nil
+	return n.seg[off : off+size], ti, nil
+}
+
+// BeginTracking starts an active correlation-tracking phase on a node:
+// every page's correlation bit is armed and h observes tracking faults
+// (paper §4.2 step 1). The returned cost covers re-protecting the
+// segment.
+func (c *Cluster) BeginTracking(node int, h func(tid int, p vm.PageID)) sim.Time {
+	n := c.nodes[node]
+	n.as.BeginTracking(func(tid int, p vm.PageID, a vm.Access) { h(tid, p) })
+	return sim.Time(c.cfg.Pages) * c.costs.ProtectAllPerPage
+}
+
+// RearmTracking re-arms all correlation bits at a tracked thread switch
+// (paper §4.2 step 3) and returns the re-protection cost.
+func (c *Cluster) RearmTracking(node int) sim.Time {
+	c.nodes[node].as.ArmAll()
+	return sim.Time(c.cfg.Pages) * c.costs.ProtectAllPerPage
+}
+
+// EndTracking leaves tracking mode on a node (paper §4.2 step 4).
+func (c *Cluster) EndTracking(node int) {
+	c.nodes[node].as.EndTracking()
+}
+
+// Tracking reports whether a node is in an active tracking phase.
+func (c *Cluster) Tracking(node int) bool { return c.nodes[node].as.Tracking() }
+
+// Barrier runs one global barrier episode: every node closes its current
+// interval and sends its accumulated write notices to the barrier manager
+// (node 0), which broadcasts the union; every node invalidates accordingly.
+// If the stored diff volume exceeds the GC threshold, a garbage-collection
+// round follows. The returned slice holds each node's virtual-time cost
+// for the episode.
+func (c *Cluster) Barrier() ([]sim.Time, error) {
+	nnodes := c.cfg.Nodes
+	costs := make([]sim.Time, nnodes)
+	episode := c.episode
+	c.episode++
+	const mgr = 0
+
+	c.barrierMu.Lock()
+	c.barrier = barrierState{}
+	c.barrierMu.Unlock()
+
+	for i := 0; i < nnodes; i++ {
+		n := c.nodes[i]
+		n.mu.Lock()
+		_, diffCost := n.closeIntervalLocked()
+		enter := &msg.BarrierEnter{
+			Node:    int32(i),
+			Episode: episode,
+			Lam:     n.lamport,
+			Notices: append([]msg.Notice(nil), n.fresh...),
+		}
+		n.mu.Unlock()
+		costs[i] += diffCost
+		if i != mgr {
+			_, wire, err := c.call(i, mgr, enter)
+			if err != nil {
+				// fresh/known are cleared only after the whole
+				// episode succeeds, so a retried barrier
+				// re-sends every notice; receivers deduplicate.
+				return nil, fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
+			}
+			costs[i] += wire
+		} else if _, err := n.serveBarrierEnter(enter); err != nil {
+			return nil, err
+		}
+	}
+
+	c.barrierMu.Lock()
+	if c.barrier.entered != nnodes {
+		c.barrierMu.Unlock()
+		return nil, fmt.Errorf("dsm: barrier episode %d: %d/%d entered", episode, c.barrier.entered, nnodes)
+	}
+	release := &msg.BarrierRelease{
+		Episode: episode,
+		Lam:     c.barrier.lam,
+		Notices: append([]msg.Notice(nil), c.barrier.notices...),
+	}
+	c.barrierMu.Unlock()
+
+	for i := 0; i < nnodes; i++ {
+		if i == mgr {
+			if _, err := c.nodes[i].serveBarrierRelease(release); err != nil {
+				return nil, err
+			}
+		} else {
+			_, wire, err := c.call(mgr, i, release)
+			if err != nil {
+				return nil, fmt.Errorf("dsm: barrier release node %d: %w", i, err)
+			}
+			costs[i] += wire
+		}
+		costs[i] += c.costs.BarrierBase
+	}
+	// The episode is fully delivered: every node's notices are now
+	// everywhere, so pending flush state and causal histories restart.
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.fresh = nil
+		n.known = nil
+		n.knownHave = make(map[[3]int32]bool)
+		for i := range n.sentKnown {
+			n.sentKnown[i] = 0
+		}
+		n.mu.Unlock()
+	}
+	c.stats.Barriers.Add(1)
+
+	if c.cfg.GCThresholdBytes >= 0 {
+		var total int64
+		for _, n := range c.nodes {
+			n.mu.Lock()
+			total += n.diffBytes
+			n.mu.Unlock()
+		}
+		if total > int64(c.cfg.GCThresholdBytes) {
+			if err := c.collectGarbage(costs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return costs, nil
+}
+
+// collectGarbage consolidates every page that has stored diffs at its
+// manager, then broadcasts GCCollect: all nodes drop the page's diffs and
+// non-manager replicas are invalidated (causing the extra remote faults
+// the paper attributes to GC).
+func (c *Cluster) collectGarbage(costs []sim.Time) error {
+	c.stats.GCRounds.Add(1)
+	pageSet := make(map[vm.PageID]bool)
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for p := range n.diffs {
+			pageSet[p] = true
+		}
+		n.mu.Unlock()
+	}
+	pages := make([]vm.PageID, 0, len(pageSet))
+	for p := range pageSet {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	for _, p := range pages {
+		mgr := c.nodes[c.manager(p)]
+		mgr.mu.Lock()
+		pending := append([]msg.Notice(nil), mgr.pages[p].pending...)
+		var ti sim.ThreadInterval
+		mgr.charge = &ti
+		mgr.mu.Unlock()
+		if len(pending) > 0 {
+			ok, err := mgr.fetchAndApplyDiffs(p, pending)
+			if err != nil {
+				return fmt.Errorf("dsm: gc consolidate page %d: %w", p, err)
+			}
+			if !ok {
+				return fmt.Errorf("dsm: gc consolidate page %d: diffs already gone", p)
+			}
+			mgr.mu.Lock()
+			mgr.as.SetProt(p, vm.ProtRead)
+			mgr.mu.Unlock()
+		}
+		mgr.mu.Lock()
+		mgr.charge = nil
+		mgr.mu.Unlock()
+		costs[mgr.id] += ti.Stall + ti.Overhead
+
+		collect := &msg.GCCollect{Page: int32(p)}
+		for i, n := range c.nodes {
+			if i == mgr.id {
+				if _, err := n.serveGCCollect(collect); err != nil {
+					return err
+				}
+				continue
+			}
+			_, wire, err := c.call(mgr.id, i, collect)
+			if err != nil {
+				return fmt.Errorf("dsm: gc collect page %d node %d: %w", p, i, err)
+			}
+			costs[i] += wire
+		}
+		c.stats.GCCollections.Add(1)
+	}
+	return nil
+}
+
+// AcquireLock performs the consistency protocol for thread tid on a node
+// acquiring a lock. Mutual exclusion itself is enforced by the thread
+// engine (which serializes holders); this applies the write notices the
+// grant carries and returns the acquire's virtual-time cost.
+func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
+	n := c.nodes[node]
+	mgr := c.lockManager(lock)
+	n.mu.Lock()
+	req := &msg.LockAcquire{
+		Node: int32(node),
+		Lock: lock,
+		Seen: append([]int32(nil), n.seen...),
+	}
+	n.mu.Unlock()
+
+	var grantMsg msg.Message
+	var wire sim.Time
+	var err error
+	if mgr == node {
+		grantMsg, err = n.serveLockAcquire(req)
+	} else {
+		grantMsg, wire, err = c.call(node, mgr, req)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dsm: node %d acquire lock %d: %w", node, lock, err)
+	}
+	grant, ok := grantMsg.(*msg.LockGrant)
+	if !ok {
+		return 0, fmt.Errorf("dsm: node %d acquire lock %d: unexpected reply %T", node, lock, grantMsg)
+	}
+	n.mu.Lock()
+	n.bumpLamportLocked(grant.Lam)
+	for _, nt := range grant.Notices {
+		n.addPendingLocked(nt)
+	}
+	// Received notices join the causal history our own future releases
+	// must propagate (transitivity).
+	n.addKnownLocked(grant.Notices)
+	n.mu.Unlock()
+	c.stats.LockAcquires.Add(1)
+	return wire, nil
+}
+
+// ReleaseLock closes the releasing node's interval and ships the notices
+// accumulated since the last barrier to the lock's manager, so the next
+// acquirer inherits them.
+func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
+	n := c.nodes[node]
+	mgr := c.lockManager(lock)
+	n.mu.Lock()
+	_, diffCost := n.closeIntervalLocked()
+	// Ship the suffix of the known set — own notices plus everything
+	// received since the last barrier — that this manager has not yet
+	// been sent, so the next acquirer inherits transitive causal
+	// history without re-transmitting delivered prefixes.
+	start := n.sentKnown[mgr]
+	rel := &msg.LockRelease{
+		Node:    int32(node),
+		Lock:    lock,
+		Lam:     n.lamport,
+		Notices: append([]msg.Notice(nil), n.known[start:]...),
+	}
+	n.sentKnown[mgr] = len(n.known)
+	n.mu.Unlock()
+
+	cost := diffCost
+	if mgr == node {
+		if _, err := n.serveLockRelease(rel); err != nil {
+			return 0, err
+		}
+	} else {
+		_, wire, err := c.call(node, mgr, rel)
+		if err != nil {
+			return 0, fmt.Errorf("dsm: node %d release lock %d: %w", node, lock, err)
+		}
+		cost += wire
+	}
+	return cost, nil
+}
+
+// lockManager returns the node managing a lock.
+func (c *Cluster) lockManager(lock int32) int {
+	m := int(lock) % c.cfg.Nodes
+	if m < 0 {
+		m += c.cfg.Nodes
+	}
+	return m
+}
+
+// StoredDiffBytes returns the cluster-wide volume of stored diffs.
+func (c *Cluster) StoredDiffBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		total += n.diffBytes
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// PageProt reports a node's current protection for a page (for tests).
+func (c *Cluster) PageProt(node int, p vm.PageID) vm.Prot {
+	return c.nodes[node].as.Prot(p)
+}
+
+// CheckCoherence verifies the protocol invariant that at a quiescent point
+// (e.g. right after a barrier) every pair of nodes holding a copy of the
+// same page with no pending write notices agrees byte for byte. It is a
+// debugging and test aid; it reads node state without charging any
+// virtual time.
+func (c *Cluster) CheckCoherence() error {
+	for p := 0; p < c.cfg.Pages; p++ {
+		var ref []byte
+		refNode := -1
+		for _, n := range c.nodes {
+			n.mu.Lock()
+			st := &n.pages[p]
+			ok := st.hasCopy && len(st.pending) == 0
+			var data []byte
+			if ok {
+				data = append([]byte(nil), n.pageData(vm.PageID(p))...)
+			}
+			n.mu.Unlock()
+			if !ok {
+				continue
+			}
+			if ref == nil {
+				ref, refNode = data, n.id
+				continue
+			}
+			for b := range data {
+				if data[b] != ref[b] {
+					return fmt.Errorf(
+						"dsm: page %d byte %d differs: node %d has %#x, node %d has %#x",
+						p, b, refNode, ref[b], n.id, data[b])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package dsm
+
+import (
+	"errors"
+	"fmt"
+
+	"actdsm/internal/memlayout"
+)
+
+// Diffs are the core of the multi-writer protocol: when a node first
+// writes a page in an interval it saves a twin (a copy of the page); at
+// the end of the interval the twin is compared against the current page
+// and the changed words are encoded as a diff. Concurrent writers of the
+// same page produce diffs for disjoint words (the program is data-race
+// free), so applying all diffs in happens-before order reconstructs the
+// page.
+//
+// Wire format: a sequence of runs, each [u16 byte-offset][u16 byte-length]
+// followed by length payload bytes. Runs are word-aligned (4 bytes), in
+// increasing offset order.
+
+const diffWord = 4
+
+// ErrBadDiff reports a malformed diff.
+var ErrBadDiff = errors.New("dsm: malformed diff")
+
+// MakeDiff encodes the word-granularity differences between twin and cur.
+// Both must be memlayout.PageSize bytes. The result is nil when the page
+// is unchanged.
+func MakeDiff(twin, cur []byte) []byte {
+	var out []byte
+	i := 0
+	for i < memlayout.PageSize {
+		// Skip equal words.
+		for i < memlayout.PageSize && wordsEqual(twin, cur, i) {
+			i += diffWord
+		}
+		if i >= memlayout.PageSize {
+			break
+		}
+		start := i
+		for i < memlayout.PageSize && !wordsEqual(twin, cur, i) {
+			i += diffWord
+		}
+		runLen := i - start
+		out = append(out,
+			byte(start), byte(start>>8),
+			byte(runLen), byte(runLen>>8))
+		out = append(out, cur[start:start+runLen]...)
+	}
+	return out
+}
+
+func wordsEqual(a, b []byte, i int) bool {
+	return a[i] == b[i] && a[i+1] == b[i+1] && a[i+2] == b[i+2] && a[i+3] == b[i+3]
+}
+
+// ApplyDiff applies a diff produced by MakeDiff to page (which must be
+// memlayout.PageSize bytes).
+func ApplyDiff(page, diff []byte) error {
+	i := 0
+	for i < len(diff) {
+		if i+4 > len(diff) {
+			return fmt.Errorf("%w: truncated run header", ErrBadDiff)
+		}
+		off := int(diff[i]) | int(diff[i+1])<<8
+		n := int(diff[i+2]) | int(diff[i+3])<<8
+		i += 4
+		if n == 0 || off+n > memlayout.PageSize || i+n > len(diff) {
+			return fmt.Errorf("%w: run off=%d len=%d", ErrBadDiff, off, n)
+		}
+		copy(page[off:off+n], diff[i:i+n])
+		i += n
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package dsm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"actdsm/internal/memlayout"
+)
+
+func page() []byte { return make([]byte, memlayout.PageSize) }
+
+func TestMakeDiffEmpty(t *testing.T) {
+	a, b := page(), page()
+	copy(a, []byte{1, 2, 3})
+	copy(b, []byte{1, 2, 3})
+	if d := MakeDiff(a, b); d != nil {
+		t.Fatalf("diff of identical pages = %d bytes, want nil", len(d))
+	}
+}
+
+func TestMakeDiffSingleWord(t *testing.T) {
+	twin, cur := page(), page()
+	cur[100] = 0xff // inside word at offset 100
+	d := MakeDiff(twin, cur)
+	// One run: 4-byte header + 4-byte payload.
+	if len(d) != 8 {
+		t.Fatalf("diff = %d bytes, want 8", len(d))
+	}
+	out := page()
+	if err := ApplyDiff(out, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, cur) {
+		t.Fatal("apply did not reproduce page")
+	}
+}
+
+func TestDiffRoundTripProperty(t *testing.T) {
+	check := func(edits []struct {
+		Off uint16
+		Val byte
+	}) bool {
+		twin, cur := page(), page()
+		for i := range twin {
+			twin[i] = byte(i * 7)
+			cur[i] = twin[i]
+		}
+		for _, e := range edits {
+			cur[int(e.Off)%memlayout.PageSize] = e.Val
+		}
+		d := MakeDiff(twin, cur)
+		got := page()
+		copy(got, twin)
+		if err := ApplyDiff(got, d); err != nil {
+			return false
+		}
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffConcurrentWritersDisjointWords(t *testing.T) {
+	// Two writers modify disjoint words of the same page; applying both
+	// diffs in either order yields the merged page.
+	base := page()
+	for i := range base {
+		base[i] = byte(i)
+	}
+	curA, curB := page(), page()
+	copy(curA, base)
+	copy(curB, base)
+	memlayout.ViewF32(curA).Set(0, 1.5)   // word 0
+	memlayout.ViewF32(curB).Set(100, 2.5) // word 100
+	dA := MakeDiff(base, curA)
+	dB := MakeDiff(base, curB)
+
+	want := page()
+	copy(want, base)
+	memlayout.ViewF32(want).Set(0, 1.5)
+	memlayout.ViewF32(want).Set(100, 2.5)
+
+	for _, order := range [][2][]byte{{dA, dB}, {dB, dA}} {
+		got := page()
+		copy(got, base)
+		if err := ApplyDiff(got, order[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyDiff(got, order[1]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("merge mismatch")
+		}
+	}
+}
+
+func TestApplyDiffMalformed(t *testing.T) {
+	cases := [][]byte{
+		{1},                   // truncated header
+		{0, 0, 0, 0},          // zero-length run
+		{0xfc, 0x0f, 8, 0},    // run beyond page end (off 4092 len 8)
+		{0, 0, 8, 0, 1, 2, 3}, // payload shorter than run length
+	}
+	for i, d := range cases {
+		if err := ApplyDiff(page(), d); !errors.Is(err, ErrBadDiff) {
+			t.Errorf("case %d: err = %v, want ErrBadDiff", i, err)
+		}
+	}
+}
+
+func TestDiffAdjacentRunsCoalesce(t *testing.T) {
+	twin, cur := page(), page()
+	// Change words 10..13 contiguously: one run expected.
+	for w := 10; w < 14; w++ {
+		cur[w*4] = 1
+	}
+	d := MakeDiff(twin, cur)
+	if len(d) != 4+16 {
+		t.Fatalf("diff = %d bytes, want one 16-byte run", len(d))
+	}
+}

@@ -1,0 +1,114 @@
+package dsm
+
+import (
+	"testing"
+
+	"actdsm/internal/vm"
+)
+
+// TestLockGrantsIncremental pins the high-water-mark behaviour of lock
+// grants: a node that acquires the same manager's locks repeatedly within
+// one barrier epoch receives each notice once, so protocol bytes stay
+// proportional to new work rather than to the accumulated epoch history.
+func TestLockGrantsIncremental(t *testing.T) {
+	c := newTestCluster(t, 3, 8)
+	// Node 1 writes a different page under the same lock in each round;
+	// node 2 acquires after every release. Without incremental grants,
+	// round k's grant would carry k notices; with them it carries ~1.
+	const lock = int32(3) // manager = node 0
+	var grantBytes []int64
+	last := c.Stats().Snapshot()
+	for round := 0; round < 6; round++ {
+		if _, err := c.AcquireLock(1, 8, lock); err != nil {
+			t.Fatal(err)
+		}
+		wf32(t, c, 1, 8, round*1024, float32(round))
+		if _, err := c.ReleaseLock(1, 8, lock); err != nil {
+			t.Fatal(err)
+		}
+		before := c.Stats().Snapshot()
+		if _, err := c.AcquireLock(2, 16, lock); err != nil {
+			t.Fatal(err)
+		}
+		after := c.Stats().Snapshot()
+		grantBytes = append(grantBytes, after.BytesTotal-before.BytesTotal)
+		if _, err := c.ReleaseLock(2, 16, lock); err != nil {
+			t.Fatal(err)
+		}
+		_ = last
+	}
+	// Grant cost must not grow with the round number.
+	if grantBytes[5] > grantBytes[1]+16 {
+		t.Fatalf("grant bytes grew with history: %v", grantBytes)
+	}
+	// And the data must still be fully consistent.
+	if _, err := c.AcquireLock(2, 16, lock); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		if got := rf32(t, c, 2, 16, round*1024); got != float32(round) {
+			t.Fatalf("round %d page = %v", round, got)
+		}
+	}
+	if _, err := c.ReleaseLock(2, 16, lock); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockGrantsResetAtBarrier checks the high-water marks restart with
+// the epoch: post-barrier acquires must still deliver post-barrier
+// notices exactly once.
+func TestLockGrantsResetAtBarrier(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	const lock = int32(4)
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := c.AcquireLock(0, 0, lock); err != nil {
+			t.Fatal(err)
+		}
+		wf32(t, c, 0, 0, 0, float32(epoch*10))
+		if _, err := c.ReleaseLock(0, 0, lock); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AcquireLock(1, 8, lock); err != nil {
+			t.Fatal(err)
+		}
+		if got := rf32(t, c, 1, 8, 0); got != float32(epoch*10) {
+			t.Fatalf("epoch %d: read %v", epoch, got)
+		}
+		wf32(t, c, 1, 8, 1, float32(epoch*10+1))
+		if _, err := c.ReleaseLock(1, 8, lock); err != nil {
+			t.Fatal(err)
+		}
+		barrier(t, c)
+		if err := c.CheckCoherence(); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+// TestManagerLogSharedAcrossLocks checks that notices shipped to a
+// manager via one lock's release flow into grants of its other locks —
+// the shared-log superset that preserves transitive causality.
+func TestManagerLogSharedAcrossLocks(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	// Locks 3 and 6 are both managed by node 0.
+	if _, err := c.AcquireLock(1, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	wf32(t, c, 1, 8, 0, 77)
+	if _, err := c.ReleaseLock(1, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 acquires the *other* lock: the grant still carries node
+	// 1's notice (shared manager log), so its read is current.
+	if _, err := c.AcquireLock(2, 16, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := rf32(t, c, 2, 16, 0); got != 77 {
+		t.Fatalf("cross-lock read = %v, want 77", got)
+	}
+	if _, err := c.ReleaseLock(2, 16, 6); err != nil {
+		t.Fatal(err)
+	}
+	_ = vm.PageID(0)
+}

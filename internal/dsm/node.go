@@ -1,0 +1,636 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
+	"actdsm/internal/sim"
+	"actdsm/internal/vm"
+)
+
+// pageState is one node's view of one shared page.
+type pageState struct {
+	// hasCopy is true when the node holds page data (possibly stale —
+	// staleness is recorded in pending).
+	hasCopy bool
+	// dirty is true when the node has written the page in the current
+	// interval; twin holds the pre-write image.
+	dirty bool
+	twin  []byte
+	// pending lists write notices received but not yet applied; the
+	// page is invalid while it is non-empty.
+	pending []msg.Notice
+	// appliedVT[w] is the highest interval of writer w whose diff has
+	// been applied to (or is reflected in) the local copy. nil means
+	// all zeros.
+	appliedVT []int32
+}
+
+// staleOrDup reports whether a notice is already reflected locally or
+// already queued.
+func (st *pageState) staleOrDup(n msg.Notice) bool {
+	if st.appliedVT != nil && n.Interval <= st.appliedVT[n.Writer] {
+		return true
+	}
+	for _, p := range st.pending {
+		if p.Writer == n.Writer && p.Interval == n.Interval {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *pageState) noteApplied(nodes int, writer, interval int32) {
+	if st.appliedVT == nil {
+		st.appliedVT = make([]int32, nodes)
+	}
+	if interval > st.appliedVT[writer] {
+		st.appliedVT[writer] = interval
+	}
+}
+
+// mgrLog is a lock manager's shared, deduplicated, append-only log of
+// every notice that has flowed through any lock it manages since the last
+// barrier. Grants send each requesting node only the suffix it has not
+// yet received (a per-node high-water mark), so repeated acquires don't
+// re-ship the same history — the incremental delivery real CVM achieves
+// with vector timestamps. Sending the shared log (a superset of any one
+// lock's history) preserves the transitive-causality guarantee.
+type mgrLog struct {
+	log  []msg.Notice
+	have map[[3]int32]bool // (page, writer, interval)
+	// sent[node] is the log prefix already granted to node.
+	sent map[int32]int
+	// lockLam[lock] is the Lamport clock of the lock's last release.
+	lockLam map[int32]int32
+}
+
+func newMgrLog() *mgrLog {
+	return &mgrLog{
+		have:    make(map[[3]int32]bool),
+		sent:    make(map[int32]int),
+		lockLam: make(map[int32]int32),
+	}
+}
+
+func (ml *mgrLog) add(ns []msg.Notice) {
+	for _, n := range ns {
+		k := [3]int32{n.Page, n.Writer, n.Interval}
+		if ml.have[k] {
+			continue
+		}
+		ml.have[k] = true
+		ml.log = append(ml.log, n)
+	}
+}
+
+func (ml *mgrLog) reset() {
+	ml.log = nil
+	ml.have = make(map[[3]int32]bool)
+	ml.sent = make(map[int32]int)
+	ml.lockLam = make(map[int32]int32)
+}
+
+// node is one DSM node: a private copy of the shared segment plus the
+// protocol state that keeps it consistent.
+//
+// Locking discipline: mu guards all mutable fields. It is held only for
+// local state manipulation, never across a transport call; the helper
+// methods with a Locked suffix require it held.
+type node struct {
+	id int
+	c  *Cluster
+
+	mu       sync.Mutex
+	seg      []byte
+	as       *vm.AddressSpace
+	pages    []pageState
+	interval int32 // index the next closed interval will get (starts at 1)
+	lamport  int32
+	// seen[w] is the contiguous prefix of w's intervals whose notices
+	// this node is guaranteed to have received (advanced at barriers).
+	seen []int32
+	// diffs stores this node's own diffs: page → interval → diff.
+	diffs     map[vm.PageID]map[int32][]byte
+	diffBytes int64
+	// fresh accumulates notices created by this node since the last
+	// barrier; the barrier flushes it.
+	fresh []msg.Notice
+	// known accumulates every notice this node has created or received
+	// since the last barrier. Lock releases send the whole list so that
+	// grants carry *transitive* causal history: if this node's writes
+	// happened after it observed another node's interval, any grant
+	// that delivers our notices also delivers that interval's. Without
+	// this, a third node can receive causally-ordered diffs out of
+	// order and apply an older value over a newer one (lost update).
+	known     []msg.Notice
+	knownHave map[[3]int32]bool
+	// locks is the shared notice log for locks this node manages.
+	locks *mgrLog
+	// sentKnown[mgr] is the prefix of known already shipped to manager
+	// node mgr by this node's lock releases (reset at barriers).
+	sentKnown []int
+	// sw is manager-side single-writer ownership state (nil under the
+	// multi-writer protocol).
+	sw []swState
+
+	// charge, when non-nil, receives virtual-time charges from the
+	// engine-side access path (set by Cluster.Span for the duration of
+	// one access). curTID is the thread being charged.
+	charge *sim.ThreadInterval
+	curTID int
+}
+
+func newNode(id int, c *Cluster, npages int) *node {
+	n := &node{
+		id:        id,
+		c:         c,
+		seg:       make([]byte, npages*memlayout.PageSize),
+		pages:     make([]pageState, npages),
+		seen:      make([]int32, c.cfg.Nodes),
+		diffs:     make(map[vm.PageID]map[int32][]byte),
+		locks:     newMgrLog(),
+		sentKnown: make([]int, c.cfg.Nodes),
+		knownHave: make(map[[3]int32]bool),
+	}
+	n.as = vm.NewAddressSpace(npages, n.resolveFault)
+	n.interval = 1
+	if c.cfg.Protocol == SingleWriter {
+		n.initSingleWriter()
+	}
+	for p := range n.pages {
+		if c.manager(vm.PageID(p)) == id {
+			n.pages[p].hasCopy = true
+			n.as.SetProt(vm.PageID(p), vm.ProtRead)
+		}
+	}
+	return n
+}
+
+// pageData returns the byte window of page p in the node's segment.
+func (n *node) pageData(p vm.PageID) []byte {
+	off := int(p) * memlayout.PageSize
+	return n.seg[off : off+memlayout.PageSize]
+}
+
+func (n *node) addCharge(ti sim.ThreadInterval) {
+	if n.charge != nil {
+		n.charge.Add(ti)
+	}
+}
+
+// bumpLamport folds a received Lamport clock into the node's.
+func (n *node) bumpLamportLocked(lam int32) {
+	if lam > n.lamport {
+		n.lamport = lam
+	}
+}
+
+// addPendingLocked queues a write notice, invalidating the page.
+func (n *node) addPendingLocked(nt msg.Notice) {
+	if int(nt.Writer) == n.id {
+		return // own writes are already in the local copy
+	}
+	st := &n.pages[nt.Page]
+	if st.staleOrDup(nt) {
+		return
+	}
+	st.pending = append(st.pending, nt)
+	if st.hasCopy {
+		n.as.SetProt(vm.PageID(nt.Page), vm.ProtNone)
+	}
+}
+
+// closeIntervalLocked ends the node's current interval: every dirty page
+// is diffed against its twin, the diff is stored locally, and a write
+// notice is produced. Returns the notices and the CPU cost of diffing.
+func (n *node) closeIntervalLocked() ([]msg.Notice, sim.Time) {
+	var notices []msg.Notice
+	var cost sim.Time
+	var dirtyPages []vm.PageID
+	for p := range n.pages {
+		if n.pages[p].dirty {
+			dirtyPages = append(dirtyPages, vm.PageID(p))
+		}
+	}
+	if len(dirtyPages) == 0 {
+		return nil, 0
+	}
+	n.lamport++
+	iv := n.interval
+	n.interval++
+	for _, p := range dirtyPages {
+		st := &n.pages[p]
+		diff := MakeDiff(st.twin, n.pageData(p))
+		cost += sim.Time(memlayout.PageSize) * n.c.costs.DiffPerByte
+		st.twin = nil
+		st.dirty = false
+		n.as.SetProt(p, vm.ProtRead) // next write re-twins in the new interval
+		if len(diff) == 0 {
+			continue // silent store: wrote the same values
+		}
+		m, ok := n.diffs[p]
+		if !ok {
+			m = make(map[int32][]byte)
+			n.diffs[p] = m
+		}
+		m[iv] = diff
+		n.diffBytes += int64(len(diff))
+		n.c.stats.DiffsCreated.Add(1)
+		st.noteApplied(n.c.cfg.Nodes, int32(n.id), iv)
+		notices = append(notices, msg.Notice{
+			Page: int32(p), Writer: int32(n.id), Interval: iv, Lam: n.lamport,
+		})
+	}
+	n.fresh = append(n.fresh, notices...)
+	n.addKnownLocked(notices)
+	return notices, cost
+}
+
+// addKnownLocked records notices in the node's since-last-barrier causal
+// history (deduplicated).
+func (n *node) addKnownLocked(ns []msg.Notice) {
+	for _, nt := range ns {
+		k := [3]int32{nt.Page, nt.Writer, nt.Interval}
+		if n.knownHave[k] {
+			continue
+		}
+		n.knownHave[k] = true
+		n.known = append(n.known, nt)
+	}
+}
+
+// resolveFault is the vm fault handler for engine-side accesses: it
+// implements the coherence protocol's fault path. Called without mu held;
+// it acquires and releases mu around state manipulation and never holds it
+// across a transport call.
+func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
+	c := n.c
+	if c.cfg.Protocol == SingleWriter {
+		return n.resolveFaultSW(tid, p, a)
+	}
+	c.stats.CoherenceFaults.Add(1)
+	n.addCharge(sim.ThreadInterval{Overhead: c.costs.SoftFault})
+
+	n.mu.Lock()
+	st := &n.pages[p]
+	needFull := !st.hasCopy
+	var pending []msg.Notice
+	if !needFull && len(st.pending) > 0 {
+		pending = append(pending, st.pending...)
+	}
+	n.mu.Unlock()
+
+	remote := false
+	switch {
+	case needFull:
+		if err := n.fetchFullPage(p); err != nil {
+			return err
+		}
+		remote = true
+	case len(pending) > 0:
+		ok, err := n.fetchAndApplyDiffs(p, pending)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// A writer garbage-collected a needed diff; fall back
+			// to a full fetch from the manager.
+			if err := n.fetchFullPage(p); err != nil {
+				return err
+			}
+		}
+		remote = true
+	}
+
+	n.mu.Lock()
+	st = &n.pages[p]
+	n.as.SetProt(p, vm.ProtRead)
+	if a == vm.Write {
+		if st.twin == nil {
+			st.twin = make([]byte, memlayout.PageSize)
+			copy(st.twin, n.pageData(p))
+			c.stats.TwinsCreated.Add(1)
+			n.addCharge(sim.ThreadInterval{Overhead: c.costs.TwinCopy})
+		}
+		st.dirty = true
+		n.as.SetProt(p, vm.ProtReadWrite)
+	}
+	n.mu.Unlock()
+
+	if remote {
+		c.stats.RemoteMisses.Add(1)
+		c.notifyRemoteFault(n.id, tid, p)
+	}
+	return nil
+}
+
+// fetchFullPage brings a page current via the page manager.
+func (n *node) fetchFullPage(p vm.PageID) error {
+	c := n.c
+	mgr := c.manager(p)
+	n.mu.Lock()
+	req := &msg.PageRequest{From: int32(n.id), Page: int32(p)}
+	req.Pending = append(req.Pending, n.pages[p].pending...)
+	n.mu.Unlock()
+
+	reply, wire, err := c.call(n.id, mgr, req)
+	if err != nil {
+		return fmt.Errorf("dsm: node %d fetch page %d: %w", n.id, p, err)
+	}
+	pr, ok := reply.(*msg.PageReply)
+	if !ok {
+		return fmt.Errorf("dsm: node %d fetch page %d: unexpected reply %T", n.id, p, reply)
+	}
+	c.stats.PageFetches.Add(1)
+	n.addCharge(sim.ThreadInterval{Stall: wire})
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := &n.pages[p]
+	copy(n.pageData(p), pr.Data)
+	st.hasCopy = true
+	st.pending = st.pending[:0]
+	if st.appliedVT == nil {
+		st.appliedVT = make([]int32, c.cfg.Nodes)
+	}
+	for w, v := range pr.AppliedVT {
+		if w < len(st.appliedVT) && v > st.appliedVT[w] {
+			st.appliedVT[w] = v
+		}
+	}
+	return nil
+}
+
+// fetchAndApplyDiffs retrieves the diffs named by pending from their
+// writers and applies them in (Lamport, writer) order. It returns false if
+// any writer has garbage-collected a needed diff.
+func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice) (bool, error) {
+	c := n.c
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].Lam != pending[j].Lam {
+			return pending[i].Lam < pending[j].Lam
+		}
+		if pending[i].Writer != pending[j].Writer {
+			return pending[i].Writer < pending[j].Writer
+		}
+		return pending[i].Interval < pending[j].Interval
+	})
+
+	// Fetch per writer, preserving global application order afterwards.
+	type fetched struct {
+		notice msg.Notice
+		diff   []byte
+	}
+	byWriter := make(map[int32][]msg.Notice)
+	for _, nt := range pending {
+		byWriter[nt.Writer] = append(byWriter[nt.Writer], nt)
+	}
+	got := make(map[[2]int32][]byte, len(pending))
+	// Iterate writers in a fixed order for determinism.
+	writers := make([]int32, 0, len(byWriter))
+	for w := range byWriter {
+		writers = append(writers, w)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	for _, w := range writers {
+		nts := byWriter[w]
+		req := &msg.DiffRequest{From: int32(n.id), Page: int32(p)}
+		for _, nt := range nts {
+			req.Intervals = append(req.Intervals, nt.Interval)
+		}
+		reply, wire, err := c.call(n.id, int(w), req)
+		if err != nil {
+			return false, fmt.Errorf("dsm: node %d fetch diffs page %d from %d: %w", n.id, p, w, err)
+		}
+		dr, ok := reply.(*msg.DiffReply)
+		if !ok || len(dr.Diffs) != len(nts) {
+			return false, fmt.Errorf("dsm: node %d bad diff reply for page %d from %d", n.id, p, w)
+		}
+		c.stats.DiffFetches.Add(1)
+		n.addCharge(sim.ThreadInterval{Stall: wire})
+		for i, df := range dr.Diffs {
+			if df == nil {
+				return false, nil // garbage-collected
+			}
+			got[[2]int32{w, nts[i].Interval}] = df
+			c.stats.BytesDiff.Add(int64(len(df)))
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := &n.pages[p]
+	var applyCost sim.Time
+	applied := make([]fetched, 0, len(pending))
+	for _, nt := range pending {
+		df := got[[2]int32{nt.Writer, nt.Interval}]
+		applied = append(applied, fetched{nt, df})
+	}
+	for _, f := range applied {
+		if err := ApplyDiff(n.pageData(p), f.diff); err != nil {
+			return false, fmt.Errorf("dsm: node %d apply diff page %d: %w", n.id, p, err)
+		}
+		applyCost += sim.Time(len(f.diff)) * c.costs.DiffPerByte
+		st.noteApplied(c.cfg.Nodes, f.notice.Writer, f.notice.Interval)
+		n.bumpLamportLocked(f.notice.Lam)
+	}
+	n.addCharge(sim.ThreadInterval{Overhead: applyCost})
+	// Remove exactly the notices we applied; concurrent server-side
+	// additions (none today, but cheap to be precise) survive.
+	keep := st.pending[:0]
+	for _, nt := range st.pending {
+		if _, ok := got[[2]int32{nt.Writer, nt.Interval}]; !ok {
+			keep = append(keep, nt)
+		}
+	}
+	st.pending = keep
+	return true, nil
+}
+
+// serve dispatches an incoming protocol message. It is the transport
+// handler body and may run on a server goroutine in TCP mode.
+func (n *node) serve(from int, m msg.Message) (msg.Message, error) {
+	switch req := m.(type) {
+	case *msg.PageRequest:
+		return n.servePageRequest(req)
+	case *msg.DiffRequest:
+		return n.serveDiffRequest(req)
+	case *msg.BarrierEnter:
+		return n.serveBarrierEnter(req)
+	case *msg.BarrierRelease:
+		return n.serveBarrierRelease(req)
+	case *msg.LockAcquire:
+		return n.serveLockAcquire(req)
+	case *msg.LockRelease:
+		return n.serveLockRelease(req)
+	case *msg.GCCollect:
+		return n.serveGCCollect(req)
+	case *msg.SWRead:
+		return n.serveSWRead(req)
+	case *msg.SWWrite:
+		return n.serveSWWrite(req)
+	case *msg.SWDowngrade:
+		return n.serveSWDowngrade(req)
+	case *msg.SWFlush:
+		return n.serveSWFlush(req)
+	case *msg.SWInvalidate:
+		return n.serveSWInvalidate(req)
+	default:
+		return nil, fmt.Errorf("dsm: node %d: unexpected message %T", n.id, m)
+	}
+}
+
+// servePageRequest brings the manager's own copy of the page current
+// (merging the requester's pending notices with its own) and replies with
+// the full page image.
+func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	if n.c.manager(p) != n.id {
+		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
+	}
+	n.mu.Lock()
+	st := &n.pages[p]
+	for _, nt := range req.Pending {
+		if int(nt.Writer) != n.id && !st.staleOrDup(nt) {
+			st.pending = append(st.pending, nt)
+			n.as.SetProt(p, vm.ProtNone)
+		}
+	}
+	pending := append([]msg.Notice(nil), st.pending...)
+	n.mu.Unlock()
+
+	if len(pending) > 0 {
+		ok, err := n.fetchAndApplyDiffs(p, pending)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// A diff the manager needs was collected — cannot
+			// happen, because GC brings the manager current before
+			// dropping diffs; report loudly if it ever does.
+			return nil, fmt.Errorf("dsm: manager %d lost diffs for page %d", n.id, p)
+		}
+		n.mu.Lock()
+		n.as.SetProt(p, vm.ProtRead)
+		n.mu.Unlock()
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st = &n.pages[p]
+	data := make([]byte, memlayout.PageSize)
+	copy(data, n.pageData(p))
+	vt := make([]int32, n.c.cfg.Nodes)
+	copy(vt, st.appliedVT)
+	return &msg.PageReply{Page: req.Page, Data: data, AppliedVT: vt}, nil
+}
+
+// serveDiffRequest returns this node's stored diffs for the requested
+// intervals of a page; nil entries mark garbage-collected diffs.
+func (n *node) serveDiffRequest(req *msg.DiffRequest) (msg.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := &msg.DiffReply{Page: req.Page, Diffs: make([][]byte, len(req.Intervals))}
+	store := n.diffs[vm.PageID(req.Page)]
+	for i, iv := range req.Intervals {
+		if store != nil {
+			out.Diffs[i] = store[iv]
+		}
+	}
+	return out, nil
+}
+
+func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
+	n.c.barrierMu.Lock()
+	defer n.c.barrierMu.Unlock()
+	b := &n.c.barrier
+	b.lam = maxI32(b.lam, req.Lam)
+	b.notices = append(b.notices, req.Notices...)
+	b.entered++
+	return &msg.Ack{}, nil
+}
+
+func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bumpLamportLocked(req.Lam)
+	for _, nt := range req.Notices {
+		n.addPendingLocked(nt)
+		if nt.Interval > n.seen[nt.Writer] {
+			n.seen[nt.Writer] = nt.Interval
+		}
+	}
+	// The barrier flushed all pre-barrier notices cluster-wide, so the
+	// managed lock log and the per-manager release high-water marks
+	// restart.
+	n.locks.reset()
+	for i := range n.sentKnown {
+		n.sentKnown[i] = 0
+	}
+	return &msg.Ack{}, nil
+}
+
+func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ml := n.locks
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock]}
+	start := ml.sent[req.Node]
+	for _, nt := range ml.log[start:] {
+		if int(nt.Writer) == int(req.Node) {
+			continue
+		}
+		if len(req.Seen) > int(nt.Writer) && nt.Interval <= req.Seen[nt.Writer] {
+			continue
+		}
+		grant.Notices = append(grant.Notices, nt)
+	}
+	ml.sent[req.Node] = len(ml.log)
+	return grant, nil
+}
+
+func (n *node) serveLockRelease(req *msg.LockRelease) (msg.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ml := n.locks
+	ml.add(req.Notices)
+	ml.lockLam[req.Lock] = maxI32(ml.lockLam[req.Lock], req.Lam)
+	return &msg.Ack{}, nil
+}
+
+// serveGCCollect drops stored diffs for the page and, on non-manager
+// nodes, invalidates the copy outright (replicas of collected pages are
+// invalidated rather than updated — paper §2).
+func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if store, ok := n.diffs[p]; ok {
+		for _, df := range store {
+			n.diffBytes -= int64(len(df))
+		}
+		delete(n.diffs, p)
+	}
+	if n.c.manager(p) != n.id {
+		st := &n.pages[p]
+		if st.dirty {
+			return nil, fmt.Errorf("dsm: GC of page %d with open twin on node %d", p, n.id)
+		}
+		st.hasCopy = false
+		st.pending = nil
+		st.appliedVT = nil
+		n.as.SetProt(p, vm.ProtNone)
+	}
+	return &msg.Ack{}, nil
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,316 @@
+package dsm
+
+import (
+	"fmt"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
+	"actdsm/internal/sim"
+	"actdsm/internal/vm"
+)
+
+// Single-writer protocol: the classic ownership-based coherence of
+// sequentially-consistent DSMs (Ivy/Mirage lineage). Exactly one node owns
+// a page at a time; readers hold replicas that a write invalidates, and
+// every transfer ships the whole page. There are no twins, diffs, or
+// write notices — and correspondingly no tolerance for concurrent
+// writers: two nodes writing disjoint words of one page ping-pong the
+// whole page back and forth (false sharing).
+//
+// The paper's §6 argues this is why suspension-scheduling-style fixes are
+// obsolete once a relaxed-consistency multi-writer protocol is used; the
+// AblationProtocol experiment makes that argument measurable. Ownership
+// is tracked at each page's manager; requester-side virtual time charges
+// cover the requester's round trip (manager-side fan-out latency is
+// reflected in message counts but not charged — a documented
+// simplification).
+
+// Protocol selects the coherence protocol.
+type Protocol uint8
+
+// Protocols.
+const (
+	// MultiWriter is the CVM-like lazy-release-consistency protocol
+	// (default).
+	MultiWriter Protocol = iota + 1
+	// SingleWriter is the ownership/invalidation protocol.
+	SingleWriter
+)
+
+// swState is the manager-side ownership record of one page.
+type swState struct {
+	owner int32
+	// copyset is a bitmask of nodes holding read replicas (bit per
+	// node; owner included).
+	copyset uint64
+}
+
+// initSingleWriter seeds ownership at the managers.
+func (n *node) initSingleWriter() {
+	n.sw = make([]swState, len(n.pages))
+	for p := range n.sw {
+		if n.c.manager(vm.PageID(p)) == n.id {
+			n.sw[p] = swState{owner: int32(n.id), copyset: 1 << uint(n.id)}
+		}
+	}
+}
+
+// resolveFaultSW is the single-writer fault path.
+func (n *node) resolveFaultSW(tid int, p vm.PageID, a vm.Access) error {
+	c := n.c
+	c.stats.CoherenceFaults.Add(1)
+	n.addCharge(sim.ThreadInterval{Overhead: c.costs.SoftFault})
+	mgr := c.manager(p)
+
+	var remote bool
+	var err error
+	if mgr == n.id {
+		remote, err = n.swManagerLocalFault(p, a)
+	} else {
+		remote, err = n.swRemoteFault(mgr, p, a)
+	}
+	if err != nil {
+		return err
+	}
+	if remote {
+		c.stats.RemoteMisses.Add(1)
+		c.notifyRemoteFault(n.id, tid, p)
+	}
+	return nil
+}
+
+// swRemoteFault handles a fault on a node that does not manage the page:
+// one round trip to the manager resolves everything.
+func (n *node) swRemoteFault(mgr int, p vm.PageID, a vm.Access) (bool, error) {
+	c := n.c
+	var req msg.Message
+	if a == vm.Write {
+		req = &msg.SWWrite{From: int32(n.id), Page: int32(p)}
+	} else {
+		req = &msg.SWRead{From: int32(n.id), Page: int32(p)}
+	}
+	reply, wire, err := c.call(n.id, mgr, req)
+	if err != nil {
+		return false, fmt.Errorf("dsm: node %d sw fault page %d: %w", n.id, p, err)
+	}
+	pr, ok := reply.(*msg.PageReply)
+	if !ok {
+		return false, fmt.Errorf("dsm: node %d sw fault page %d: unexpected reply %T", n.id, p, reply)
+	}
+	c.stats.PageFetches.Add(1)
+	n.addCharge(sim.ThreadInterval{Stall: wire})
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := &n.pages[p]
+	if len(pr.Data) > 0 {
+		copy(n.pageData(p), pr.Data)
+	}
+	st.hasCopy = true
+	if a == vm.Write {
+		n.as.SetProt(p, vm.ProtReadWrite)
+	} else {
+		n.as.SetProt(p, vm.ProtRead)
+	}
+	return true, nil
+}
+
+// swManagerLocalFault handles the manager's own access to a page it
+// manages.
+func (n *node) swManagerLocalFault(p vm.PageID, a vm.Access) (bool, error) {
+	n.mu.Lock()
+	st := n.sw[p]
+	n.mu.Unlock()
+	remote := false
+
+	if int(st.owner) != n.id {
+		// Fetch (and for writes, take) the page from the owner.
+		var req msg.Message
+		if a == vm.Write {
+			req = &msg.SWFlush{Page: int32(p)}
+		} else {
+			req = &msg.SWDowngrade{Page: int32(p)}
+		}
+		reply, wire, err := n.c.call(n.id, int(st.owner), req)
+		if err != nil {
+			return false, fmt.Errorf("dsm: manager %d sw fetch page %d: %w", n.id, p, err)
+		}
+		pr, ok := reply.(*msg.PageReply)
+		if !ok {
+			return false, fmt.Errorf("dsm: manager %d sw fetch page %d: bad reply %T", n.id, p, reply)
+		}
+		n.c.stats.PageFetches.Add(1)
+		n.addCharge(sim.ThreadInterval{Stall: wire})
+		n.mu.Lock()
+		copy(n.pageData(p), pr.Data)
+		n.pages[p].hasCopy = true
+		n.mu.Unlock()
+		remote = true
+	}
+
+	if a == vm.Write {
+		if rem, err := n.swInvalidateOthers(p, n.id, int(st.owner)); err != nil {
+			return false, err
+		} else if rem {
+			remote = true
+		}
+		n.mu.Lock()
+		n.sw[p] = swState{owner: int32(n.id), copyset: 1 << uint(n.id)}
+		n.as.SetProt(p, vm.ProtReadWrite)
+		n.mu.Unlock()
+	} else {
+		n.mu.Lock()
+		n.sw[p].copyset |= 1 << uint(n.id)
+		if int(n.sw[p].owner) != n.id {
+			// The old owner keeps a read replica after downgrade.
+			n.sw[p].copyset |= 1 << uint(st.owner)
+		}
+		n.as.SetProt(p, vm.ProtRead)
+		n.mu.Unlock()
+	}
+	return remote, nil
+}
+
+// swInvalidateOthers drops every replica except keep1/keep2; returns
+// whether any remote message was sent.
+func (n *node) swInvalidateOthers(p vm.PageID, keep1, keep2 int) (bool, error) {
+	n.mu.Lock()
+	cs := n.sw[p].copyset
+	n.mu.Unlock()
+	sent := false
+	for node := 0; node < n.c.cfg.Nodes; node++ {
+		if cs&(1<<uint(node)) == 0 || node == keep1 || node == keep2 {
+			continue
+		}
+		if node == n.id {
+			n.swDropLocal(p)
+			continue
+		}
+		if _, _, err := n.c.call(n.id, node, &msg.SWInvalidate{Page: int32(p)}); err != nil {
+			return sent, fmt.Errorf("dsm: invalidate page %d at node %d: %w", p, node, err)
+		}
+		sent = true
+	}
+	return sent, nil
+}
+
+func (n *node) swDropLocal(p vm.PageID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pages[p].hasCopy = false
+	n.as.SetProt(p, vm.ProtNone)
+}
+
+// serveSWRead runs at the manager: join the copyset and return current
+// data (downgrading the owner to read-only).
+func (n *node) serveSWRead(req *msg.SWRead) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	if n.c.manager(p) != n.id {
+		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
+	}
+	n.mu.Lock()
+	st := n.sw[p]
+	n.mu.Unlock()
+
+	var data []byte
+	switch int(st.owner) {
+	case n.id:
+		n.mu.Lock()
+		data = append(data, n.pageData(p)...)
+		if n.as.Prot(p) == vm.ProtReadWrite {
+			n.as.SetProt(p, vm.ProtRead)
+		}
+		n.mu.Unlock()
+	case int(req.From):
+		// Requester is the owner asking to read — should not fault,
+		// but answer benignly with no data.
+	default:
+		reply, _, err := n.c.call(n.id, int(st.owner), &msg.SWDowngrade{Page: req.Page})
+		if err != nil {
+			return nil, err
+		}
+		pr, ok := reply.(*msg.PageReply)
+		if !ok {
+			return nil, fmt.Errorf("dsm: sw read page %d: bad owner reply %T", p, reply)
+		}
+		data = pr.Data
+	}
+	n.mu.Lock()
+	n.sw[p].copyset |= 1 << uint(req.From)
+	n.mu.Unlock()
+	return &msg.PageReply{Page: req.Page, Data: data}, nil
+}
+
+// serveSWWrite runs at the manager: flush the owner, invalidate replicas,
+// and transfer ownership to the requester.
+func (n *node) serveSWWrite(req *msg.SWWrite) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	if n.c.manager(p) != n.id {
+		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
+	}
+	n.mu.Lock()
+	st := n.sw[p]
+	n.mu.Unlock()
+
+	var data []byte
+	switch int(st.owner) {
+	case int(req.From):
+		// Ownership upgrade: requester already has current data.
+	case n.id:
+		n.mu.Lock()
+		data = append(data, n.pageData(p)...)
+		n.mu.Unlock()
+		n.swDropLocal(p)
+	default:
+		reply, _, err := n.c.call(n.id, int(st.owner), &msg.SWFlush{Page: req.Page})
+		if err != nil {
+			return nil, err
+		}
+		pr, ok := reply.(*msg.PageReply)
+		if !ok {
+			return nil, fmt.Errorf("dsm: sw write page %d: bad owner reply %T", p, reply)
+		}
+		data = pr.Data
+	}
+	if _, err := n.swInvalidateOthers(p, int(req.From), int(st.owner)); err != nil {
+		return nil, err
+	}
+	// The old owner surrendered its copy above (flush); ensure it is
+	// not left in the copyset.
+	n.mu.Lock()
+	n.sw[p] = swState{owner: req.From, copyset: 1 << uint(req.From)}
+	n.mu.Unlock()
+	return &msg.PageReply{Page: req.Page, Data: data}, nil
+}
+
+// serveSWDowngrade runs at the owner: keep a read-only replica and return
+// the data.
+func (n *node) serveSWDowngrade(req *msg.SWDowngrade) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	data := make([]byte, memlayout.PageSize)
+	copy(data, n.pageData(p))
+	if n.as.Prot(p) == vm.ProtReadWrite {
+		n.as.SetProt(p, vm.ProtRead)
+	}
+	return &msg.PageReply{Page: req.Page, Data: data}, nil
+}
+
+// serveSWFlush runs at the owner: surrender the page entirely.
+func (n *node) serveSWFlush(req *msg.SWFlush) (msg.Message, error) {
+	p := vm.PageID(req.Page)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	data := make([]byte, memlayout.PageSize)
+	copy(data, n.pageData(p))
+	n.pages[p].hasCopy = false
+	n.as.SetProt(p, vm.ProtNone)
+	return &msg.PageReply{Page: req.Page, Data: data}, nil
+}
+
+// serveSWInvalidate drops a read replica.
+func (n *node) serveSWInvalidate(req *msg.SWInvalidate) (msg.Message, error) {
+	n.swDropLocal(vm.PageID(req.Page))
+	return &msg.Ack{}, nil
+}

@@ -1,0 +1,99 @@
+package dsm
+
+import "sync/atomic"
+
+// Stats counts protocol events. All fields are updated atomically so the
+// TCP transport's server goroutines can report concurrently with the
+// simulation thread.
+type Stats struct {
+	// RemoteMisses counts access faults that required communication
+	// with another node (full page fetch or diff fetch) — the quantity
+	// regressed against cut cost in the paper's Table 2.
+	RemoteMisses atomic.Int64
+	// CoherenceFaults counts all coherence faults (including those
+	// satisfied locally, e.g. a write fault that only creates a twin).
+	CoherenceFaults atomic.Int64
+	// TrackingFaults counts correlation faults during active tracking.
+	TrackingFaults atomic.Int64
+	// Messages counts protocol messages sent (requests and replies).
+	Messages atomic.Int64
+	// BytesTotal counts all protocol bytes ("Total Mbytes").
+	BytesTotal atomic.Int64
+	// BytesDiff counts bytes of diff payload ("Diff Mbytes").
+	BytesDiff atomic.Int64
+	// PageFetches counts full-page fetches.
+	PageFetches atomic.Int64
+	// DiffFetches counts diff fetch round trips.
+	DiffFetches atomic.Int64
+	// Barriers counts barrier episodes.
+	Barriers atomic.Int64
+	// LockAcquires counts lock acquisitions.
+	LockAcquires atomic.Int64
+	// GCCollections counts pages consolidated by garbage collection.
+	GCCollections atomic.Int64
+	// GCRounds counts garbage-collection episodes.
+	GCRounds atomic.Int64
+	// TwinsCreated counts twin creations.
+	TwinsCreated atomic.Int64
+	// DiffsCreated counts diffs created at interval ends.
+	DiffsCreated atomic.Int64
+}
+
+// Snapshot is a plain-value copy of Stats for reporting.
+type Snapshot struct {
+	RemoteMisses    int64
+	CoherenceFaults int64
+	TrackingFaults  int64
+	Messages        int64
+	BytesTotal      int64
+	BytesDiff       int64
+	PageFetches     int64
+	DiffFetches     int64
+	Barriers        int64
+	LockAcquires    int64
+	GCCollections   int64
+	GCRounds        int64
+	TwinsCreated    int64
+	DiffsCreated    int64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		RemoteMisses:    s.RemoteMisses.Load(),
+		CoherenceFaults: s.CoherenceFaults.Load(),
+		TrackingFaults:  s.TrackingFaults.Load(),
+		Messages:        s.Messages.Load(),
+		BytesTotal:      s.BytesTotal.Load(),
+		BytesDiff:       s.BytesDiff.Load(),
+		PageFetches:     s.PageFetches.Load(),
+		DiffFetches:     s.DiffFetches.Load(),
+		Barriers:        s.Barriers.Load(),
+		LockAcquires:    s.LockAcquires.Load(),
+		GCCollections:   s.GCCollections.Load(),
+		GCRounds:        s.GCRounds.Load(),
+		TwinsCreated:    s.TwinsCreated.Load(),
+		DiffsCreated:    s.DiffsCreated.Load(),
+	}
+}
+
+// Sub returns the difference s - o, for measuring a window (e.g. one
+// iteration) between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		RemoteMisses:    s.RemoteMisses - o.RemoteMisses,
+		CoherenceFaults: s.CoherenceFaults - o.CoherenceFaults,
+		TrackingFaults:  s.TrackingFaults - o.TrackingFaults,
+		Messages:        s.Messages - o.Messages,
+		BytesTotal:      s.BytesTotal - o.BytesTotal,
+		BytesDiff:       s.BytesDiff - o.BytesDiff,
+		PageFetches:     s.PageFetches - o.PageFetches,
+		DiffFetches:     s.DiffFetches - o.DiffFetches,
+		Barriers:        s.Barriers - o.Barriers,
+		LockAcquires:    s.LockAcquires - o.LockAcquires,
+		GCCollections:   s.GCCollections - o.GCCollections,
+		GCRounds:        s.GCRounds - o.GCRounds,
+		TwinsCreated:    s.TwinsCreated - o.TwinsCreated,
+		DiffsCreated:    s.DiffsCreated - o.DiffsCreated,
+	}
+}

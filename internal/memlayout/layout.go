@@ -1,0 +1,175 @@
+// Package memlayout manages the layout of the DSM's shared segment:
+// named, page-aligned regions and typed views over the raw bytes.
+//
+// CVM shares only dynamically allocated data (paper §5); applications
+// allocate named regions at startup and the resulting layout is identical
+// on every node, so a (region, offset) pair names the same datum
+// everywhere. Regions are page-aligned so that distinct regions never
+// falsely share a page.
+package memlayout
+
+import (
+	"fmt"
+	"math"
+)
+
+// PageSize is the shared-segment page size in bytes. CVM used the i386
+// 4 KiB page, and the paper's Table 1 page counts follow from it.
+const PageSize = 4096
+
+// Region is a named, page-aligned range of the shared segment.
+type Region struct {
+	Name string
+	Off  int // byte offset, multiple of PageSize
+	Size int // requested size in bytes
+}
+
+// FirstPage returns the index of the region's first page.
+func (r Region) FirstPage() int { return r.Off / PageSize }
+
+// NumPages returns the number of pages the region spans.
+func (r Region) NumPages() int { return (r.Size + PageSize - 1) / PageSize }
+
+// PageOf returns the page index holding byte offset rel within the region.
+func (r Region) PageOf(rel int) int { return (r.Off + rel) / PageSize }
+
+// Layout assigns regions to page-aligned extents of the shared segment.
+type Layout struct {
+	next    int
+	regions map[string]Region
+	order   []string
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{regions: make(map[string]Region)}
+}
+
+// Alloc reserves size bytes under name, page-aligned. It returns an error
+// if the name is already taken or size is not positive.
+func (l *Layout) Alloc(name string, size int) (Region, error) {
+	if size <= 0 {
+		return Region{}, fmt.Errorf("memlayout: alloc %q: size %d not positive", name, size)
+	}
+	if _, ok := l.regions[name]; ok {
+		return Region{}, fmt.Errorf("memlayout: alloc %q: already allocated", name)
+	}
+	r := Region{Name: name, Off: l.next, Size: size}
+	pages := r.NumPages()
+	l.next += pages * PageSize
+	l.regions[name] = r
+	l.order = append(l.order, name)
+	return r, nil
+}
+
+// MustAlloc is Alloc for application setup code, where a failure is a
+// programming error in the app's Layout method.
+func (l *Layout) MustAlloc(name string, size int) Region {
+	r, err := l.Alloc(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Region returns the region registered under name.
+func (l *Layout) Region(name string) (Region, bool) {
+	r, ok := l.regions[name]
+	return r, ok
+}
+
+// TotalBytes returns the segment size implied by the layout so far.
+func (l *Layout) TotalBytes() int { return l.next }
+
+// TotalPages returns the number of shared pages in the layout, the
+// quantity the paper's Table 1 reports per application.
+func (l *Layout) TotalPages() int { return l.next / PageSize }
+
+// Regions returns the regions in allocation order.
+func (l *Layout) Regions() []Region {
+	out := make([]Region, 0, len(l.order))
+	for _, n := range l.order {
+		out = append(out, l.regions[n])
+	}
+	return out
+}
+
+// The typed views below read and write through a raw byte slice (a window
+// of a node's segment copy) in little-endian order. Writes land directly
+// in the segment so the DSM's twin/diff machinery observes them.
+
+// F32 is a float32 view over raw segment bytes.
+type F32 struct{ b []byte }
+
+// ViewF32 wraps b (length must be a multiple of 4).
+func ViewF32(b []byte) F32 { return F32{b} }
+
+// Len returns the number of float32 elements.
+func (v F32) Len() int { return len(v.b) / 4 }
+
+// Get returns element i.
+func (v F32) Get(i int) float32 {
+	return math.Float32frombits(leU32(v.b[i*4:]))
+}
+
+// Set stores x at element i.
+func (v F32) Set(i int, x float32) {
+	putU32(v.b[i*4:], math.Float32bits(x))
+}
+
+// F64 is a float64 view over raw segment bytes.
+type F64 struct{ b []byte }
+
+// ViewF64 wraps b (length must be a multiple of 8).
+func ViewF64(b []byte) F64 { return F64{b} }
+
+// Len returns the number of float64 elements.
+func (v F64) Len() int { return len(v.b) / 8 }
+
+// Get returns element i.
+func (v F64) Get(i int) float64 {
+	return math.Float64frombits(leU64(v.b[i*8:]))
+}
+
+// Set stores x at element i.
+func (v F64) Set(i int, x float64) {
+	putU64(v.b[i*8:], math.Float64bits(x))
+}
+
+// I32 is an int32 view over raw segment bytes.
+type I32 struct{ b []byte }
+
+// ViewI32 wraps b (length must be a multiple of 4).
+func ViewI32(b []byte) I32 { return I32{b} }
+
+// Len returns the number of int32 elements.
+func (v I32) Len() int { return len(v.b) / 4 }
+
+// Get returns element i.
+func (v I32) Get(i int) int32 { return int32(leU32(v.b[i*4:])) }
+
+// Set stores x at element i.
+func (v I32) Set(i int, x int32) { putU32(v.b[i*4:], uint32(x)) }
+
+func leU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}

@@ -1,0 +1,158 @@
+package memlayout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	l := NewLayout()
+	a, err := l.Alloc("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Alloc("b", PageSize+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Off != 0 || a.NumPages() != 1 || a.FirstPage() != 0 {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.Off != PageSize || b.NumPages() != 2 || b.FirstPage() != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+	if l.TotalPages() != 3 || l.TotalBytes() != 3*PageSize {
+		t.Fatalf("totals: %d pages, %d bytes", l.TotalPages(), l.TotalBytes())
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	l := NewLayout()
+	if _, err := l.Alloc("x", 0); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+	if _, err := l.Alloc("x", -1); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+	if _, err := l.Alloc("x", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Alloc("x", 10); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout().MustAlloc("bad", -5)
+}
+
+func TestRegionLookupAndOrder(t *testing.T) {
+	l := NewLayout()
+	l.MustAlloc("grid", 2*PageSize)
+	l.MustAlloc("sums", 64)
+	r, ok := l.Region("grid")
+	if !ok || r.Size != 2*PageSize {
+		t.Fatalf("Region(grid) = %+v, %v", r, ok)
+	}
+	if _, ok := l.Region("nope"); ok {
+		t.Fatal("unexpected region")
+	}
+	rs := l.Regions()
+	if len(rs) != 2 || rs[0].Name != "grid" || rs[1].Name != "sums" {
+		t.Fatalf("Regions = %+v", rs)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	l := NewLayout()
+	l.MustAlloc("pad", PageSize) // push next region to page 1
+	r := l.MustAlloc("r", 3*PageSize)
+	if r.PageOf(0) != 1 || r.PageOf(PageSize) != 2 || r.PageOf(3*PageSize-1) != 3 {
+		t.Fatalf("PageOf wrong: %d %d %d", r.PageOf(0), r.PageOf(PageSize), r.PageOf(3*PageSize-1))
+	}
+}
+
+func TestTable1PageCounts(t *testing.T) {
+	// Sanity-check the page arithmetic against two rows of the paper's
+	// Table 1: SOR 2048x2048 single-precision ≈ 4096 data pages, and
+	// LU 1024x1024 single-precision = 1024 data pages.
+	l := NewLayout()
+	sor := l.MustAlloc("sor", 2048*2048*4)
+	if sor.NumPages() != 4096 {
+		t.Fatalf("SOR pages = %d, want 4096", sor.NumPages())
+	}
+	lu := l.MustAlloc("lu", 1024*1024*4)
+	if lu.NumPages() != 1024 {
+		t.Fatalf("LU pages = %d, want 1024", lu.NumPages())
+	}
+}
+
+func TestF32RoundTrip(t *testing.T) {
+	b := make([]byte, 16)
+	v := ViewF32(b)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	vals := []float32{0, -1.5, math.MaxFloat32, float32(math.Inf(1))}
+	for i, x := range vals {
+		v.Set(i, x)
+	}
+	for i, x := range vals {
+		if got := v.Get(i); got != x {
+			t.Fatalf("Get(%d) = %v, want %v", i, got, x)
+		}
+	}
+}
+
+func TestF64RoundTrip(t *testing.T) {
+	check := func(xs []float64) bool {
+		b := make([]byte, len(xs)*8)
+		v := ViewF64(b)
+		for i, x := range xs {
+			v.Set(i, x)
+		}
+		for i, x := range xs {
+			got := v.Get(i)
+			if got != x && !(math.IsNaN(got) && math.IsNaN(x)) {
+				return false
+			}
+		}
+		return v.Len() == len(xs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestI32RoundTrip(t *testing.T) {
+	check := func(xs []int32) bool {
+		b := make([]byte, len(xs)*4)
+		v := ViewI32(b)
+		for i, x := range xs {
+			v.Set(i, x)
+		}
+		for i, x := range xs {
+			if v.Get(i) != x {
+				return false
+			}
+		}
+		return v.Len() == len(xs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewsLittleEndian(t *testing.T) {
+	b := make([]byte, 4)
+	ViewI32(b).Set(0, 0x01020304)
+	if b[0] != 0x04 || b[3] != 0x01 {
+		t.Fatalf("not little-endian: % x", b)
+	}
+}

@@ -1,0 +1,700 @@
+// Package msg defines the DSM's wire protocol: the messages exchanged
+// between nodes for page fetches, diff fetches, barriers, locks, and diff
+// garbage collection, together with a compact binary encoding.
+//
+// Both transports (in-process and TCP) carry the encoded form, so the byte
+// counts the experiments report ("Total Mbytes", "Diff Mbytes" in the
+// paper's Table 6) are the real sizes of real messages.
+package msg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindPageRequest Kind = iota + 1
+	KindPageReply
+	KindDiffRequest
+	KindDiffReply
+	KindBarrierEnter
+	KindBarrierRelease
+	KindLockAcquire
+	KindLockGrant
+	KindLockRelease
+	KindGCCollect
+	KindAck
+	// Single-writer protocol messages (the dsm package's alternative
+	// protocol used by the multi-writer-vs-single-writer ablation).
+	KindSWRead
+	KindSWWrite
+	KindSWDowngrade
+	KindSWFlush
+	KindSWInvalidate
+)
+
+// ErrTruncated reports a decode attempt on a short buffer.
+var ErrTruncated = errors.New("msg: truncated message")
+
+// Notice is a write notice: writer modified page during its interval.
+// Notices are the consistency information of lazy release consistency;
+// receiving one invalidates the local copy of the page.
+//
+// Interval is the writer-local interval index (the key under which the
+// writer stores the corresponding diff). Lam is the interval's Lamport
+// timestamp: happens-before-ordered intervals have strictly increasing Lam
+// values, so applying diffs in (Lam, Writer) order respects causality;
+// intervals with equal Lam are concurrent and modify disjoint words.
+type Notice struct {
+	Page     int32
+	Writer   int32
+	Interval int32
+	Lam      int32
+}
+
+// noticeWire is the encoded size of one Notice.
+const noticeWire = 16
+
+// Message is any DSM protocol message.
+type Message interface {
+	Kind() Kind
+	encodeBody(e *encoder)
+	decodeBody(d *decoder) error
+}
+
+// Compile-time interface checks.
+var (
+	_ Message = (*PageRequest)(nil)
+	_ Message = (*PageReply)(nil)
+	_ Message = (*DiffRequest)(nil)
+	_ Message = (*DiffReply)(nil)
+	_ Message = (*BarrierEnter)(nil)
+	_ Message = (*BarrierRelease)(nil)
+	_ Message = (*LockAcquire)(nil)
+	_ Message = (*LockGrant)(nil)
+	_ Message = (*LockRelease)(nil)
+	_ Message = (*GCCollect)(nil)
+	_ Message = (*Ack)(nil)
+	_ Message = (*SWRead)(nil)
+	_ Message = (*SWWrite)(nil)
+	_ Message = (*SWDowngrade)(nil)
+	_ Message = (*SWFlush)(nil)
+	_ Message = (*SWInvalidate)(nil)
+)
+
+// PageRequest asks the page manager for a full copy of Page. Pending lists
+// the write notices the requester knows are outstanding against the page,
+// so the manager can bring its own copy current before replying.
+type PageRequest struct {
+	From    int32
+	Page    int32
+	Pending []Notice
+}
+
+// Kind implements Message.
+func (*PageRequest) Kind() Kind { return KindPageRequest }
+
+// PageReply carries a full, current page image. AppliedVT is the
+// manager's per-writer applied-interval vector for the page after bringing
+// it current, so the requester knows which future notices are stale.
+type PageReply struct {
+	Page      int32
+	Data      []byte
+	AppliedVT []int32
+}
+
+// Kind implements Message.
+func (*PageReply) Kind() Kind { return KindPageReply }
+
+// DiffRequest asks a writer node for the diffs it created for Page in each
+// of Intervals.
+type DiffRequest struct {
+	From      int32
+	Page      int32
+	Intervals []int32
+}
+
+// Kind implements Message.
+func (*DiffRequest) Kind() Kind { return KindDiffRequest }
+
+// DiffReply carries the requested diffs, aligned with the request's
+// Intervals. A nil entry means the writer no longer stores that diff
+// (garbage-collected); the requester must fall back to a full page fetch.
+type DiffReply struct {
+	Page  int32
+	Diffs [][]byte
+}
+
+// Kind implements Message.
+func (*DiffReply) Kind() Kind { return KindDiffReply }
+
+// BarrierEnter announces a node's arrival at barrier Episode, carrying the
+// write notices the node created since the last barrier and the node's
+// Lamport clock.
+type BarrierEnter struct {
+	Node    int32
+	Episode int32
+	Lam     int32
+	Notices []Notice
+}
+
+// Kind implements Message.
+func (*BarrierEnter) Kind() Kind { return KindBarrierEnter }
+
+// BarrierRelease is the manager's broadcast releasing barrier Episode; it
+// carries the union of all nodes' notices for the episode and the maximum
+// Lamport clock across entrants.
+type BarrierRelease struct {
+	Episode int32
+	Lam     int32
+	Notices []Notice
+}
+
+// Kind implements Message.
+func (*BarrierRelease) Kind() Kind { return KindBarrierRelease }
+
+// LockAcquire asks a lock's manager for the lock. Seen is the requester's
+// vector time (highest interval seen per node), letting the manager filter
+// the notices the grant must carry.
+type LockAcquire struct {
+	Node int32
+	Lock int32
+	Seen []int32
+}
+
+// Kind implements Message.
+func (*LockAcquire) Kind() Kind { return KindLockAcquire }
+
+// LockGrant hands over the lock with the consistency information
+// (write notices) the acquirer has not yet seen, and the Lamport clock of
+// the last release.
+type LockGrant struct {
+	Lock    int32
+	Lam     int32
+	Notices []Notice
+}
+
+// Kind implements Message.
+func (*LockGrant) Kind() Kind { return KindLockGrant }
+
+// LockRelease returns the lock to its manager with the notices generated
+// by the releaser's just-closed interval and the releaser's Lamport clock.
+type LockRelease struct {
+	Node    int32
+	Lock    int32
+	Lam     int32
+	Notices []Notice
+}
+
+// Kind implements Message.
+func (*LockRelease) Kind() Kind { return KindLockRelease }
+
+// GCCollect tells a node that Page has been consolidated at the page
+// manager: drop stored diffs for it and, unless this node is the manager,
+// invalidate the local copy (paper §2: garbage collections invalidate
+// replicas rather than updating them).
+type GCCollect struct {
+	Page int32
+}
+
+// Kind implements Message.
+func (*GCCollect) Kind() Kind { return KindGCCollect }
+
+// Ack is the empty success reply.
+type Ack struct{}
+
+// Kind implements Message.
+func (*Ack) Kind() Kind { return KindAck }
+
+// SWRead asks the page's manager for a read copy (single-writer
+// protocol). The reply is a PageReply.
+type SWRead struct {
+	From int32
+	Page int32
+}
+
+// Kind implements Message.
+func (*SWRead) Kind() Kind { return KindSWRead }
+
+// SWWrite asks the page's manager for ownership (single-writer protocol):
+// the manager flushes the current owner, invalidates all replicas, and
+// replies with a PageReply.
+type SWWrite struct {
+	From int32
+	Page int32
+}
+
+// Kind implements Message.
+func (*SWWrite) Kind() Kind { return KindSWWrite }
+
+// SWDowngrade tells the page's owner to drop to read-only and return the
+// current data (a reader is joining). The reply is a PageReply.
+type SWDowngrade struct {
+	Page int32
+}
+
+// Kind implements Message.
+func (*SWDowngrade) Kind() Kind { return KindSWDowngrade }
+
+// SWFlush tells the page's owner to surrender the page: return the data
+// and invalidate the local copy. The reply is a PageReply.
+type SWFlush struct {
+	Page int32
+}
+
+// Kind implements Message.
+func (*SWFlush) Kind() Kind { return KindSWFlush }
+
+// SWInvalidate drops a replica (a writer is taking ownership).
+type SWInvalidate struct {
+	Page int32
+}
+
+// Kind implements Message.
+func (*SWInvalidate) Kind() Kind { return KindSWInvalidate }
+
+// Encode serializes m (kind byte + body).
+func Encode(m Message) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(uint8(m.Kind()))
+	m.encodeBody(e)
+	return e.buf
+}
+
+// Decode parses a message produced by Encode.
+func Decode(b []byte) (Message, error) {
+	d := &decoder{buf: b}
+	k, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	switch Kind(k) {
+	case KindPageRequest:
+		m = &PageRequest{}
+	case KindPageReply:
+		m = &PageReply{}
+	case KindDiffRequest:
+		m = &DiffRequest{}
+	case KindDiffReply:
+		m = &DiffReply{}
+	case KindBarrierEnter:
+		m = &BarrierEnter{}
+	case KindBarrierRelease:
+		m = &BarrierRelease{}
+	case KindLockAcquire:
+		m = &LockAcquire{}
+	case KindLockGrant:
+		m = &LockGrant{}
+	case KindLockRelease:
+		m = &LockRelease{}
+	case KindGCCollect:
+		m = &GCCollect{}
+	case KindAck:
+		m = &Ack{}
+	case KindSWRead:
+		m = &SWRead{}
+	case KindSWWrite:
+		m = &SWWrite{}
+	case KindSWDowngrade:
+		m = &SWDowngrade{}
+	case KindSWFlush:
+		m = &SWFlush{}
+	case KindSWInvalidate:
+		m = &SWInvalidate{}
+	default:
+		return nil, fmt.Errorf("msg: unknown kind %d", k)
+	}
+	if err := m.decodeBody(d); err != nil {
+		return nil, fmt.Errorf("msg: decode kind %d: %w", k, err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("msg: %d trailing bytes after kind %d", len(d.buf)-d.off, k)
+	}
+	return m, nil
+}
+
+// Size returns the encoded size of m in bytes.
+func Size(m Message) int { return len(Encode(m)) }
+
+func (m *PageRequest) encodeBody(e *encoder) {
+	e.i32(m.From)
+	e.i32(m.Page)
+	e.notices(m.Pending)
+}
+
+func (m *PageRequest) decodeBody(d *decoder) (err error) {
+	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Page, err = d.i32(); err != nil {
+		return err
+	}
+	m.Pending, err = d.notices()
+	return err
+}
+
+func (m *PageReply) encodeBody(e *encoder) {
+	e.i32(m.Page)
+	e.bytes(m.Data)
+	e.i32(int32(len(m.AppliedVT)))
+	for _, v := range m.AppliedVT {
+		e.i32(v)
+	}
+}
+
+func (m *PageReply) decodeBody(d *decoder) (err error) {
+	if m.Page, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Data, err = d.bytes(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.AppliedVT = make([]int32, n)
+	for i := range m.AppliedVT {
+		if m.AppliedVT[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *DiffRequest) encodeBody(e *encoder) {
+	e.i32(m.From)
+	e.i32(m.Page)
+	e.i32(int32(len(m.Intervals)))
+	for _, iv := range m.Intervals {
+		e.i32(iv)
+	}
+}
+
+func (m *DiffRequest) decodeBody(d *decoder) (err error) {
+	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Page, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Intervals = make([]int32, n)
+	for i := range m.Intervals {
+		if m.Intervals[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *DiffReply) encodeBody(e *encoder) {
+	e.i32(m.Page)
+	e.i32(int32(len(m.Diffs)))
+	for _, df := range m.Diffs {
+		if df == nil {
+			e.i32(-1)
+			continue
+		}
+		e.bytes(df)
+	}
+}
+
+func (m *DiffReply) decodeBody(d *decoder) (err error) {
+	if m.Page, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Diffs = make([][]byte, n)
+	for i := range m.Diffs {
+		if m.Diffs[i], err = d.bytesOrNil(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *BarrierEnter) encodeBody(e *encoder) {
+	e.i32(m.Node)
+	e.i32(m.Episode)
+	e.i32(m.Lam)
+	e.notices(m.Notices)
+}
+
+func (m *BarrierEnter) decodeBody(d *decoder) (err error) {
+	if m.Node, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Episode, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	m.Notices, err = d.notices()
+	return err
+}
+
+func (m *BarrierRelease) encodeBody(e *encoder) {
+	e.i32(m.Episode)
+	e.i32(m.Lam)
+	e.notices(m.Notices)
+}
+
+func (m *BarrierRelease) decodeBody(d *decoder) (err error) {
+	if m.Episode, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	m.Notices, err = d.notices()
+	return err
+}
+
+func (m *LockAcquire) encodeBody(e *encoder) {
+	e.i32(m.Node)
+	e.i32(m.Lock)
+	e.i32(int32(len(m.Seen)))
+	for _, s := range m.Seen {
+		e.i32(s)
+	}
+}
+
+func (m *LockAcquire) decodeBody(d *decoder) (err error) {
+	if m.Node, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lock, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Seen = make([]int32, n)
+	for i := range m.Seen {
+		if m.Seen[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *LockGrant) encodeBody(e *encoder) {
+	e.i32(m.Lock)
+	e.i32(m.Lam)
+	e.notices(m.Notices)
+}
+
+func (m *LockGrant) decodeBody(d *decoder) (err error) {
+	if m.Lock, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	m.Notices, err = d.notices()
+	return err
+}
+
+func (m *LockRelease) encodeBody(e *encoder) {
+	e.i32(m.Node)
+	e.i32(m.Lock)
+	e.i32(m.Lam)
+	e.notices(m.Notices)
+}
+
+func (m *LockRelease) decodeBody(d *decoder) (err error) {
+	if m.Node, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lock, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	m.Notices, err = d.notices()
+	return err
+}
+
+func (m *GCCollect) encodeBody(e *encoder) { e.i32(m.Page) }
+
+func (m *GCCollect) decodeBody(d *decoder) (err error) {
+	m.Page, err = d.i32()
+	return err
+}
+
+func (*Ack) encodeBody(*encoder) {}
+
+func (*Ack) decodeBody(*decoder) error { return nil }
+
+func (m *SWRead) encodeBody(e *encoder) {
+	e.i32(m.From)
+	e.i32(m.Page)
+}
+
+func (m *SWRead) decodeBody(d *decoder) (err error) {
+	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	m.Page, err = d.i32()
+	return err
+}
+
+func (m *SWWrite) encodeBody(e *encoder) {
+	e.i32(m.From)
+	e.i32(m.Page)
+}
+
+func (m *SWWrite) decodeBody(d *decoder) (err error) {
+	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	m.Page, err = d.i32()
+	return err
+}
+
+func (m *SWDowngrade) encodeBody(e *encoder) { e.i32(m.Page) }
+
+func (m *SWDowngrade) decodeBody(d *decoder) (err error) {
+	m.Page, err = d.i32()
+	return err
+}
+
+func (m *SWFlush) encodeBody(e *encoder) { e.i32(m.Page) }
+
+func (m *SWFlush) decodeBody(d *decoder) (err error) {
+	m.Page, err = d.i32()
+	return err
+}
+
+func (m *SWInvalidate) encodeBody(e *encoder) { e.i32(m.Page) }
+
+func (m *SWInvalidate) decodeBody(d *decoder) (err error) {
+	m.Page, err = d.i32()
+	return err
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) i32(v int32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.i32(int32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) notices(ns []Notice) {
+	e.i32(int32(len(ns)))
+	for _, n := range ns {
+		e.i32(n.Page)
+		e.i32(n.Writer)
+		e.i32(n.Interval)
+		e.i32(n.Lam)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.off >= len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) i32() (int32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.off:]
+	d.off += 4
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24), nil
+}
+
+// length reads a non-negative element count, bounding it by the remaining
+// buffer so corrupt input cannot trigger huge allocations.
+func (d *decoder) length() (int, error) {
+	v, err := d.i32()
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || int(v) > len(d.buf)-d.off {
+		return 0, fmt.Errorf("msg: bad length %d with %d bytes left", v, len(d.buf)-d.off)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out, nil
+}
+
+// bytesOrNil decodes a byte field where length -1 encodes nil.
+func (d *decoder) bytesOrNil() ([]byte, error) {
+	save := d.off
+	v, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	if v == -1 {
+		return nil, nil
+	}
+	d.off = save
+	return d.bytes()
+}
+
+func (d *decoder) notices() ([]Notice, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	// Re-bound the count with the tighter per-notice element size.
+	if n > (len(d.buf)-d.off)/noticeWire {
+		return nil, fmt.Errorf("msg: bad notice count %d", n)
+	}
+	out := make([]Notice, n)
+	for i := range out {
+		if out[i].Page, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if out[i].Writer, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if out[i].Interval, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if out[i].Lam, err = d.i32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Encode(m)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind mismatch: %d != %d", got.Kind(), m.Kind())
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	ns := []Notice{{Page: 1, Writer: 2, Interval: 3, Lam: 7}, {Page: 9, Writer: 0, Interval: -1, Lam: 0}}
+	cases := []Message{
+		&PageRequest{From: 3, Page: 77, Pending: ns},
+		&PageRequest{From: 0, Page: 0, Pending: nil},
+		&PageReply{Page: 77, Data: []byte{1, 2, 3, 4, 5}, AppliedVT: []int32{1, 0, 4}},
+		&PageReply{Page: 1, Data: []byte{}},
+		&DiffRequest{From: 1, Page: 2, Intervals: []int32{4, 5, 6}},
+		&DiffReply{Page: 2, Diffs: [][]byte{{1, 2}, nil, {}}},
+		&BarrierEnter{Node: 1, Episode: 12, Lam: 3, Notices: ns},
+		&BarrierRelease{Episode: 12, Lam: 9, Notices: ns},
+		&LockAcquire{Node: 2, Lock: 5, Seen: []int32{0, 3, 9}},
+		&LockGrant{Lock: 5, Lam: 2, Notices: ns},
+		&LockRelease{Node: 2, Lock: 5, Lam: 4, Notices: nil},
+		&GCCollect{Page: 4},
+		&Ack{},
+	}
+	for _, m := range cases {
+		got := roundTrip(t, m)
+		// Normalize nil vs empty for comparison where encoding cannot
+		// distinguish them (slices of notices/intervals).
+		if !equivalent(m, got) {
+			t.Errorf("%T round trip: %#v != %#v", m, got, m)
+		}
+	}
+}
+
+// equivalent compares messages treating nil and empty slices as equal,
+// except DiffReply.Diffs entries where nil is meaningful.
+func equivalent(a, b Message) bool {
+	if da, ok := a.(*DiffReply); ok {
+		db := b.(*DiffReply)
+		if da.Page != db.Page || len(da.Diffs) != len(db.Diffs) {
+			return false
+		}
+		for i := range da.Diffs {
+			if (da.Diffs[i] == nil) != (db.Diffs[i] == nil) {
+				return false
+			}
+			if len(da.Diffs[i]) != len(db.Diffs[i]) {
+				return false
+			}
+			for j := range da.Diffs[i] {
+				if da.Diffs[i][j] != db.Diffs[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *PageRequest:
+		c := *v
+		if c.Pending == nil {
+			c.Pending = []Notice{}
+		}
+		return &c
+	case *PageReply:
+		c := *v
+		if c.Data == nil {
+			c.Data = []byte{}
+		}
+		if c.AppliedVT == nil {
+			c.AppliedVT = []int32{}
+		}
+		return &c
+	case *DiffRequest:
+		c := *v
+		if c.Intervals == nil {
+			c.Intervals = []int32{}
+		}
+		return &c
+	case *BarrierEnter:
+		c := *v
+		if c.Notices == nil {
+			c.Notices = []Notice{}
+		}
+		return &c
+	case *BarrierRelease:
+		c := *v
+		if c.Notices == nil {
+			c.Notices = []Notice{}
+		}
+		return &c
+	case *LockAcquire:
+		c := *v
+		if c.Seen == nil {
+			c.Seen = []int32{}
+		}
+		return &c
+	case *LockGrant:
+		c := *v
+		if c.Notices == nil {
+			c.Notices = []Notice{}
+		}
+		return &c
+	case *LockRelease:
+		c := *v
+		if c.Notices == nil {
+			c.Notices = []Notice{}
+		}
+		return &c
+	}
+	return m
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	if _, err := Decode([]byte{255}); err == nil {
+		t.Fatal("expected error on unknown kind")
+	}
+	// Truncated PageReply.
+	full := Encode(&PageReply{Page: 1, Data: []byte{1, 2, 3}})
+	for i := 1; i < len(full); i++ {
+		if _, err := Decode(full[:i]); err == nil {
+			t.Fatalf("expected error on %d-byte prefix", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(Encode(&Ack{}), 0)); err == nil {
+		t.Fatal("expected error on trailing bytes")
+	}
+}
+
+func TestDecodeBadLengths(t *testing.T) {
+	// A PageReply claiming a huge data length must fail cleanly rather
+	// than allocating.
+	b := []byte{byte(KindPageReply), 1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := Decode(b); err == nil {
+		t.Fatal("expected error on oversized length")
+	}
+	// Negative length.
+	b = []byte{byte(KindPageReply), 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}
+	if _, err := Decode(b); err == nil {
+		t.Fatal("expected error on negative length")
+	}
+}
+
+func TestSizeMatchesEncode(t *testing.T) {
+	m := &BarrierEnter{Node: 1, Episode: 2, Notices: make([]Notice, 10)}
+	if Size(m) != len(Encode(m)) {
+		t.Fatal("Size != len(Encode)")
+	}
+	// 1 kind + 4 node + 4 episode + 4 lam + 4 count + 10*16 notices.
+	if got := Size(m); got != 1+4+4+4+4+160 {
+		t.Fatalf("Size = %d", got)
+	}
+}
+
+func TestPageRequestQuick(t *testing.T) {
+	check := func(from, page int32, pages []int32) bool {
+		pending := make([]Notice, len(pages))
+		for i, p := range pages {
+			pending[i] = Notice{Page: p, Writer: from, Interval: int32(i)}
+		}
+		m := &PageRequest{From: from, Page: page, Pending: pending}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		g := got.(*PageRequest)
+		if g.From != from || g.Page != page || len(g.Pending) != len(pending) {
+			return false
+		}
+		for i := range pending {
+			if g.Pending[i] != pending[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffReplyNilVsEmpty(t *testing.T) {
+	m := &DiffReply{Page: 1, Diffs: [][]byte{nil, {}}}
+	got := roundTrip(t, m).(*DiffReply)
+	if got.Diffs[0] != nil {
+		t.Fatal("nil diff decoded as non-nil")
+	}
+	if got.Diffs[1] == nil {
+		t.Fatal("empty diff decoded as nil")
+	}
+}

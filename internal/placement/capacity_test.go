@@ -1,0 +1,138 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"actdsm/internal/core"
+)
+
+func TestCapacitiesForSpeeds(t *testing.T) {
+	caps, err := CapacitiesForSpeeds(8, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps[0] != 6 || caps[1] != 2 {
+		t.Fatalf("caps = %v, want [6 2]", caps)
+	}
+	caps, err = CapacitiesForSpeeds(10, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range caps {
+		total += c
+		if c < 3 || c > 4 {
+			t.Fatalf("caps = %v", caps)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("caps = %v sum %d", caps, total)
+	}
+	if _, err := CapacitiesForSpeeds(4, nil); err == nil {
+		t.Fatal("expected error for empty speeds")
+	}
+	if _, err := CapacitiesForSpeeds(4, []float64{1, 0}); err == nil {
+		t.Fatal("expected error for zero speed")
+	}
+}
+
+func TestCapacitiesForSpeedsProperties(t *testing.T) {
+	check := func(threads uint8, rawSpeeds []uint8) bool {
+		n := int(threads%60) + 4
+		if len(rawSpeeds) == 0 {
+			return true
+		}
+		if len(rawSpeeds) > 4 {
+			rawSpeeds = rawSpeeds[:4]
+		}
+		speeds := make([]float64, len(rawSpeeds))
+		for i, s := range rawSpeeds {
+			speeds[i] = 1 + float64(s%7)
+		}
+		caps, err := CapacitiesForSpeeds(n, speeds)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range caps {
+			if c < 0 {
+				return false
+			}
+			// threads >= nodes guarantees no empty node.
+			if n >= len(speeds) && c == 0 {
+				return false
+			}
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStretchCapacities(t *testing.T) {
+	a, err := StretchCapacities(6, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a = %v", a)
+		}
+	}
+	if _, err := StretchCapacities(5, []int{4, 2}); err == nil {
+		t.Fatal("expected sum error")
+	}
+	if _, err := StretchCapacities(2, []int{3, -1}); err == nil {
+		t.Fatal("expected negative error")
+	}
+}
+
+func TestMinCostCapacitiesRespectsCaps(t *testing.T) {
+	m := ringMatrix(12)
+	caps := []int{6, 3, 3}
+	a, err := MinCostCapacities(m, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := counts(a, 3)
+	for n := range caps {
+		if got[n] != caps[n] {
+			t.Fatalf("populations %v, want %v", got, caps)
+		}
+	}
+	// On a ring, unequal contiguous blocks are optimal: the cut must not
+	// exceed the ring's minimum (one edge per block boundary).
+	if cut := m.CutCost(a); cut > 3*10 {
+		t.Fatalf("cut = %d", cut)
+	}
+	if _, err := MinCostCapacities(m, []int{6, 3}); err == nil {
+		t.Fatal("expected sum error")
+	}
+}
+
+func TestMinCostCapacitiesPrefersBigNodeForBigCluster(t *testing.T) {
+	// One 8-thread heavy block and one 4-thread heavy block; capacities
+	// 8 and 4. The 8-block must land intact on the size-8 node.
+	m := core.NewMatrix(12)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			m.Set(i, j, 50)
+		}
+	}
+	for i := 8; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			m.Set(i, j, 50)
+		}
+	}
+	a, err := MinCostCapacities(m, []int{8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CutCost(a) != 0 {
+		t.Fatalf("cut = %d, want 0 (placement %v)", m.CutCost(a), a)
+	}
+}

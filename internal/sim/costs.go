@@ -1,0 +1,79 @@
+package sim
+
+// Time is virtual time in nanoseconds. The simulator never consults the
+// wall clock; all durations come from the Costs model below.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Costs is the virtual-time cost model for the simulated cluster. The
+// defaults approximate the paper's testbed: 266 MHz Pentium II nodes on a
+// Myrinet network (single-digit-microsecond one-way latency,
+// ~30 MB/s effective user-level bandwidth for a page-based DSM).
+//
+// Absolute times produced by the model are not meant to match the paper's
+// measurements; the ratios between compute, fault handling, and network
+// cost are what the experiments depend on.
+type Costs struct {
+	// ComputePerWord is the cost of one word of application compute
+	// (one grid-point update, one interaction term, ...).
+	ComputePerWord Time
+	// SoftFault is the node-local cost of fielding any page fault
+	// (trap + handler dispatch + protection change).
+	SoftFault Time
+	// TrackFault is the cost of a correlation-tracking fault: the
+	// handler only records a bitmap bit and resets protection, so it is
+	// cheaper than a coherence fault's protocol work but still pays the
+	// trap.
+	TrackFault Time
+	// TwinCopy is the cost of creating a twin (copying one page).
+	TwinCopy Time
+	// DiffPerByte is the per-byte cost of creating or applying a diff.
+	DiffPerByte Time
+	// MsgLatency is the one-way network latency of any message.
+	MsgLatency Time
+	// MsgPerByte is the per-byte transmission cost (inverse bandwidth).
+	MsgPerByte Time
+	// BarrierBase is the fixed cost of one barrier episode beyond the
+	// messages it exchanges.
+	BarrierBase Time
+	// SwitchCost is the cost of a thread context switch.
+	SwitchCost Time
+	// ProtectAll is the cost of read-protecting the whole shared
+	// segment at a tracking thread switch, per page.
+	ProtectAllPerPage Time
+}
+
+// DefaultCosts returns the cost model described above.
+func DefaultCosts() Costs {
+	return Costs{
+		ComputePerWord:    40 * Nanosecond, // ~10 cycles/word on a 266 MHz P-II
+		SoftFault:         25 * Microsecond,
+		TrackFault:        15 * Microsecond,
+		TwinCopy:          10 * Microsecond,
+		DiffPerByte:       2 * Nanosecond,
+		MsgLatency:        20 * Microsecond,
+		MsgPerByte:        33 * Nanosecond, // ~30 MB/s user-level
+		BarrierBase:       50 * Microsecond,
+		SwitchCost:        5 * Microsecond,
+		ProtectAllPerPage: 300 * Nanosecond,
+	}
+}
+
+// FetchCost returns the requester-side cost of a round-trip fetch that
+// sends reqBytes and receives replyBytes.
+func (c Costs) FetchCost(reqBytes, replyBytes int) Time {
+	return 2*c.MsgLatency + Time(reqBytes+replyBytes)*c.MsgPerByte
+}

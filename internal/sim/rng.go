@@ -1,0 +1,67 @@
+// Package sim provides the deterministic simulation substrate used by the
+// DSM: a seeded random-number generator, the virtual-time cost model, and
+// per-thread/per-node time accounting.
+//
+// Everything in this package is deterministic: the same seed and the same
+// sequence of calls produce identical results, which the experiment harness
+// relies on for reproducibility.
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). It is not safe for concurrent use; each consumer should
+// own its RNG or derive one with Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a new, statistically independent generator from r,
+// advancing r once.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+	if v := r.Intn(0); v != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", v)
+	}
+	if v := r.Intn(1); v != 0 {
+		t.Fatalf("Intn(1) = %d, want 0", v)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := NewRNG(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(5)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds = %v", s)
+	}
+	if us := (3 * Microsecond).Micros(); us != 3.0 {
+		t.Fatalf("Micros = %v", us)
+	}
+}
+
+func TestFetchCost(t *testing.T) {
+	c := Costs{MsgLatency: 10, MsgPerByte: 2}
+	if got := c.FetchCost(5, 10); got != 2*10+15*2 {
+		t.Fatalf("FetchCost = %d", got)
+	}
+}
+
+func TestNodeIntervalTimeSingleThread(t *testing.T) {
+	ths := []ThreadInterval{{Compute: 100, Stall: 50, Overhead: 10}}
+	// One thread: scheduler cannot hide anything.
+	if got := NodeIntervalTime(ths, true); got != 160 {
+		t.Fatalf("enabled = %d, want 160", got)
+	}
+	if got := NodeIntervalTime(ths, false); got != 160 {
+		t.Fatalf("disabled = %d, want 160", got)
+	}
+}
+
+func TestNodeIntervalTimeOverlap(t *testing.T) {
+	// Two threads; with the scheduler enabled, (1 - StallExposure) of
+	// thread 0's stall hides under thread 1's compute.
+	ths := []ThreadInterval{
+		{Compute: 100, Stall: 80},
+		{Compute: 100},
+	}
+	want := Time(200 + int(80*StallExposure))
+	if got := NodeIntervalTime(ths, true); got != want {
+		t.Fatalf("enabled = %d, want %d (stall partly hidden)", got, want)
+	}
+	if got := NodeIntervalTime(ths, false); got != 280 {
+		t.Fatalf("disabled = %d, want 280 (stall exposed)", got)
+	}
+	// Multithreading must help, but by no more than the hideable slice.
+	if NodeIntervalTime(ths, true) >= NodeIntervalTime(ths, false) {
+		t.Fatal("scheduler gave no benefit")
+	}
+}
+
+func TestNodeIntervalTimeCriticalPath(t *testing.T) {
+	// A single thread with a huge stall dominates even with overlap.
+	ths := []ThreadInterval{
+		{Compute: 10, Stall: 1000},
+		{Compute: 20},
+	}
+	if got := NodeIntervalTime(ths, true); got != 1010 {
+		t.Fatalf("enabled = %d, want 1010", got)
+	}
+}
+
+func TestNodeIntervalTimeMonotonicInStall(t *testing.T) {
+	check := func(c1, s1, c2, s2 uint16) bool {
+		a := []ThreadInterval{
+			{Compute: Time(c1), Stall: Time(s1)},
+			{Compute: Time(c2), Stall: Time(s2)},
+		}
+		b := []ThreadInterval{
+			{Compute: Time(c1), Stall: Time(s1) + 100},
+			{Compute: Time(c2), Stall: Time(s2)},
+		}
+		// More stall can never make the node finish earlier, and
+		// disabling the scheduler can never make it faster.
+		return NodeIntervalTime(b, true) >= NodeIntervalTime(a, true) &&
+			NodeIntervalTime(a, false) >= NodeIntervalTime(a, true)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadIntervalAddReset(t *testing.T) {
+	var ti ThreadInterval
+	ti.Add(ThreadInterval{Compute: 1, Stall: 2, Overhead: 3})
+	ti.Add(ThreadInterval{Compute: 10, Stall: 20, Overhead: 30})
+	if ti.Compute != 11 || ti.Stall != 22 || ti.Overhead != 33 {
+		t.Fatalf("after Add: %+v", ti)
+	}
+	ti.Reset()
+	if ti != (ThreadInterval{}) {
+		t.Fatalf("after Reset: %+v", ti)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(-5) // ignored
+	if c.Now() != 10 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.SyncTo(5) // backwards sync ignored
+	if c.Now() != 10 {
+		t.Fatalf("Now after backwards SyncTo = %d", c.Now())
+	}
+	c.SyncTo(25)
+	if c.Now() != 25 {
+		t.Fatalf("Now after SyncTo = %d", c.Now())
+	}
+	if m := MaxClock([]*Clock{{now: 3}, {now: 42}, {now: 17}}); m != 42 {
+		t.Fatalf("MaxClock = %d", m)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+// ThreadInterval accumulates one thread's virtual-time charges between two
+// consecutive synchronization points (barrier episodes).
+type ThreadInterval struct {
+	// Compute is CPU time spent in application code.
+	Compute Time
+	// Stall is time spent blocked on remote operations (page and diff
+	// fetches, lock grants).
+	Stall Time
+	// Overhead is node-local protocol time that occupies the CPU
+	// (fault handling, twinning, diffing, tracking faults).
+	Overhead Time
+}
+
+// Add accumulates o into ti.
+func (ti *ThreadInterval) Add(o ThreadInterval) {
+	ti.Compute += o.Compute
+	ti.Stall += o.Stall
+	ti.Overhead += o.Overhead
+}
+
+// Reset zeroes the interval.
+func (ti *ThreadInterval) Reset() { *ti = ThreadInterval{} }
+
+// StallExposure is the fraction of remote-stall time that context
+// switching between local threads cannot hide. The paper cites the
+// latency-toleration benefit of per-node multithreading as 10–15%
+// [Thitikamol & Keleher 1997], so most stall time remains exposed: fault
+// arrivals bunch at interval starts (every local thread needs its halo
+// pages at once), leaving little independent compute to overlap.
+const StallExposure = 0.85
+
+// NodeIntervalTime combines the per-thread charges of one node's threads
+// over a synchronization interval into the node's elapsed virtual time for
+// that interval.
+//
+// The model captures the latency-toleration property of per-node
+// multithreading (paper §1, §4.2): CPU work (compute + overhead) always
+// serializes because the node has one processor; with the thread
+// scheduler enabled, context switching hides (1 - StallExposure) of the
+// stall time under other threads' work. The node can finish no earlier
+// than any single thread's own critical path:
+//
+//	enabled:  max( Σcpu + StallExposure·Σstall, max_i(cpu_i+stall_i) )
+//	disabled: Σ(cpu+stall)  — every stall is exposed serially
+//
+// Disabling the scheduler (as active correlation tracking must) therefore
+// loses the overlap, which is the second overhead source in paper §4.2.
+func NodeIntervalTime(threads []ThreadInterval, schedulerEnabled bool) Time {
+	var cpuSum, stallSum, critical Time
+	for _, ti := range threads {
+		cpu := ti.Compute + ti.Overhead
+		cpuSum += cpu
+		stallSum += ti.Stall
+		if cp := cpu + ti.Stall; cp > critical {
+			critical = cp
+		}
+	}
+	if !schedulerEnabled {
+		return cpuSum + stallSum
+	}
+	overlapped := cpuSum + Time(float64(stallSum)*StallExposure)
+	if overlapped > critical {
+		return overlapped
+	}
+	return critical
+}
+
+// Clock is one node's monotone virtual clock.
+type Clock struct {
+	now Time
+}
+
+// Now returns the clock's current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d Time) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// SyncTo moves the clock forward to at least t (a barrier join).
+func (c *Clock) SyncTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// MaxClock returns the maximum Now across clocks, the cluster-wide elapsed
+// time at a global synchronization point.
+func MaxClock(clocks []*Clock) Time {
+	var m Time
+	for _, c := range clocks {
+		if c.Now() > m {
+			m = c.Now()
+		}
+	}
+	return m
+}

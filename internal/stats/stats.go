@@ -1,0 +1,87 @@
+// Package stats provides the least-squares regression and correlation
+// statistics the paper's Table 2 reports (remote misses as a linear
+// function of cut costs).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData reports a regression over fewer than two points or
+// a degenerate (zero-variance) predictor.
+var ErrInsufficientData = errors.New("stats: insufficient or degenerate data")
+
+// Regression summarizes a simple least-squares fit y = Slope·x + Intercept.
+type Regression struct {
+	Slope     float64
+	Intercept float64
+	// R is the Pearson correlation coefficient between x and y — the
+	// "Correlation Coefficient" column of Table 2.
+	R float64
+	N int
+}
+
+// Fit computes the least-squares line through (x[i], y[i]).
+func Fit(x, y []float64) (Regression, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return Regression{}, ErrInsufficientData
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, syy, sxy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 {
+		return Regression{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	r := 0.0
+	if syy > 0 {
+		r = sxy / math.Sqrt(sxx*syy)
+	}
+	return Regression{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		R:         r,
+		N:         len(x),
+	}, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

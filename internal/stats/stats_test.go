@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	r, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Slope-2) > 1e-12 || math.Abs(r.Intercept-3) > 1e-12 {
+		t.Fatalf("fit = %+v", r)
+	}
+	if math.Abs(r.R-1) > 1e-12 {
+		t.Fatalf("R = %v, want 1", r.R)
+	}
+	if r.N != 4 {
+		t.Fatalf("N = %d", r.N)
+	}
+}
+
+func TestFitNegativeCorrelation(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{9, 6, 3, 0}
+	r, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.R+1) > 1e-12 {
+		t.Fatalf("R = %v, want -1", r.R)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{2}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{2}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v", err)
+	}
+	// Degenerate x.
+	if _, err := Fit([]float64{3, 3, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitConstantY(t *testing.T) {
+	r, err := Fit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slope != 0 || r.Intercept != 5 || r.R != 0 {
+		t.Fatalf("fit = %+v", r)
+	}
+}
+
+func TestFitPropertyRecoversLine(t *testing.T) {
+	check := func(slope, intercept int8, n uint8) bool {
+		m := int(n%20) + 2
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x[i] = float64(i)
+			y[i] = float64(slope)*x[i] + float64(intercept)
+		}
+		r, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Slope-float64(slope)) < 1e-9 &&
+			math.Abs(r.Intercept-float64(intercept)) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBounded(t *testing.T) {
+	check := func(pts []struct{ X, Y int16 }) bool {
+		if len(pts) < 2 {
+			return true
+		}
+		x := make([]float64, len(pts))
+		y := make([]float64, len(pts))
+		for i, p := range pts {
+			x[i] = float64(p.X)
+			y[i] = float64(p.Y)
+		}
+		r, err := Fit(x, y)
+		if errors.Is(err, ErrInsufficientData) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		return r.R >= -1.0000001 && r.R <= 1.0000001
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("MinMax(nil) != 0,0")
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+	"actdsm/internal/vm"
+)
+
+// Recorder captures a Trace from a live engine via the cluster's access
+// hook. Create it before the run; the trace is complete once the run
+// finishes.
+type Recorder struct {
+	trace *Trace
+	iter  int32
+}
+
+// NewRecorder attaches a recorder to the engine's cluster via an access
+// hook; hooks compose, so a recorder can coexist with a DensityTracker on
+// the same run.
+func NewRecorder(e *threads.Engine) *Recorder {
+	r := &Recorder{
+		trace: &Trace{
+			Threads: e.NumThreads(),
+			Pages:   e.Cluster().NumPages(),
+		},
+	}
+	e.Cluster().AddAccessHook(func(node, tid int, p vm.PageID, a vm.Access) {
+		r.trace.Events = append(r.trace.Events, Event{
+			Iter:  r.iter,
+			TID:   int32(tid),
+			Page:  p,
+			Write: a == vm.Write,
+		})
+	})
+	return r
+}
+
+// Hooks wraps next with iteration windowing; install with engine.SetHooks.
+func (r *Recorder) Hooks(next threads.Hooks) threads.Hooks {
+	return threads.Hooks{
+		OnIteration: func(iter int) {
+			r.iter = int32(iter + 1)
+			r.trace.Iterations = iter + 1
+			if next.OnIteration != nil {
+				next.OnIteration(iter)
+			}
+		},
+		OnBarrier:   next.OnBarrier,
+		OnThreadRun: next.OnThreadRun,
+	}
+}
+
+// Trace returns the captured trace (valid after the run completes; trims
+// trailing post-final-iteration events).
+func (r *Recorder) Trace() *Trace {
+	// Events stamped with iter == Iterations happened after the last
+	// EndIteration (thread teardown); drop them.
+	evs := r.trace.Events
+	for len(evs) > 0 && int(evs[len(evs)-1].Iter) >= r.trace.Iterations {
+		evs = evs[:len(evs)-1]
+	}
+	r.trace.Events = evs
+	return r.trace
+}
+
+// ReplayBody returns per-thread bodies that re-issue the trace's accesses
+// against a live cluster: each thread walks its own event subsequence,
+// issuing one span per event and an EndIteration at each iteration
+// boundary. Replay preserves each thread's program order; cross-thread
+// interleaving within an iteration follows the engine's scheduling, as it
+// did in the original run.
+func (t *Trace) ReplayBody() func(tid int) threads.Body {
+	// Pre-split events per thread.
+	perThread := make([][]Event, t.Threads)
+	for _, e := range t.Events {
+		perThread[e.TID] = append(perThread[e.TID], e)
+	}
+	return func(tid int) threads.Body {
+		evs := perThread[tid]
+		return func(ctx *threads.Ctx) error {
+			i := 0
+			for iter := 0; iter < t.Iterations; iter++ {
+				for i < len(evs) && int(evs[i].Iter) == iter {
+					e := evs[i]
+					acc := vm.Read
+					if e.Write {
+						acc = vm.Write
+					}
+					b, err := ctx.Span(int(e.Page)*memlayout.PageSize, 8, acc)
+					if err != nil {
+						return fmt.Errorf("trace: replay thread %d event %d: %w", tid, i, err)
+					}
+					if e.Write {
+						// Make the write observable so the
+						// protocol generates real diffs.
+						b[0]++
+					}
+					ctx.Compute(8)
+					i++
+				}
+				ctx.EndIteration()
+			}
+			return nil
+		}
+	}
+}

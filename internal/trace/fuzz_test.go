@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"actdsm/internal/vm"
+)
+
+// FuzzTraceDecode checks the trace decoder never panics and decodes only
+// canonical encodings.
+func FuzzTraceDecode(f *testing.F) {
+	tr := &Trace{Threads: 2, Pages: 2, Iterations: 1,
+		Events: []Event{{Iter: 0, TID: 1, Page: vm.PageID(1), Write: true}}}
+	f.Add(tr.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x41}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatal("non-canonical trace round trip")
+		}
+	})
+}

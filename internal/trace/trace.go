@@ -1,0 +1,160 @@
+// Package trace records page-access streams from live application runs
+// and replays them as synthetic workloads. A trace makes sharing analysis
+// repeatable and offline: correlation matrices can be computed directly
+// from the stream (no DSM run needed), captured workloads can be replayed
+// against different cluster configurations or protocols, and traces
+// serialize to a compact binary format for storage.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"actdsm/internal/core"
+	"actdsm/internal/vm"
+)
+
+// Event is one page access by one thread.
+type Event struct {
+	// Iter is the application iteration the access occurred in.
+	Iter int32
+	// TID is the accessing thread.
+	TID int32
+	// Page is the page touched.
+	Page vm.PageID
+	// Write marks write accesses.
+	Write bool
+}
+
+// Trace is a recorded access stream plus the shape needed to replay it.
+type Trace struct {
+	// Threads is the thread count of the traced run.
+	Threads int
+	// Pages is the shared-segment size of the traced run.
+	Pages int
+	// Iterations is the number of iterations covered.
+	Iterations int
+	// Events is the access stream in program order.
+	Events []Event
+}
+
+// ErrMalformed reports an undecodable trace.
+var ErrMalformed = errors.New("trace: malformed")
+
+// Validate checks internal consistency.
+func (t *Trace) Validate() error {
+	if t.Threads <= 0 || t.Pages <= 0 || t.Iterations < 0 {
+		return fmt.Errorf("trace: bad shape %d threads / %d pages / %d iterations",
+			t.Threads, t.Pages, t.Iterations)
+	}
+	for i, e := range t.Events {
+		if e.TID < 0 || int(e.TID) >= t.Threads {
+			return fmt.Errorf("trace: event %d: thread %d out of range", i, e.TID)
+		}
+		if e.Page < 0 || int(e.Page) >= t.Pages {
+			return fmt.Errorf("trace: event %d: page %d out of range", i, e.Page)
+		}
+		if e.Iter < 0 || int(e.Iter) >= t.Iterations {
+			return fmt.Errorf("trace: event %d: iteration %d out of range", i, e.Iter)
+		}
+	}
+	return nil
+}
+
+// Matrix computes the thread-correlation matrix offline: threads
+// correlate by the number of distinct pages both touch, exactly as active
+// correlation tracking would report for the same accesses (restricted to
+// iteration iter; pass -1 for all iterations).
+func (t *Trace) Matrix(iter int) *core.Matrix {
+	bitmaps := make([]*vm.Bitmap, t.Threads)
+	for i := range bitmaps {
+		bitmaps[i] = vm.NewBitmap(t.Pages)
+	}
+	for _, e := range t.Events {
+		if iter >= 0 && int(e.Iter) != iter {
+			continue
+		}
+		bitmaps[e.TID].Set(e.Page)
+	}
+	return core.FromBitmaps(bitmaps)
+}
+
+// Densities computes per-thread per-page access counts (the density
+// tracker's view) for iteration iter (-1 for all).
+func (t *Trace) Densities(iter int) [][]int64 {
+	out := make([][]int64, t.Threads)
+	for i := range out {
+		out[i] = make([]int64, t.Pages)
+	}
+	for _, e := range t.Events {
+		if iter >= 0 && int(e.Iter) != iter {
+			continue
+		}
+		out[e.TID][e.Page]++
+	}
+	return out
+}
+
+// Encode serializes the trace:
+//
+//	[u32 magic][u32 threads][u32 pages][u32 iterations][u32 nevents]
+//	then per event: [u32 iter][u32 tid][u32 page|writeBit<<31]
+const traceMagic = 0x41435431 // "ACT1"
+
+// Encode serializes the trace to its binary format.
+func (t *Trace) Encode() []byte {
+	out := make([]byte, 0, 20+12*len(t.Events))
+	putU32 := func(v uint32) { out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+	putU32(traceMagic)
+	putU32(uint32(t.Threads))
+	putU32(uint32(t.Pages))
+	putU32(uint32(t.Iterations))
+	putU32(uint32(len(t.Events)))
+	for _, e := range t.Events {
+		putU32(uint32(e.Iter))
+		putU32(uint32(e.TID))
+		pw := uint32(e.Page)
+		if e.Write {
+			pw |= 1 << 31
+		}
+		putU32(pw)
+	}
+	return out
+}
+
+// Decode parses a trace produced by Encode and validates it.
+func Decode(b []byte) (*Trace, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("%w: short header", ErrMalformed)
+	}
+	u32 := func(off int) uint32 {
+		return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	}
+	if u32(0) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	t := &Trace{
+		Threads:    int(u32(4)),
+		Pages:      int(u32(8)),
+		Iterations: int(u32(12)),
+	}
+	n := int(u32(16))
+	if n < 0 || len(b) != 20+12*n {
+		return nil, fmt.Errorf("%w: %d events but %d bytes", ErrMalformed, n, len(b))
+	}
+	t.Events = make([]Event, n)
+	for i := 0; i < n; i++ {
+		off := 20 + 12*i
+		pw := u32(off + 8)
+		t.Events[i] = Event{
+			Iter:  int32(u32(off)),
+			TID:   int32(u32(off + 4)),
+			Page:  vm.PageID(pw &^ (1 << 31)),
+			Write: pw&(1<<31) != 0,
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

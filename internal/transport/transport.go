@@ -1,0 +1,272 @@
+// Package transport moves encoded DSM messages between nodes.
+//
+// Two implementations are provided: Local delivers messages by direct
+// dispatch inside one process (the default for simulation; fully
+// deterministic), and TCP carries the same frames over real sockets,
+// demonstrating that the protocol is a genuine distributed protocol. Both
+// carry the encoded wire form from package msg, so byte accounting is
+// identical across transports.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler serves a request payload arriving at a node and returns the
+// reply payload.
+type Handler func(from int, payload []byte) ([]byte, error)
+
+// Transport is a synchronous request/reply fabric between n nodes.
+type Transport interface {
+	// Call sends payload from node `from` to node `to` and returns the
+	// reply.
+	Call(from, to int, payload []byte) ([]byte, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Compile-time interface checks.
+var (
+	_ Transport = (*Local)(nil)
+	_ Transport = (*TCP)(nil)
+)
+
+// ErrInjected is returned by a Local transport's fault injector.
+var ErrInjected = errors.New("transport: injected failure")
+
+// Local is an in-process transport: Call dispatches directly to the
+// destination handler. An optional fault injector can fail selected calls
+// to test error paths.
+type Local struct {
+	handlers []Handler
+	// FailCall, if non-nil, is consulted before each call; returning
+	// true fails the call with ErrInjected.
+	FailCall func(from, to int, payload []byte) bool
+}
+
+// NewLocal returns a Local transport over the given per-node handlers.
+func NewLocal(handlers []Handler) *Local {
+	hs := make([]Handler, len(handlers))
+	copy(hs, handlers)
+	return &Local{handlers: hs}
+}
+
+// Call implements Transport.
+func (l *Local) Call(from, to int, payload []byte) ([]byte, error) {
+	if to < 0 || to >= len(l.handlers) || l.handlers[to] == nil {
+		return nil, fmt.Errorf("transport: no handler for node %d", to)
+	}
+	if l.FailCall != nil && l.FailCall(from, to, payload) {
+		return nil, ErrInjected
+	}
+	return l.handlers[to](from, payload)
+}
+
+// Close implements Transport.
+func (l *Local) Close() error { return nil }
+
+// TCP carries frames over loopback TCP sockets, one listener per node.
+//
+// Frame format, both directions:
+//
+//	request:  [u32 length][u32 from][payload]
+//	reply:    [u32 length][u8 status][payload or error text]
+type TCP struct {
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex // guards conns map only
+	conns map[[2]int]*lockedConn
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+const (
+	tcpOK  = 0
+	tcpErr = 1
+	// maxFrame bounds a frame so a corrupt peer cannot force a huge
+	// allocation.
+	maxFrame = 64 << 20
+)
+
+// NewTCP starts one loopback listener per handler and returns a transport
+// connecting them.
+func NewTCP(handlers []Handler) (*TCP, error) {
+	t := &TCP{
+		listeners: make([]net.Listener, len(handlers)),
+		addrs:     make([]string, len(handlers)),
+		conns:     make(map[[2]int]*lockedConn),
+		closed:    make(chan struct{}),
+	}
+	for i, h := range handlers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(ln, h)
+	}
+	return t, nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer func() { _ = conn.Close() }()
+			t.serveConn(conn, h)
+		}()
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		from := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if n > maxFrame {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		reply, err := h(from, payload)
+		var out []byte
+		if err != nil {
+			e := []byte(err.Error())
+			out = make([]byte, 5+len(e))
+			binary.LittleEndian.PutUint32(out, uint32(1+len(e)))
+			out[4] = tcpErr
+			copy(out[5:], e)
+		} else {
+			out = make([]byte, 5+len(reply))
+			binary.LittleEndian.PutUint32(out, uint32(1+len(reply)))
+			out[4] = tcpOK
+			copy(out[5:], reply)
+		}
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// lockedConn serializes round trips on one (from, to) connection. Distinct
+// pairs use distinct connections, so a nested call chain (A→B handler
+// calling B→C) never blocks on another pair's lock.
+type lockedConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Call implements Transport. Calls with the same (from, to) pair reuse one
+// connection and are serialized on it.
+func (t *TCP) Call(from, to int, payload []byte) ([]byte, error) {
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("transport: no node %d", to)
+	}
+	lc, err := t.conn(from, to)
+	if err != nil {
+		return nil, err
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	conn := lc.conn
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(from))
+	copy(frame[8:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		t.dropConn(from, to)
+		return nil, fmt.Errorf("transport: write %d->%d: %w", from, to, err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.dropConn(from, to)
+		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		t.dropConn(from, to)
+		return nil, fmt.Errorf("transport: bad reply length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.dropConn(from, to)
+		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
+	}
+	if body[0] == tcpErr {
+		return nil, fmt.Errorf("transport: remote node %d: %s", to, body[1:])
+	}
+	return body[1:], nil
+}
+
+func (t *TCP) conn(from, to int) (*lockedConn, error) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	lc := &lockedConn{conn: c}
+	t.conns[key] = lc
+	return lc, nil
+}
+
+// dropConn removes a broken connection; the caller holds the lockedConn's
+// own mutex but not t.mu.
+func (t *TCP) dropConn(from, to int) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		_ = c.conn.Close()
+		delete(t.conns, key)
+	}
+}
+
+// Close shuts down all listeners and connections and waits for server
+// goroutines to exit.
+func (t *TCP) Close() error {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+		close(t.closed)
+	}
+	for _, ln := range t.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	t.mu.Lock()
+	for k, c := range t.conns {
+		_ = c.conn.Close()
+		delete(t.conns, k)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

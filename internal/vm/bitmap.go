@@ -1,0 +1,88 @@
+package vm
+
+import "math/bits"
+
+// Bitmap is a fixed-size bit set over page IDs, used for the per-thread
+// access bitmaps of the correlation-tracking mechanism (paper §4.2).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an empty bitmap over n pages.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the bitmap's capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks page p.
+func (b *Bitmap) Set(p PageID) { b.words[p>>6] |= 1 << (uint(p) & 63) }
+
+// Clear unmarks page p.
+func (b *Bitmap) Clear(p PageID) { b.words[p>>6] &^= 1 << (uint(p) & 63) }
+
+// Get reports whether page p is marked.
+func (b *Bitmap) Get(p PageID) bool {
+	return b.words[p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// Count returns the number of marked pages.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset unmarks all pages.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Or merges o into b (b |= o). The bitmaps must be the same length.
+func (b *Bitmap) Or(o *Bitmap) {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// AndCount returns |b ∩ o| — the number of pages marked in both — which is
+// exactly the paper's thread correlation between two threads' access
+// bitmaps. The bitmaps must be the same length.
+func (b *Bitmap) AndCount(o *Bitmap) int {
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(b.words[i] & w)
+	}
+	return c
+}
+
+// Clone returns a copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls f for every marked page in ascending order.
+func (b *Bitmap) ForEach(f func(PageID)) {
+	for i, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			f(PageID(i*64 + bit))
+			w &= w - 1
+		}
+	}
+}
+
+// Pages returns the marked pages in ascending order.
+func (b *Bitmap) Pages() []PageID {
+	out := make([]PageID, 0, b.Count())
+	b.ForEach(func(p PageID) { out = append(out, p) })
+	return out
+}

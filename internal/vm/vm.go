@@ -1,0 +1,190 @@
+// Package vm is the software MMU substrate for the DSM.
+//
+// The original CVM system uses hardware page protection (mprotect) and a
+// SIGSEGV handler to intercept the first access to a page in each
+// protection epoch. The Go runtime owns signal handling, so this package
+// reproduces the same observable behaviour in software: shared memory is
+// touched through page-granularity operations that consult a per-node page
+// table and call registered fault handlers on protection violations. The
+// fault stream (first touch per page per protection epoch) is identical to
+// what the hardware mechanism generates, which is all the paper's
+// mechanisms observe.
+package vm
+
+import "fmt"
+
+// PageID identifies a page within the shared segment.
+type PageID int32
+
+// Prot is a page protection level.
+type Prot uint8
+
+// Protection levels, most to least restrictive.
+const (
+	ProtNone      Prot = iota + 1 // any access faults
+	ProtRead                      // writes fault
+	ProtReadWrite                 // no faults
+)
+
+// String returns a short human-readable protection name.
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "none"
+	case ProtRead:
+		return "read"
+	case ProtReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("prot(%d)", uint8(p))
+	}
+}
+
+// Access is the kind of memory access being attempted.
+type Access uint8
+
+// Access kinds.
+const (
+	Read Access = iota + 1
+	Write
+)
+
+// String returns "read" or "write".
+func (a Access) String() string {
+	if a == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Allows reports whether protection p permits access a.
+func (p Prot) Allows(a Access) bool {
+	switch p {
+	case ProtReadWrite:
+		return true
+	case ProtRead:
+		return a == Read
+	default:
+		return false
+	}
+}
+
+// FaultHandler resolves a coherence fault: thread tid attempted access a on
+// page p, whose protection does not allow it. The handler must raise the
+// page's protection so that the access can proceed (or return an error).
+type FaultHandler func(tid int, p PageID, a Access) error
+
+// TrackHandler observes a correlation-tracking fault: thread tid made the
+// first access to page p since the page's correlation bit was last armed.
+type TrackHandler func(tid int, p PageID, a Access)
+
+// AddressSpace is one node's page table over the shared segment. It is not
+// safe for concurrent use; the thread engine serializes access.
+type AddressSpace struct {
+	prot    []Prot
+	track   []bool // correlation bits (paper §4.2 step 1)
+	fault   FaultHandler
+	tracker TrackHandler
+	// tracking is true while an active correlation-tracking phase is in
+	// progress on this node.
+	tracking bool
+}
+
+// NewAddressSpace returns an address space of npages pages, all ProtNone.
+func NewAddressSpace(npages int, fault FaultHandler) *AddressSpace {
+	as := &AddressSpace{
+		prot:  make([]Prot, npages),
+		track: make([]bool, npages),
+		fault: fault,
+	}
+	for i := range as.prot {
+		as.prot[i] = ProtNone
+	}
+	return as
+}
+
+// NumPages returns the number of pages in the address space.
+func (as *AddressSpace) NumPages() int { return len(as.prot) }
+
+// Prot returns page p's current protection.
+func (as *AddressSpace) Prot(p PageID) Prot { return as.prot[p] }
+
+// SetProt sets page p's protection.
+func (as *AddressSpace) SetProt(p PageID, pr Prot) { as.prot[p] = pr }
+
+// Tracking reports whether a tracking phase is active.
+func (as *AddressSpace) Tracking() bool { return as.tracking }
+
+// BeginTracking arms the correlation bit of every page and installs h as
+// the tracking-fault observer (paper §4.2 step 1). While tracking is
+// active, Touch reports the first access to each armed page through h
+// before performing normal protection checks.
+func (as *AddressSpace) BeginTracking(h TrackHandler) {
+	as.tracking = true
+	as.tracker = h
+	as.ArmAll()
+}
+
+// ArmAll re-arms every page's correlation bit (done at each tracked thread
+// switch, paper §4.2 step 3).
+func (as *AddressSpace) ArmAll() {
+	for i := range as.track {
+		as.track[i] = true
+	}
+}
+
+// ArmedCount counts pages whose correlation bit is currently armed.
+func (as *AddressSpace) ArmedCount() int {
+	n := 0
+	for _, b := range as.track {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// EndTracking clears all correlation bits and leaves tracking mode
+// (paper §4.2 step 4).
+func (as *AddressSpace) EndTracking() {
+	as.tracking = false
+	as.tracker = nil
+	for i := range as.track {
+		as.track[i] = false
+	}
+}
+
+// Touch performs the protection check for an access by thread tid to page
+// p. It reproduces the two-level fault behaviour of the paper's mechanism:
+//
+//  1. If tracking is active and the page's correlation bit is set, a
+//     correlation fault occurs: the tracker is notified, the bit is
+//     cleared, and "the page is returned to its original state".
+//  2. If the page's protection does not allow the access, a coherence
+//     fault occurs and the fault handler must resolve it.
+//
+// Touch returns (trackFaulted, cohFaulted, err).
+func (as *AddressSpace) Touch(tid int, p PageID, a Access) (bool, bool, error) {
+	trackFault := false
+	if as.tracking && as.track[p] {
+		as.track[p] = false
+		trackFault = true
+		if as.tracker != nil {
+			as.tracker(tid, p, a)
+		}
+	}
+	if as.prot[p].Allows(a) {
+		return trackFault, false, nil
+	}
+	if as.fault == nil {
+		return trackFault, true, fmt.Errorf("vm: %s fault on page %d with no handler", a, p)
+	}
+	if err := as.fault(tid, p, a); err != nil {
+		return trackFault, true, fmt.Errorf("vm: resolve %s fault on page %d: %w", a, p, err)
+	}
+	if !as.prot[p].Allows(a) {
+		return trackFault, true, fmt.Errorf("vm: handler left page %d at %s, %s still not allowed",
+			p, as.prot[p], a)
+	}
+	return trackFault, true, nil
+}

@@ -1,0 +1,249 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtAllows(t *testing.T) {
+	cases := []struct {
+		prot Prot
+		acc  Access
+		want bool
+	}{
+		{ProtNone, Read, false},
+		{ProtNone, Write, false},
+		{ProtRead, Read, true},
+		{ProtRead, Write, false},
+		{ProtReadWrite, Read, true},
+		{ProtReadWrite, Write, true},
+	}
+	for _, c := range cases {
+		if got := c.prot.Allows(c.acc); got != c.want {
+			t.Errorf("%s.Allows(%s) = %v, want %v", c.prot, c.acc, got, c.want)
+		}
+	}
+}
+
+func TestProtAccessStrings(t *testing.T) {
+	if ProtNone.String() != "none" || ProtRead.String() != "read" || ProtReadWrite.String() != "rw" {
+		t.Fatal("unexpected Prot strings")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("unexpected Access strings")
+	}
+	if Prot(9).String() != "prot(9)" {
+		t.Fatal("unexpected unknown Prot string")
+	}
+}
+
+func TestTouchResolvesFault(t *testing.T) {
+	var faults []PageID
+	var as *AddressSpace
+	as = NewAddressSpace(4, func(tid int, p PageID, a Access) error {
+		faults = append(faults, p)
+		as.SetProt(p, ProtReadWrite)
+		return nil
+	})
+	tf, cf, err := as.Touch(0, 2, Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf || !cf {
+		t.Fatalf("tf=%v cf=%v, want false,true", tf, cf)
+	}
+	// Second touch: no fault.
+	tf, cf, err = as.Touch(0, 2, Write)
+	if err != nil || tf || cf {
+		t.Fatalf("second touch: tf=%v cf=%v err=%v", tf, cf, err)
+	}
+	if len(faults) != 1 || faults[0] != 2 {
+		t.Fatalf("faults = %v", faults)
+	}
+}
+
+func TestTouchHandlerError(t *testing.T) {
+	sentinel := errors.New("boom")
+	as := NewAddressSpace(1, func(tid int, p PageID, a Access) error { return sentinel })
+	_, _, err := as.Touch(0, 0, Read)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestTouchHandlerMustRaiseProt(t *testing.T) {
+	as := NewAddressSpace(1, func(tid int, p PageID, a Access) error { return nil })
+	if _, _, err := as.Touch(0, 0, Read); err == nil {
+		t.Fatal("expected error when handler does not raise protection")
+	}
+}
+
+func TestTouchNoHandler(t *testing.T) {
+	as := NewAddressSpace(1, nil)
+	if _, _, err := as.Touch(0, 0, Read); err == nil {
+		t.Fatal("expected error with no handler installed")
+	}
+}
+
+func TestTrackingFaultOncePerArm(t *testing.T) {
+	as := NewAddressSpace(3, func(tid int, p PageID, a Access) error {
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		as.SetProt(PageID(i), ProtReadWrite)
+	}
+	var tracked []PageID
+	as.BeginTracking(func(tid int, p PageID, a Access) { tracked = append(tracked, p) })
+	if !as.Tracking() {
+		t.Fatal("Tracking() = false after BeginTracking")
+	}
+	if as.ArmedCount() != 3 {
+		t.Fatalf("ArmedCount = %d, want 3", as.ArmedCount())
+	}
+	// First access: tracking fault; second: none.
+	tf, cf, err := as.Touch(1, 0, Read)
+	if err != nil || !tf || cf {
+		t.Fatalf("first: tf=%v cf=%v err=%v", tf, cf, err)
+	}
+	tf, cf, err = as.Touch(1, 0, Write)
+	if err != nil || tf || cf {
+		t.Fatalf("second: tf=%v cf=%v err=%v", tf, cf, err)
+	}
+	// Re-arm (thread switch): faults again.
+	as.ArmAll()
+	tf, _, err = as.Touch(2, 0, Read)
+	if err != nil || !tf {
+		t.Fatalf("after rearm: tf=%v err=%v", tf, err)
+	}
+	as.EndTracking()
+	if as.Tracking() || as.ArmedCount() != 0 {
+		t.Fatal("EndTracking did not clear state")
+	}
+	tf, _, err = as.Touch(2, 1, Read)
+	if err != nil || tf {
+		t.Fatalf("after end: tf=%v err=%v", tf, err)
+	}
+	if len(tracked) != 2 {
+		t.Fatalf("tracked = %v, want 2 events", tracked)
+	}
+}
+
+func TestTrackingPlusCoherenceFault(t *testing.T) {
+	// Paper §4.2 step 2: "If the access type would have caused a
+	// violation even outside the correlation-tracking phase, an
+	// additional fault occurs and is handled normally."
+	var as *AddressSpace
+	cohFaults := 0
+	as = NewAddressSpace(1, func(tid int, p PageID, a Access) error {
+		cohFaults++
+		as.SetProt(p, ProtReadWrite)
+		return nil
+	})
+	as.BeginTracking(func(tid int, p PageID, a Access) {})
+	tf, cf, err := as.Touch(0, 0, Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tf || !cf || cohFaults != 1 {
+		t.Fatalf("tf=%v cf=%v cohFaults=%d, want true,true,1", tf, cf, cohFaults)
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Get mismatch")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+	want := []PageID{0, 129}
+	got := b.Pages()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Pages = %v, want %v", got, want)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBitmapAndCountOr(t *testing.T) {
+	a, b := NewBitmap(200), NewBitmap(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(PageID(i))
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(PageID(i))
+	}
+	// Multiples of 6 in [0,200): 34 values (0..198).
+	if got := a.AndCount(b); got != 34 {
+		t.Fatalf("AndCount = %d, want 34", got)
+	}
+	c := a.Clone()
+	c.Or(b)
+	// |A ∪ B| = 100 + 67 - 34.
+	if got := c.Count(); got != 133 {
+		t.Fatalf("union Count = %d, want 133", got)
+	}
+	// Clone is independent.
+	c.Set(1)
+	if a.Get(1) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestBitmapProperties(t *testing.T) {
+	// AndCount is symmetric and bounded by each operand's count.
+	check := func(xs, ys []uint16) bool {
+		a, b := NewBitmap(1<<16), NewBitmap(1<<16)
+		for _, x := range xs {
+			a.Set(PageID(x))
+		}
+		for _, y := range ys {
+			b.Set(PageID(y))
+		}
+		ab, ba := a.AndCount(b), b.AndCount(a)
+		if ab != ba {
+			return false
+		}
+		if ab > a.Count() || ab > b.Count() {
+			return false
+		}
+		// Self-correlation equals own count.
+		return a.AndCount(a) == a.Count()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapForEachOrder(t *testing.T) {
+	b := NewBitmap(300)
+	ins := []PageID{299, 5, 63, 64, 65, 128}
+	for _, p := range ins {
+		b.Set(p)
+	}
+	var got []PageID
+	b.ForEach(func(p PageID) { got = append(got, p) })
+	want := []PageID{5, 63, 64, 65, 128, 299}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package actdsm
+
+import (
+	"errors"
+	"fmt"
+
+	"actdsm/internal/core"
+	"actdsm/internal/dsm"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/threads"
+)
+
+// System bundles an application with a DSM cluster and thread engine,
+// giving interactive control (hooks, tracking, migration) that the
+// one-shot Run helper does not.
+type System struct {
+	app     App
+	cluster *dsm.Cluster
+	engine  *threads.Engine
+	layout  *memlayout.Layout
+	tracker *core.ActiveTracker
+	hooks   Hooks
+	ran     bool
+}
+
+// SystemOption customizes NewSystem.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	placement   []int
+	shuffleSeed uint64
+	gcThreshold int
+	useTCP      bool
+	nodeSpeeds  []float64
+}
+
+// WithPlacement sets the initial thread → node assignment (default:
+// stretch).
+func WithPlacement(assign []int) SystemOption {
+	return func(c *systemConfig) { c.placement = append([]int(nil), assign...) }
+}
+
+// WithShuffle randomizes per-node thread execution order with the seed.
+func WithShuffle(seed uint64) SystemOption {
+	return func(c *systemConfig) { c.shuffleSeed = seed }
+}
+
+// WithGCThreshold sets the diff garbage-collection threshold in bytes
+// (negative disables GC).
+func WithGCThreshold(bytes int) SystemOption {
+	return func(c *systemConfig) { c.gcThreshold = bytes }
+}
+
+// WithTCP routes DSM protocol messages over real loopback TCP sockets.
+func WithTCP() SystemOption {
+	return func(c *systemConfig) { c.useTCP = true }
+}
+
+// WithNodeSpeeds makes the cluster heterogeneous: speeds[n] scales node
+// n's CPU (1.0 = baseline). Combine with CapacitiesForSpeeds-derived
+// placements to exploit the fast nodes.
+func WithNodeSpeeds(speeds []float64) SystemOption {
+	return func(c *systemConfig) { c.nodeSpeeds = append([]float64(nil), speeds...) }
+}
+
+// NewSystem builds a cluster sized for the application's shared segment
+// and an engine hosting its threads.
+func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
+	var cfg systemConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	layout := memlayout.NewLayout()
+	if err := app.Setup(layout); err != nil {
+		return nil, fmt.Errorf("actdsm: set up %s: %w", app.Name(), err)
+	}
+	cluster, err := dsm.New(dsm.Config{
+		Nodes:            nodes,
+		Pages:            layout.TotalPages(),
+		GCThresholdBytes: cfg.gcThreshold,
+		UseTCP:           cfg.useTCP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine, err := threads.NewEngine(cluster, threads.Config{
+		Threads:          app.Threads(),
+		Placement:        cfg.placement,
+		SchedulerEnabled: true,
+		ShuffleSeed:      cfg.shuffleSeed,
+		NodeSpeeds:       cfg.nodeSpeeds,
+	})
+	if err != nil {
+		_ = cluster.Close()
+		return nil, err
+	}
+	return &System{app: app, cluster: cluster, engine: engine, layout: layout}, nil
+}
+
+// App returns the system's application.
+func (s *System) App() App { return s.app }
+
+// Cluster returns the DSM cluster (statistics, coherence checks).
+func (s *System) Cluster() *Cluster { return s.cluster }
+
+// Engine returns the thread engine (placement, migration, clocks).
+func (s *System) Engine() *Engine { return s.engine }
+
+// Layout returns the application's shared-segment layout.
+func (s *System) Layout() *Layout { return s.layout }
+
+// SetHooks installs engine hooks; call before Run. If tracking was
+// requested, the tracker's instrumentation wraps these hooks.
+func (s *System) SetHooks(h Hooks) { s.hooks = h }
+
+// TrackIteration arms active correlation tracking for the given 0-based
+// iteration and returns the tracker; call before Run.
+func (s *System) TrackIteration(iter int) *ActiveTracker {
+	s.tracker = core.NewActiveTracker(s.engine, iter)
+	return s.tracker
+}
+
+// Run executes the application to completion.
+func (s *System) Run() error {
+	if s.ran {
+		return errors.New("actdsm: system already ran")
+	}
+	s.ran = true
+	if s.tracker != nil {
+		s.engine.SetHooks(s.tracker.Hooks(s.hooks))
+		s.tracker.Start()
+	} else {
+		s.engine.SetHooks(s.hooks)
+	}
+	return s.engine.Run(s.app.Body)
+}
+
+// Elapsed returns the cluster-wide elapsed virtual time.
+func (s *System) Elapsed() Time { return s.engine.Elapsed() }
+
+// Close releases cluster resources.
+func (s *System) Close() error { return s.cluster.Close() }
+
+// customApp adapts user-provided setup and body functions to the App
+// interface, letting downstream code define new workloads against the
+// public API (the adaptive example uses this).
+type customApp struct {
+	name    string
+	threads int
+	iters   int
+	setup   func(*Layout) error
+	body    func(tid int) Body
+}
+
+var _ App = (*customApp)(nil)
+
+// NewCustomApp wraps setup and per-thread body functions as an App. The
+// body must follow the SPMD conventions of the built-in applications:
+// thread 0 initializes shared data before a barrier, and every iteration
+// ends with ctx.EndIteration() (iterations total iters).
+func NewCustomApp(name string, nthreads, iters int, setup func(*Layout) error, body func(tid int) Body) (App, error) {
+	if nthreads <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("actdsm: custom app %q: threads and iterations must be positive", name)
+	}
+	if setup == nil || body == nil {
+		return nil, fmt.Errorf("actdsm: custom app %q: setup and body are required", name)
+	}
+	return &customApp{name: name, threads: nthreads, iters: iters, setup: setup, body: body}, nil
+}
+
+func (c *customApp) Name() string          { return c.name }
+func (c *customApp) Threads() int          { return c.threads }
+func (c *customApp) Iterations() int       { return c.iters }
+func (c *customApp) Setup(l *Layout) error { return c.setup(l) }
+func (c *customApp) Body(tid int) Body     { return c.body(tid) }
+func (c *customApp) String() string        { return c.name }

@@ -1,0 +1,47 @@
+package actdsm
+
+import (
+	"actdsm/internal/dsm"
+	"actdsm/internal/threads"
+	"actdsm/internal/trace"
+)
+
+// Trace facade: record page-access streams from live runs, analyze them
+// offline, and replay them as synthetic workloads (see internal/trace).
+type (
+	// Trace is a recorded page-access stream.
+	Trace = trace.Trace
+	// TraceEvent is one page access by one thread.
+	TraceEvent = trace.Event
+	// Recorder captures a Trace from a live engine.
+	Recorder = trace.Recorder
+)
+
+// NewRecorder attaches a trace recorder to an engine's cluster; install
+// its Hooks before running.
+func NewRecorder(e *Engine) *Recorder { return trace.NewRecorder(e) }
+
+// DecodeTrace parses a trace serialized with Trace.Encode.
+func DecodeTrace(b []byte) (*Trace, error) { return trace.Decode(b) }
+
+// ReplayTrace replays a captured trace on a fresh cluster with the given
+// node count and protocol, returning the run's protocol counters and
+// elapsed virtual time.
+func ReplayTrace(t *Trace, nodes int, protocol Protocol) (Snapshot, Time, error) {
+	cl, err := dsm.New(dsm.Config{Nodes: nodes, Pages: t.Pages, Protocol: protocol})
+	if err != nil {
+		return Snapshot{}, 0, err
+	}
+	defer func() { _ = cl.Close() }()
+	eng, err := threads.NewEngine(cl, threads.Config{
+		Threads:          t.Threads,
+		SchedulerEnabled: true,
+	})
+	if err != nil {
+		return Snapshot{}, 0, err
+	}
+	if err := eng.Run(t.ReplayBody()); err != nil {
+		return Snapshot{}, 0, err
+	}
+	return cl.Stats().Snapshot(), eng.Elapsed(), nil
+}
