@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: the full gate — build, vet, and the test suite under the race
+## detector. This is what CI should run.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one benchmark per paper table/figure plus substrate
+## micro-benchmarks (per-message-kind call stats are reported as metrics).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'

@@ -31,6 +31,7 @@ import (
 	"actdsm/internal/placement"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
+	"actdsm/internal/transport"
 	"actdsm/internal/vm"
 )
 
@@ -62,8 +63,21 @@ type (
 	ClusterConfig = dsm.Config
 	// Stats holds the DSM's protocol counters.
 	Stats = dsm.Stats
-	// Snapshot is a point-in-time copy of protocol counters.
+	// Snapshot is a point-in-time copy of protocol counters, including
+	// the per-message-type call table (counts, bytes, retries, latency
+	// histograms; render it with Snapshot.FormatCalls).
 	Snapshot = dsm.Snapshot
+	// CallSnapshot is one message type's call counters and latency
+	// histogram within a Snapshot.
+	CallSnapshot = dsm.CallSnapshot
+	// TransportOptions tunes transport resilience: per-call timeouts
+	// and bounded retry with exponential backoff and jitter.
+	TransportOptions = transport.Options
+	// ChaosOptions configures transport fault injection (drops, delays,
+	// duplicates, partitions) for resilience testing.
+	ChaosOptions = transport.ChaosOptions
+	// Fault is one injected transport failure mode.
+	Fault = transport.Fault
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
 	// Costs is the virtual-time cost model.
@@ -97,6 +111,15 @@ const (
 
 // PageSize is the shared-segment page size in bytes.
 const PageSize = memlayout.PageSize
+
+// Injected transport fault modes (ChaosOptions.Plan return values).
+const (
+	FaultNone        = transport.FaultNone
+	FaultDropRequest = transport.FaultDropRequest
+	FaultDropReply   = transport.FaultDropReply
+	FaultDuplicate   = transport.FaultDuplicate
+	FaultDelay       = transport.FaultDelay
+)
 
 // Protocol selects the DSM coherence protocol.
 type Protocol = dsm.Protocol

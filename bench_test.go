@@ -201,8 +201,19 @@ func BenchmarkSpanWarm(b *testing.B) {
 	}
 }
 
+// reportCallStats emits the per-message-type transport counters gathered
+// during the benchmark loop as custom metrics: round trips and wire bytes
+// per operation, named by message kind.
+func reportCallStats(b *testing.B, s dsm.Snapshot) {
+	b.Helper()
+	for _, c := range s.Calls {
+		b.ReportMetric(float64(c.Count)/float64(b.N), c.Kind+"/op")
+		b.ReportMetric(float64(c.Bytes)/float64(b.N), c.Kind+"-B/op")
+	}
+}
+
 // BenchmarkRemoteMiss measures a full invalidate/diff-fetch cycle between
-// two nodes.
+// two nodes and reports which protocol messages it spends.
 func BenchmarkRemoteMiss(b *testing.B) {
 	cl, err := dsm.New(dsm.Config{Nodes: 2, Pages: 1, GCThresholdBytes: -1})
 	if err != nil {
@@ -211,6 +222,7 @@ func BenchmarkRemoteMiss(b *testing.B) {
 	defer func() { _ = cl.Close() }()
 	b.ReportAllocs()
 	b.ResetTimer()
+	base := cl.Stats().Snapshot()
 	for i := 0; i < b.N; i++ {
 		// Node 1 writes, barrier invalidates node 0, node 0 re-reads.
 		bs, _, err := cl.Span(1, 8, 0, 4, vm.Write)
@@ -225,6 +237,38 @@ func BenchmarkRemoteMiss(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportCallStats(b, cl.Stats().Snapshot().Sub(base))
+}
+
+// BenchmarkBarrierFanOut measures one global barrier episode on an
+// eight-node cluster with every node contributing write notices — the
+// broadcast path whose enter and release phases now run their transport
+// calls in parallel — and reports the per-message-type traffic.
+func BenchmarkBarrierFanOut(b *testing.B) {
+	const nodes = 8
+	cl, err := dsm.New(dsm.Config{Nodes: nodes, Pages: nodes, GCThresholdBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	base := cl.Stats().Snapshot()
+	for i := 0; i < b.N; i++ {
+		for node := 0; node < nodes; node++ {
+			bs, _, err := cl.Span(node, node, node*memlayout.PageSize, 4, vm.Write)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bs[0] = byte(i)
+		}
+		if _, err := cl.Barrier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCallStats(b, cl.Stats().Snapshot().Sub(base))
 }
 
 // BenchmarkCutCost measures cut-cost evaluation on a 64-thread matrix.

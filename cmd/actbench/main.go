@@ -7,7 +7,10 @@
 //
 // With no -only flag every experiment runs in paper order. -scale test
 // (the default) finishes in seconds; -scale paper uses the Table 1 inputs
-// and can take tens of minutes.
+// and can take tens of minutes. The extra "transport" section (not part
+// of the paper) prints per-message-type call statistics — counts, wire
+// bytes, retries, and latency quantiles — for one run over each
+// transport.
 package main
 
 import (
@@ -36,7 +39,7 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, transport)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 	)
@@ -199,7 +202,48 @@ func run() error {
 			return err
 		}
 	}
+	if selected("transport") {
+		if err := section("Transport: per-message call statistics (SOR)", func() (string, error) {
+			return transportStats(*threads, *nodes, opts.Scale)
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// transportStats runs one SOR workload over each transport and renders
+// the per-message-type call table: counts, wire bytes, retries, and
+// latency quantiles. Not part of the paper; it exercises the resilience
+// layer (DESIGN.md §6) and shows where protocol time goes.
+func transportStats(threads, nodes int, scale actdsm.Scale) (string, error) {
+	var b strings.Builder
+	for _, useTCP := range []bool{false, true} {
+		app, err := actdsm.NewApp("SOR", actdsm.AppConfig{Threads: threads, Scale: scale})
+		if err != nil {
+			return "", err
+		}
+		name := "local"
+		sysOpts := []actdsm.SystemOption{
+			actdsm.WithTransportOptions(actdsm.TransportOptions{MaxAttempts: 3}),
+		}
+		if useTCP {
+			name = "tcp"
+			sysOpts = append(sysOpts, actdsm.WithTCP())
+		}
+		sys, err := actdsm.NewSystem(app, nodes, sysOpts...)
+		if err != nil {
+			return "", err
+		}
+		runErr := sys.Run()
+		snap := sys.Cluster().Stats().Snapshot()
+		_ = sys.Close()
+		if runErr != nil {
+			return "", fmt.Errorf("%s transport: %w", name, runErr)
+		}
+		fmt.Fprintf(&b, "-- %s transport --\n%s", name, snap.FormatCalls())
+	}
+	return b.String(), nil
 }
 
 func section(title string, f func() (string, error)) error {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"actdsm/internal/memlayout"
 	"actdsm/internal/msg"
@@ -49,6 +50,22 @@ type Config struct {
 	// Protocol selects the coherence protocol; zero value selects
 	// MultiWriter.
 	Protocol Protocol
+	// Transport tunes call resilience: a per-attempt deadline
+	// (CallTimeout, TCP only) and bounded retry with exponential
+	// backoff and jitter (MaxAttempts > 1). The zero value keeps the
+	// historical behaviour: no deadline, single attempt. Retries are
+	// safe because every protocol message is idempotent at the
+	// receiver — see DESIGN.md §6.
+	Transport transport.Options
+	// Chaos, when non-nil, wraps the transport with fault injection
+	// (dropped requests and replies, delays, duplicates, partitions)
+	// for resilience testing; it works over both Local and TCP.
+	Chaos *transport.ChaosOptions
+	// BarrierRetries is the number of additional attempts Barrier makes
+	// to re-broadcast a failed enter or release fan-out. A retried
+	// phase re-sends every notice; receivers deduplicate. This layers
+	// above (and composes with) transport-level retry. Default 0.
+	BarrierRetries int
 }
 
 // defaultGCThreshold reflects CVM's memory budget (194 MB nodes): diffs
@@ -76,10 +93,16 @@ type Cluster struct {
 	onAccess      []func(node, tid int, p vm.PageID, a vm.Access)
 }
 
+// barrierState accumulates one barrier episode at the manager. entered
+// and have deduplicate re-sent BarrierEnter messages (transport retries
+// and whole-phase barrier retries both re-deliver), so counters and the
+// notice union are exactly-once per episode.
 type barrierState struct {
-	entered int
+	episode int32
+	entered map[int32]bool
 	lam     int32
 	notices []msg.Notice
+	have    map[[3]int32]bool // (page, writer, interval)
 }
 
 // New builds and starts a cluster.
@@ -119,15 +142,30 @@ func New(cfg Config) (*Cluster, error) {
 			return msg.Encode(reply), nil
 		}
 	}
+	var tr transport.Transport
 	if cfg.UseTCP {
-		tr, err := transport.NewTCP(handlers)
+		tcp, err := transport.NewTCPWithOptions(handlers, cfg.Transport)
 		if err != nil {
 			return nil, fmt.Errorf("dsm: start transport: %w", err)
 		}
-		c.tr = tr
+		tr = tcp
 	} else {
-		c.tr = transport.NewLocal(handlers)
+		tr = transport.NewLocal(handlers)
 	}
+	if cfg.Chaos != nil {
+		// Chaos sits under the retry wrapper so injected faults
+		// exercise the retry path, exactly like real network faults.
+		tr = transport.NewChaos(tr, *cfg.Chaos)
+	}
+	retryOpts := cfg.Transport
+	userOnRetry := retryOpts.OnRetry
+	retryOpts.OnRetry = func(from, to, attempt int, payload []byte, err error) {
+		c.stats.recordRetry(payload)
+		if userOnRetry != nil {
+			userOnRetry(from, to, attempt, payload, err)
+		}
+	}
+	c.tr = transport.WithRetry(tr, retryOpts)
 	return c, nil
 }
 
@@ -174,20 +212,70 @@ func (c *Cluster) AddAccessHook(f func(node, tid int, p vm.PageID, a vm.Access))
 func (c *Cluster) manager(p vm.PageID) int { return int(p) % c.cfg.Nodes }
 
 // call sends m and returns the decoded reply plus the requester-side wire
-// cost. All protocol traffic is accounted here.
+// cost. All protocol traffic is accounted here, including the per-kind
+// call counters and latency histograms.
 func (c *Cluster) call(from, to int, m msg.Message) (msg.Message, sim.Time, error) {
 	b := msg.Encode(m)
+	kind := m.Kind()
+	start := time.Now()
 	rb, err := c.tr.Call(from, to, b)
 	if err != nil {
+		c.stats.recordCall(kind, len(b), time.Since(start), true)
 		return nil, 0, err
 	}
 	reply, err := msg.Decode(rb)
 	if err != nil {
+		c.stats.recordCall(kind, len(b)+len(rb), time.Since(start), true)
 		return nil, 0, fmt.Errorf("dsm: decode reply: %w", err)
 	}
+	c.stats.recordCall(kind, len(b)+len(rb), time.Since(start), false)
 	c.stats.Messages.Add(2)
 	c.stats.BytesTotal.Add(int64(len(b) + len(rb)))
 	return reply, c.costs.FetchCost(len(b), len(rb)), nil
+}
+
+// fanOut runs f(0..n-1) concurrently and returns the lowest-index error
+// (errgroup-style aggregation; deterministic error selection keeps
+// failure messages stable across runs).
+func fanOut(n int, f func(i int) error) error {
+	if n <= 1 {
+		if n == 1 {
+			return f(0)
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// broadcast runs one broadcast phase, retrying it up to
+// Config.BarrierRetries additional times on failure. Phases must be
+// idempotent at their receivers (they are — see DESIGN.md §6).
+func (c *Cluster) broadcast(phase func() error) error {
+	var err error
+	for attempt := 0; attempt <= c.cfg.BarrierRetries; attempt++ {
+		if attempt > 0 {
+			c.stats.BarrierRetries.Add(1)
+		}
+		if err = phase(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // Span validates the pages covering [off, off+size) for access a by
@@ -263,6 +351,13 @@ func (c *Cluster) Tracking(node int) bool { return c.nodes[node].as.Tracking() }
 // If the stored diff volume exceeds the GC threshold, a garbage-collection
 // round follows. The returned slice holds each node's virtual-time cost
 // for the episode.
+//
+// Both broadcast phases (enter fan-in and release fan-out) run their
+// transport calls in parallel across nodes. Each phase is retried up to
+// Config.BarrierRetries additional times on failure: a retried phase
+// re-sends every notice, and receivers deduplicate (the manager by
+// (node) and (page, writer, interval); release receivers through the
+// pending-notice dedup), so counters are exactly-once per episode.
 func (c *Cluster) Barrier() ([]sim.Time, error) {
 	nnodes := c.cfg.Nodes
 	costs := make([]sim.Time, nnodes)
@@ -271,14 +366,24 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	const mgr = 0
 
 	c.barrierMu.Lock()
-	c.barrier = barrierState{}
+	c.barrier = barrierState{
+		episode: episode,
+		entered: make(map[int32]bool, nnodes),
+		have:    make(map[[3]int32]bool),
+	}
 	c.barrierMu.Unlock()
 
+	// Phase 1 (local, serial): close every node's interval and build its
+	// enter message. fresh/known are cleared only after the whole episode
+	// succeeds, so a retried episode — whether a phase retry below or the
+	// application calling Barrier again after an error — re-sends every
+	// notice; receivers deduplicate.
+	enters := make([]*msg.BarrierEnter, nnodes)
 	for i := 0; i < nnodes; i++ {
 		n := c.nodes[i]
 		n.mu.Lock()
 		_, diffCost := n.closeIntervalLocked()
-		enter := &msg.BarrierEnter{
+		enters[i] = &msg.BarrierEnter{
 			Node:    int32(i),
 			Episode: episode,
 			Lam:     n.lamport,
@@ -286,44 +391,71 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		n.mu.Unlock()
 		costs[i] += diffCost
-		if i != mgr {
-			_, wire, err := c.call(i, mgr, enter)
+	}
+
+	// Phase 2: parallel enter fan-in to the manager.
+	err := c.broadcast(func() error {
+		return fanOut(nnodes, func(i int) error {
+			if i == mgr {
+				_, err := c.nodes[mgr].serveBarrierEnter(enters[mgr])
+				return err
+			}
+			_, wire, err := c.call(i, mgr, enters[i])
 			if err != nil {
-				// fresh/known are cleared only after the whole
-				// episode succeeds, so a retried barrier
-				// re-sends every notice; receivers deduplicate.
-				return nil, fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
+				return fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
 			}
 			costs[i] += wire
-		} else if _, err := n.serveBarrierEnter(enter); err != nil {
-			return nil, err
-		}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	c.barrierMu.Lock()
-	if c.barrier.entered != nnodes {
+	if got := len(c.barrier.entered); got != nnodes {
 		c.barrierMu.Unlock()
-		return nil, fmt.Errorf("dsm: barrier episode %d: %d/%d entered", episode, c.barrier.entered, nnodes)
+		return nil, fmt.Errorf("dsm: barrier episode %d: %d/%d entered", episode, got, nnodes)
 	}
-	release := &msg.BarrierRelease{
-		Episode: episode,
-		Lam:     c.barrier.lam,
-		Notices: append([]msg.Notice(nil), c.barrier.notices...),
-	}
+	notices := append([]msg.Notice(nil), c.barrier.notices...)
+	lam := c.barrier.lam
 	c.barrierMu.Unlock()
+	// The parallel fan-in makes arrival order nondeterministic; sort the
+	// union so the release broadcast (and everything downstream of its
+	// notice order) stays identical across runs.
+	sort.Slice(notices, func(i, j int) bool {
+		a, b := notices[i], notices[j]
+		if a.Writer != b.Writer {
+			return a.Writer < b.Writer
+		}
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		return a.Page < b.Page
+	})
+	release := &msg.BarrierRelease{Episode: episode, Lam: lam, Notices: notices}
 
-	for i := 0; i < nnodes; i++ {
-		if i == mgr {
-			if _, err := c.nodes[i].serveBarrierRelease(release); err != nil {
-				return nil, err
+	// Phase 3: parallel release fan-out. serveBarrierRelease is
+	// idempotent (pending-notice dedup, max-merge clocks), so phase
+	// retries that re-deliver to some nodes are harmless.
+	err = c.broadcast(func() error {
+		return fanOut(nnodes, func(i int) error {
+			if i == mgr {
+				_, err := c.nodes[i].serveBarrierRelease(release)
+				return err
 			}
-		} else {
 			_, wire, err := c.call(mgr, i, release)
 			if err != nil {
-				return nil, fmt.Errorf("dsm: barrier release node %d: %w", i, err)
+				return fmt.Errorf("dsm: barrier release node %d: %w", i, err)
 			}
 			costs[i] += wire
-		}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nnodes; i++ {
 		costs[i] += c.costs.BarrierBase
 	}
 	// The episode is fully delivered: every node's notices are now
@@ -335,6 +467,9 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		n.knownHave = make(map[[3]int32]bool)
 		for i := range n.sentKnown {
 			n.sentKnown[i] = 0
+		}
+		for i := range n.lockPos {
+			n.lockPos[i] = 0
 		}
 		n.mu.Unlock()
 	}
@@ -400,19 +535,27 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 		mgr.mu.Unlock()
 		costs[mgr.id] += ti.Stall + ti.Overhead
 
+		// Parallel collect broadcast. serveGCCollect is idempotent
+		// (dropping absent diffs and re-invalidating are no-ops), so
+		// phase retries that re-deliver to some nodes are harmless and
+		// GCCollections stays exactly-once per page.
 		collect := &msg.GCCollect{Page: int32(p)}
-		for i, n := range c.nodes {
-			if i == mgr.id {
-				if _, err := n.serveGCCollect(collect); err != nil {
+		err := c.broadcast(func() error {
+			return fanOut(len(c.nodes), func(i int) error {
+				if i == mgr.id {
+					_, err := c.nodes[i].serveGCCollect(collect)
 					return err
 				}
-				continue
-			}
-			_, wire, err := c.call(mgr.id, i, collect)
-			if err != nil {
-				return fmt.Errorf("dsm: gc collect page %d node %d: %w", p, i, err)
-			}
-			costs[i] += wire
+				_, wire, err := c.call(mgr.id, i, collect)
+				if err != nil {
+					return fmt.Errorf("dsm: gc collect page %d node %d: %w", p, i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
+		})
+		if err != nil {
+			return err
 		}
 		c.stats.GCCollections.Add(1)
 	}
@@ -430,6 +573,7 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	req := &msg.LockAcquire{
 		Node: int32(node),
 		Lock: lock,
+		Pos:  n.lockPos[mgr],
 		Seen: append([]int32(nil), n.seen...),
 	}
 	n.mu.Unlock()
@@ -457,6 +601,10 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	// Received notices join the causal history our own future releases
 	// must propagate (transitivity).
 	n.addKnownLocked(grant.Notices)
+	// Confirm delivery: the next acquire asks for the log suffix past
+	// this grant. Advancing only here (not at the manager when serving)
+	// keeps a retried acquire safe — a lost grant reply is re-served.
+	n.lockPos[mgr] = grant.Pos
 	n.mu.Unlock()
 	c.stats.LockAcquires.Add(1)
 	return wire, nil

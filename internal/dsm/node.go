@@ -55,15 +55,21 @@ func (st *pageState) noteApplied(nodes int, writer, interval int32) {
 // mgrLog is a lock manager's shared, deduplicated, append-only log of
 // every notice that has flowed through any lock it manages since the last
 // barrier. Grants send each requesting node only the suffix it has not
-// yet received (a per-node high-water mark), so repeated acquires don't
-// re-ship the same history — the incremental delivery real CVM achieves
-// with vector timestamps. Sending the shared log (a superset of any one
-// lock's history) preserves the transitive-causality guarantee.
+// yet received, so repeated acquires don't re-ship the same history — the
+// incremental delivery real CVM achieves with vector timestamps. Sending
+// the shared log (a superset of any one lock's history) preserves the
+// transitive-causality guarantee.
+//
+// The high-water mark for the suffix is *requester-confirmed*: the
+// acquire message echoes the log position of the last grant the requester
+// applied (LockAcquire.Pos), and the manager serves from there. Keeping
+// the mark on the manager and advancing it when serving would lose
+// notices if the grant reply is dropped and the transport retries the
+// acquire — the retried request would be served from past the notices
+// the requester never received.
 type mgrLog struct {
 	log  []msg.Notice
 	have map[[3]int32]bool // (page, writer, interval)
-	// sent[node] is the log prefix already granted to node.
-	sent map[int32]int
 	// lockLam[lock] is the Lamport clock of the lock's last release.
 	lockLam map[int32]int32
 }
@@ -71,7 +77,6 @@ type mgrLog struct {
 func newMgrLog() *mgrLog {
 	return &mgrLog{
 		have:    make(map[[3]int32]bool),
-		sent:    make(map[int32]int),
 		lockLam: make(map[int32]int32),
 	}
 }
@@ -90,7 +95,6 @@ func (ml *mgrLog) add(ns []msg.Notice) {
 func (ml *mgrLog) reset() {
 	ml.log = nil
 	ml.have = make(map[[3]int32]bool)
-	ml.sent = make(map[int32]int)
 	ml.lockLam = make(map[int32]int32)
 }
 
@@ -133,6 +137,11 @@ type node struct {
 	// sentKnown[mgr] is the prefix of known already shipped to manager
 	// node mgr by this node's lock releases (reset at barriers).
 	sentKnown []int
+	// lockPos[mgr] is the prefix of manager mgr's shared notice log this
+	// node has received and applied via lock grants. It advances only
+	// after a grant is applied and is echoed in the next acquire, keeping
+	// grant delivery incremental yet retry-safe (reset at barriers).
+	lockPos []int32
 	// sw is manager-side single-writer ownership state (nil under the
 	// multi-writer protocol).
 	sw []swState
@@ -154,6 +163,7 @@ func newNode(id int, c *Cluster, npages int) *node {
 		diffs:     make(map[vm.PageID]map[int32][]byte),
 		locks:     newMgrLog(),
 		sentKnown: make([]int, c.cfg.Nodes),
+		lockPos:   make([]int32, c.cfg.Nodes),
 		knownHave: make(map[[3]int32]bool),
 	}
 	n.as = vm.NewAddressSpace(npages, n.resolveFault)
@@ -544,13 +554,37 @@ func (n *node) serveDiffRequest(req *msg.DiffRequest) (msg.Message, error) {
 	return out, nil
 }
 
+// serveBarrierEnter folds one node's arrival into the current episode's
+// barrier state. It is idempotent: a re-delivered enter (transport retry
+// after a lost reply, or a retried broadcast phase) for a node already
+// counted — or for a stale episode — is acknowledged without effect, so
+// the entered count and the notice union are exactly-once per episode.
 func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 	n.c.barrierMu.Lock()
 	defer n.c.barrierMu.Unlock()
 	b := &n.c.barrier
+	if req.Episode != b.episode {
+		return &msg.Ack{}, nil // late duplicate of a completed episode
+	}
+	if b.entered == nil {
+		b.entered = make(map[int32]bool)
+	}
+	if b.have == nil {
+		b.have = make(map[[3]int32]bool)
+	}
+	if b.entered[req.Node] {
+		return &msg.Ack{}, nil // duplicate delivery within the episode
+	}
+	b.entered[req.Node] = true
 	b.lam = maxI32(b.lam, req.Lam)
-	b.notices = append(b.notices, req.Notices...)
-	b.entered++
+	for _, nt := range req.Notices {
+		k := [3]int32{nt.Page, nt.Writer, nt.Interval}
+		if b.have[k] {
+			continue
+		}
+		b.have[k] = true
+		b.notices = append(b.notices, nt)
+	}
 	return &msg.Ack{}, nil
 }
 
@@ -565,21 +599,35 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 		}
 	}
 	// The barrier flushed all pre-barrier notices cluster-wide, so the
-	// managed lock log and the per-manager release high-water marks
-	// restart.
+	// managed lock log, the per-manager release high-water marks, and the
+	// confirmed grant-log positions restart together.
 	n.locks.reset()
 	for i := range n.sentKnown {
 		n.sentKnown[i] = 0
 	}
+	for i := range n.lockPos {
+		n.lockPos[i] = 0
+	}
 	return &msg.Ack{}, nil
 }
 
+// serveLockAcquire grants a lock with the suffix of the shared notice log
+// the requester has not confirmed receiving. It is idempotent: the start
+// position comes from the request (the requester's last applied grant),
+// so a retried acquire — e.g. after a dropped grant reply — is re-served
+// the identical suffix, and the requester's notice application dedups.
 func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ml := n.locks
-	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock]}
-	start := ml.sent[req.Node]
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Pos: int32(len(ml.log))}
+	start := int(req.Pos)
+	if start < 0 || start > len(ml.log) {
+		// Defensive clamp: positions from before the log's barrier reset
+		// cannot occur (both ends reset together), but never slice past
+		// the log.
+		start = 0
+	}
 	for _, nt := range ml.log[start:] {
 		if int(nt.Writer) == int(req.Node) {
 			continue
@@ -589,7 +637,6 @@ func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
 		}
 		grant.Notices = append(grant.Notices, nt)
 	}
-	ml.sent[req.Node] = len(ml.log)
 	return grant, nil
 }
 

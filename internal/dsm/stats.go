@@ -1,10 +1,68 @@
 package dsm
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"actdsm/internal/msg"
+)
+
+// LatencyBuckets is the number of power-of-two latency histogram buckets
+// per message type. Bucket i counts calls whose wall-clock latency fell
+// in [1µs<<i, 1µs<<(i+1)); bucket 0 also absorbs sub-microsecond calls
+// and the last bucket absorbs the tail (≳ 131ms).
+const LatencyBuckets = 18
+
+// latencyBucket maps a duration to its histogram bucket.
+func latencyBucket(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < LatencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketBound returns the inclusive lower bound of bucket b.
+func bucketBound(b int) time.Duration {
+	return time.Microsecond << b
+}
+
+// CallStats counts one message type's transport calls. All fields are
+// atomic: the parallel barrier/GC fan-out and TCP server goroutines
+// report concurrently.
+type CallStats struct {
+	// Count is the number of completed Call round trips (success or
+	// failure), excluding retries of the same logical call.
+	Count atomic.Int64
+	// Errors counts calls that ultimately failed.
+	Errors atomic.Int64
+	// Retries counts retry attempts made by the transport's retry
+	// wrapper on behalf of this message type.
+	Retries atomic.Int64
+	// Bytes counts request + reply wire bytes.
+	Bytes atomic.Int64
+	// Latency is the wall-clock round-trip histogram.
+	Latency [LatencyBuckets]atomic.Int64
+}
+
+// record folds one completed call into the counters.
+func (cs *CallStats) record(bytes int, d time.Duration, failed bool) {
+	cs.Count.Add(1)
+	cs.Bytes.Add(int64(bytes))
+	if failed {
+		cs.Errors.Add(1)
+	}
+	cs.Latency[latencyBucket(d)].Add(1)
+}
 
 // Stats counts protocol events. All fields are updated atomically so the
-// TCP transport's server goroutines can report concurrently with the
-// simulation thread.
+// TCP transport's server goroutines and the parallel broadcast fan-out
+// can report concurrently with the simulation thread.
 type Stats struct {
 	// RemoteMisses counts access faults that required communication
 	// with another node (full page fetch or diff fetch) — the quantity
@@ -27,6 +85,10 @@ type Stats struct {
 	DiffFetches atomic.Int64
 	// Barriers counts barrier episodes.
 	Barriers atomic.Int64
+	// BarrierRetries counts broadcast phases (barrier enter, barrier
+	// release, or GC collect) that had to be re-broadcast after a
+	// transport failure; receivers deduplicate the re-sent notices.
+	BarrierRetries atomic.Int64
 	// LockAcquires counts lock acquisitions.
 	LockAcquires atomic.Int64
 	// GCCollections counts pages consolidated by garbage collection.
@@ -37,6 +99,63 @@ type Stats struct {
 	TwinsCreated atomic.Int64
 	// DiffsCreated counts diffs created at interval ends.
 	DiffsCreated atomic.Int64
+	// Calls holds per-message-type call counters and latency
+	// histograms, indexed by msg.Kind of the request.
+	Calls [msg.KindCount]CallStats
+}
+
+// recordCall folds one completed transport round trip into the per-kind
+// counters.
+func (s *Stats) recordCall(k msg.Kind, bytes int, d time.Duration, failed bool) {
+	if int(k) < len(s.Calls) {
+		s.Calls[k].record(bytes, d, failed)
+	}
+}
+
+// recordRetry counts one transport-level retry for the message kind
+// encoded in payload (its first byte).
+func (s *Stats) recordRetry(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if k := msg.Kind(payload[0]); k.Valid() {
+		s.Calls[k].Retries.Add(1)
+	}
+}
+
+// CallSnapshot is a plain-value copy of one message type's CallStats.
+type CallSnapshot struct {
+	Kind    string
+	Count   int64
+	Errors  int64
+	Retries int64
+	Bytes   int64
+	Latency [LatencyBuckets]int64
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) of the
+// latency histogram: the lower bound of the bucket holding the q-th
+// call. Returns 0 when no calls were recorded.
+func (c CallSnapshot) Quantile(q float64) time.Duration {
+	var total int64
+	for _, n := range c.Latency {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want >= total {
+		want = total - 1
+	}
+	var seen int64
+	for b, n := range c.Latency {
+		seen += n
+		if seen > want {
+			return bucketBound(b)
+		}
+	}
+	return bucketBound(LatencyBuckets - 1)
 }
 
 // Snapshot is a plain-value copy of Stats for reporting.
@@ -50,16 +169,20 @@ type Snapshot struct {
 	PageFetches     int64
 	DiffFetches     int64
 	Barriers        int64
+	BarrierRetries  int64
 	LockAcquires    int64
 	GCCollections   int64
 	GCRounds        int64
 	TwinsCreated    int64
 	DiffsCreated    int64
+	// Calls holds the per-message-type counters for every kind with
+	// activity, ordered by kind.
+	Calls []CallSnapshot
 }
 
 // Snapshot returns the current counter values.
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
+	out := Snapshot{
 		RemoteMisses:    s.RemoteMisses.Load(),
 		CoherenceFaults: s.CoherenceFaults.Load(),
 		TrackingFaults:  s.TrackingFaults.Load(),
@@ -69,18 +192,81 @@ func (s *Stats) Snapshot() Snapshot {
 		PageFetches:     s.PageFetches.Load(),
 		DiffFetches:     s.DiffFetches.Load(),
 		Barriers:        s.Barriers.Load(),
+		BarrierRetries:  s.BarrierRetries.Load(),
 		LockAcquires:    s.LockAcquires.Load(),
 		GCCollections:   s.GCCollections.Load(),
 		GCRounds:        s.GCRounds.Load(),
 		TwinsCreated:    s.TwinsCreated.Load(),
 		DiffsCreated:    s.DiffsCreated.Load(),
 	}
+	for k := range s.Calls {
+		cs := &s.Calls[k]
+		c := CallSnapshot{
+			Kind:    msg.Kind(k).String(),
+			Count:   cs.Count.Load(),
+			Errors:  cs.Errors.Load(),
+			Retries: cs.Retries.Load(),
+			Bytes:   cs.Bytes.Load(),
+		}
+		if c.Count == 0 && c.Errors == 0 && c.Retries == 0 {
+			continue
+		}
+		for b := range cs.Latency {
+			c.Latency[b] = cs.Latency[b].Load()
+		}
+		out.Calls = append(out.Calls, c)
+	}
+	return out
+}
+
+// Counters is the comparable, transport-independent subset of Snapshot:
+// every protocol counter, but not the per-kind call table (whose latency
+// histograms measure wall-clock time and therefore differ between
+// transports and runs). Determinism tests compare Counters values.
+type Counters struct {
+	RemoteMisses    int64
+	CoherenceFaults int64
+	TrackingFaults  int64
+	Messages        int64
+	BytesTotal      int64
+	BytesDiff       int64
+	PageFetches     int64
+	DiffFetches     int64
+	Barriers        int64
+	BarrierRetries  int64
+	LockAcquires    int64
+	GCCollections   int64
+	GCRounds        int64
+	TwinsCreated    int64
+	DiffsCreated    int64
+}
+
+// Counters projects the snapshot onto its comparable counter subset.
+func (s Snapshot) Counters() Counters {
+	return Counters{
+		RemoteMisses:    s.RemoteMisses,
+		CoherenceFaults: s.CoherenceFaults,
+		TrackingFaults:  s.TrackingFaults,
+		Messages:        s.Messages,
+		BytesTotal:      s.BytesTotal,
+		BytesDiff:       s.BytesDiff,
+		PageFetches:     s.PageFetches,
+		DiffFetches:     s.DiffFetches,
+		Barriers:        s.Barriers,
+		BarrierRetries:  s.BarrierRetries,
+		LockAcquires:    s.LockAcquires,
+		GCCollections:   s.GCCollections,
+		GCRounds:        s.GCRounds,
+		TwinsCreated:    s.TwinsCreated,
+		DiffsCreated:    s.DiffsCreated,
+	}
 }
 
 // Sub returns the difference s - o, for measuring a window (e.g. one
-// iteration) between two snapshots.
+// iteration) between two snapshots. Per-kind entries are matched by kind
+// name.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
-	return Snapshot{
+	d := Snapshot{
 		RemoteMisses:    s.RemoteMisses - o.RemoteMisses,
 		CoherenceFaults: s.CoherenceFaults - o.CoherenceFaults,
 		TrackingFaults:  s.TrackingFaults - o.TrackingFaults,
@@ -90,10 +276,62 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PageFetches:     s.PageFetches - o.PageFetches,
 		DiffFetches:     s.DiffFetches - o.DiffFetches,
 		Barriers:        s.Barriers - o.Barriers,
+		BarrierRetries:  s.BarrierRetries - o.BarrierRetries,
 		LockAcquires:    s.LockAcquires - o.LockAcquires,
 		GCCollections:   s.GCCollections - o.GCCollections,
 		GCRounds:        s.GCRounds - o.GCRounds,
 		TwinsCreated:    s.TwinsCreated - o.TwinsCreated,
 		DiffsCreated:    s.DiffsCreated - o.DiffsCreated,
+	}
+	prev := make(map[string]CallSnapshot, len(o.Calls))
+	for _, c := range o.Calls {
+		prev[c.Kind] = c
+	}
+	for _, c := range s.Calls {
+		p := prev[c.Kind]
+		c.Count -= p.Count
+		c.Errors -= p.Errors
+		c.Retries -= p.Retries
+		c.Bytes -= p.Bytes
+		for b := range c.Latency {
+			c.Latency[b] -= p.Latency[b]
+		}
+		if c.Count == 0 && c.Errors == 0 && c.Retries == 0 {
+			continue
+		}
+		d.Calls = append(d.Calls, c)
+	}
+	return d
+}
+
+// FormatCalls renders the per-message-type counters as an aligned table:
+// one row per kind with call/error/retry counts, wire bytes, and latency
+// quantiles from the histogram.
+func (s Snapshot) FormatCalls() string {
+	if len(s.Calls) == 0 {
+		return "(no transport calls)\n"
+	}
+	calls := append([]CallSnapshot(nil), s.Calls...)
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Count > calls[j].Count })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %9s %6s %7s %11s %8s %8s %8s\n",
+		"message", "calls", "errs", "retries", "bytes", "p50", "p95", "p99")
+	for _, c := range calls {
+		fmt.Fprintf(&b, "%-15s %9d %6d %7d %11d %8s %8s %8s\n",
+			c.Kind, c.Count, c.Errors, c.Retries, c.Bytes,
+			fmtLat(c.Quantile(0.50)), fmtLat(c.Quantile(0.95)), fmtLat(c.Quantile(0.99)))
+	}
+	return b.String()
+}
+
+// fmtLat renders a latency bound compactly.
+func fmtLat(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
 	}
 }

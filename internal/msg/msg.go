@@ -37,6 +37,43 @@ const (
 	KindSWInvalidate
 )
 
+// KindCount is one past the highest Kind value, sized for arrays indexed
+// by Kind (e.g. the DSM's per-message-type call statistics).
+const KindCount = int(KindSWInvalidate) + 1
+
+// kindNames is indexed by Kind.
+var kindNames = [KindCount]string{
+	KindPageRequest:    "PageRequest",
+	KindPageReply:      "PageReply",
+	KindDiffRequest:    "DiffRequest",
+	KindDiffReply:      "DiffReply",
+	KindBarrierEnter:   "BarrierEnter",
+	KindBarrierRelease: "BarrierRelease",
+	KindLockAcquire:    "LockAcquire",
+	KindLockGrant:      "LockGrant",
+	KindLockRelease:    "LockRelease",
+	KindGCCollect:      "GCCollect",
+	KindAck:            "Ack",
+	KindSWRead:         "SWRead",
+	KindSWWrite:        "SWWrite",
+	KindSWDowngrade:    "SWDowngrade",
+	KindSWFlush:        "SWFlush",
+	KindSWInvalidate:   "SWInvalidate",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k names a defined message kind.
+func (k Kind) Valid() bool {
+	return int(k) < len(kindNames) && kindNames[k] != ""
+}
+
 // ErrTruncated reports a decode attempt on a short buffer.
 var ErrTruncated = errors.New("msg: truncated message")
 
@@ -159,10 +196,15 @@ func (*BarrierRelease) Kind() Kind { return KindBarrierRelease }
 
 // LockAcquire asks a lock's manager for the lock. Seen is the requester's
 // vector time (highest interval seen per node), letting the manager filter
-// the notices the grant must carry.
+// the notices the grant must carry. Pos is the prefix of the manager's
+// shared notice log the requester has already received and applied — the
+// requester echoes the Pos of the last grant it processed, so the mark
+// only advances once delivery is confirmed and a retried acquire (lost
+// grant reply) is re-served the identical suffix.
 type LockAcquire struct {
 	Node int32
 	Lock int32
+	Pos  int32
 	Seen []int32
 }
 
@@ -171,10 +213,13 @@ func (*LockAcquire) Kind() Kind { return KindLockAcquire }
 
 // LockGrant hands over the lock with the consistency information
 // (write notices) the acquirer has not yet seen, and the Lamport clock of
-// the last release.
+// the last release. Pos is the manager-log length the grant brings the
+// requester up to; the requester stores it after applying Notices and
+// echoes it in its next LockAcquire.
 type LockGrant struct {
 	Lock    int32
 	Lam     int32
+	Pos     int32
 	Notices []Notice
 }
 
@@ -466,6 +511,7 @@ func (m *BarrierRelease) decodeBody(d *decoder) (err error) {
 func (m *LockAcquire) encodeBody(e *encoder) {
 	e.i32(m.Node)
 	e.i32(m.Lock)
+	e.i32(m.Pos)
 	e.i32(int32(len(m.Seen)))
 	for _, s := range m.Seen {
 		e.i32(s)
@@ -477,6 +523,9 @@ func (m *LockAcquire) decodeBody(d *decoder) (err error) {
 		return err
 	}
 	if m.Lock, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Pos, err = d.i32(); err != nil {
 		return err
 	}
 	n, err := d.length()
@@ -495,6 +544,7 @@ func (m *LockAcquire) decodeBody(d *decoder) (err error) {
 func (m *LockGrant) encodeBody(e *encoder) {
 	e.i32(m.Lock)
 	e.i32(m.Lam)
+	e.i32(m.Pos)
 	e.notices(m.Notices)
 }
 
@@ -503,6 +553,9 @@ func (m *LockGrant) decodeBody(d *decoder) (err error) {
 		return err
 	}
 	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Pos, err = d.i32(); err != nil {
 		return err
 	}
 	m.Notices, err = d.notices()

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actdsm/internal/sim"
+)
+
+// Fault identifies one injected failure mode for a call.
+type Fault int
+
+// Fault modes.
+const (
+	// FaultNone delivers the call normally.
+	FaultNone Fault = iota
+	// FaultDropRequest fails the call without delivering it: the
+	// receiver never sees the request (a lost request).
+	FaultDropRequest
+	// FaultDropReply delivers the call, discards the reply, and fails:
+	// the receiver HAS executed the request while the caller sees an
+	// error (a lost reply). Retrying such a call re-executes it, which
+	// is exactly the case idempotent protocols must survive.
+	FaultDropReply
+	// FaultDuplicate delivers the call twice and returns the second
+	// reply (a duplicated request, e.g. a spurious network-level
+	// retransmit).
+	FaultDuplicate
+	// FaultDelay sleeps for ChaosOptions.Delay, then delivers normally
+	// (a slow peer; trips CallTimeout when configured tighter).
+	FaultDelay
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDropRequest:
+		return "drop-request"
+	case FaultDropReply:
+		return "drop-reply"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// ChaosOptions configures a Chaos wrapper. Probabilities are evaluated in
+// the order drop-request, drop-reply, duplicate, delay, by one seeded
+// deterministic generator, so a fixed seed and a serial caller produce a
+// reproducible fault schedule. When Plan is non-nil it alone decides
+// every call's fault and the probabilistic knobs are ignored — the fully
+// deterministic mode tests use.
+type ChaosOptions struct {
+	// Seed seeds the fault generator (sim.RNG). Defaults to 1.
+	Seed uint64
+	// DropRequestProb is the probability of FaultDropRequest.
+	DropRequestProb float64
+	// DropReplyProb is the probability of FaultDropReply.
+	DropReplyProb float64
+	// DuplicateProb is the probability of FaultDuplicate.
+	DuplicateProb float64
+	// DelayProb is the probability of FaultDelay.
+	DelayProb float64
+	// Delay is the FaultDelay sleep. Defaults to 1ms.
+	Delay time.Duration
+	// Partitioned, if non-nil, reports whether the (from, to) pair is
+	// currently unreachable; such calls fail with ErrInjected without
+	// being delivered. Schedules (heal after N calls, one-way splits,
+	// islands) are expressed by closing over mutable state.
+	Partitioned func(from, to int) bool
+	// Plan, if non-nil, decides the fault for each call and overrides
+	// the probabilistic knobs. call is the 1-based global call sequence
+	// number (including retries). payload is the encoded message; its
+	// first byte is the msg.Kind, letting plans target specific
+	// protocol messages.
+	Plan func(from, to int, payload []byte, call int64) Fault
+}
+
+// Chaos wraps a Transport with fault injection. It generalizes
+// Local.FailCall: it composes over both Local and TCP (and under
+// WithRetry, so injected faults exercise the retry path). All injected
+// failures carry ErrInjected, which Retryable recognizes.
+type Chaos struct {
+	inner Transport
+	o     ChaosOptions
+
+	calls    atomic.Int64
+	injected atomic.Int64
+
+	mu  sync.Mutex // guards rng
+	rng *sim.RNG
+}
+
+// Compile-time interface check.
+var _ Transport = (*Chaos)(nil)
+
+// NewChaos wraps inner with fault injection per o.
+func NewChaos(inner Transport, o ChaosOptions) *Chaos {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Delay <= 0 {
+		o.Delay = time.Millisecond
+	}
+	return &Chaos{inner: inner, o: o, rng: sim.NewRNG(o.Seed)}
+}
+
+// Calls returns the number of calls observed (including retries).
+func (c *Chaos) Calls() int64 { return c.calls.Load() }
+
+// Injected returns the number of calls a fault was injected into.
+func (c *Chaos) Injected() int64 { return c.injected.Load() }
+
+// Call implements Transport.
+func (c *Chaos) Call(from, to int, payload []byte) ([]byte, error) {
+	call := c.calls.Add(1)
+	if c.o.Partitioned != nil && c.o.Partitioned(from, to) {
+		c.injected.Add(1)
+		return nil, fmt.Errorf("transport: partition %d->%d: %w", from, to, ErrInjected)
+	}
+	f := c.fault(from, to, payload, call)
+	if f != FaultNone {
+		c.injected.Add(1)
+	}
+	switch f {
+	case FaultDropRequest:
+		return nil, fmt.Errorf("transport: chaos dropped request %d->%d: %w", from, to, ErrInjected)
+	case FaultDropReply:
+		if _, err := c.inner.Call(from, to, payload); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("transport: chaos dropped reply %d->%d: %w", from, to, ErrInjected)
+	case FaultDuplicate:
+		if _, err := c.inner.Call(from, to, payload); err != nil {
+			return nil, err
+		}
+	case FaultDelay:
+		time.Sleep(c.o.Delay)
+	}
+	return c.inner.Call(from, to, payload)
+}
+
+// fault decides the fault for one call.
+func (c *Chaos) fault(from, to int, payload []byte, call int64) Fault {
+	if c.o.Plan != nil {
+		return c.o.Plan(from, to, payload, call)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch x := c.rng.Float64(); {
+	case x < c.o.DropRequestProb:
+		return FaultDropRequest
+	case x < c.o.DropRequestProb+c.o.DropReplyProb:
+		return FaultDropReply
+	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb:
+		return FaultDuplicate
+	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb+c.o.DelayProb:
+		return FaultDelay
+	default:
+		return FaultNone
+	}
+}
+
+// Close implements Transport.
+func (c *Chaos) Close() error { return c.inner.Close() }

@@ -6,6 +6,15 @@
 // demonstrating that the protocol is a genuine distributed protocol. Both
 // carry the encoded wire form from package msg, so byte accounting is
 // identical across transports.
+//
+// Two composable wrappers harden either base transport: Chaos injects
+// faults (drops, delays, duplicates, partitions) for resilience testing,
+// and WithRetry adds bounded retry with exponential backoff and jitter
+// (see Options). The intended production stack is
+//
+//	WithRetry(NewTCPWithOptions(handlers, o), o)
+//
+// and the intended test stack inserts NewChaos between the two.
 package transport
 
 import (
@@ -15,6 +24,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // Handler serves a request payload arriving at a node and returns the
@@ -36,12 +47,77 @@ var (
 	_ Transport = (*TCP)(nil)
 )
 
-// ErrInjected is returned by a Local transport's fault injector.
+// ErrInjected is returned for calls failed by a fault injector (a Local
+// transport's FailCall hook or a Chaos wrapper). It marks transient,
+// retry-worthy failures: Retryable reports true for it.
 var ErrInjected = errors.New("transport: injected failure")
+
+// ErrFrameTooLarge is returned when a handler produces a reply that does
+// not fit in one frame. The reply is not sent; the connection survives.
+var ErrFrameTooLarge = errors.New("transport: reply exceeds frame limit")
+
+// errConnStale marks a connection that was closed by another caller's
+// dropConn before this caller sent anything. Nothing of the request went
+// out, so TCP.Call retries it transparently on a fresh connection.
+var errConnStale = errors.New("transport: connection closed before send")
+
+// RemoteError reports a handler failure on a remote node, carried back
+// over the TCP transport. Recognized sentinel errors (ErrInjected,
+// ErrFrameTooLarge) survive the wire: Unwrap exposes them so
+// errors.Is(err, ErrInjected) holds across transports instead of being
+// flattened to text.
+type RemoteError struct {
+	// Node is the node whose handler failed.
+	Node int
+	// Sentinel is the recognized sentinel the remote error matched, or
+	// nil for an ordinary error.
+	Sentinel error
+	// Msg is the remote error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote node %d: %s", e.Node, e.Msg)
+}
+
+// Unwrap exposes the preserved sentinel (may be nil).
+func (e *RemoteError) Unwrap() error { return e.Sentinel }
+
+// Retryable reports whether err is a transient transport-level failure
+// that a retry on a fresh attempt could cure: injected faults, network
+// errors (timeouts, resets, closed connections), and truncated streams.
+// Deterministic failures — handler errors, unknown destinations,
+// oversized replies — are not retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		// A remote handler failure is deterministic unless the handler
+		// itself hit an injected fault (e.g. a nested call through a
+		// Chaos wrapper): re-running the handler can then succeed.
+		return errors.Is(re.Sentinel, ErrInjected)
+	}
+	if errors.Is(err, ErrInjected) || errors.Is(err, errConnStale) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
 
 // Local is an in-process transport: Call dispatches directly to the
 // destination handler. An optional fault injector can fail selected calls
-// to test error paths.
+// to test error paths (the Chaos wrapper generalizes it and works over
+// both transports).
 type Local struct {
 	handlers []Handler
 	// FailCall, if non-nil, is consulted before each call; returning
@@ -58,6 +134,9 @@ func NewLocal(handlers []Handler) *Local {
 
 // Call implements Transport.
 func (l *Local) Call(from, to int, payload []byte) ([]byte, error) {
+	if from < 0 || from >= len(l.handlers) {
+		return nil, fmt.Errorf("transport: no source node %d", from)
+	}
 	if to < 0 || to >= len(l.handlers) || l.handlers[to] == nil {
 		return nil, fmt.Errorf("transport: no handler for node %d", to)
 	}
@@ -77,6 +156,7 @@ func (l *Local) Close() error { return nil }
 //	request:  [u32 length][u32 from][payload]
 //	reply:    [u32 length][u8 status][payload or error text]
 type TCP struct {
+	opts      Options
 	listeners []net.Listener
 	addrs     []string
 
@@ -88,17 +168,61 @@ type TCP struct {
 }
 
 const (
-	tcpOK  = 0
+	tcpOK = 0
+	// tcpErr carries an ordinary remote handler error as text.
 	tcpErr = 1
+	// tcpErrInjected carries a remote handler error that matched
+	// ErrInjected; the client re-attaches the sentinel.
+	tcpErrInjected = 2
+	// tcpErrTooLarge reports a reply that exceeded maxFrame; the client
+	// re-attaches ErrFrameTooLarge.
+	tcpErrTooLarge = 3
 	// maxFrame bounds a frame so a corrupt peer cannot force a huge
 	// allocation.
 	maxFrame = 64 << 20
+	// staleRetries bounds the transparent retries Call makes when it
+	// inherits a connection another caller already declared dead.
+	staleRetries = 4
 )
 
+// statusFor maps a handler error to the reply status byte that preserves
+// recognized sentinels across the wire.
+func statusFor(err error) byte {
+	switch {
+	case errors.Is(err, ErrInjected):
+		return tcpErrInjected
+	case errors.Is(err, ErrFrameTooLarge):
+		return tcpErrTooLarge
+	default:
+		return tcpErr
+	}
+}
+
+// sentinelFor is the inverse of statusFor on the client side.
+func sentinelFor(status byte) error {
+	switch status {
+	case tcpErrInjected:
+		return ErrInjected
+	case tcpErrTooLarge:
+		return ErrFrameTooLarge
+	default:
+		return nil
+	}
+}
+
 // NewTCP starts one loopback listener per handler and returns a transport
-// connecting them.
+// connecting them, with default Options (no timeout).
 func NewTCP(handlers []Handler) (*TCP, error) {
+	return NewTCPWithOptions(handlers, Options{})
+}
+
+// NewTCPWithOptions is NewTCP with explicit resilience options. Only
+// CallTimeout applies at this layer (a deadline covering one round trip);
+// retry and backoff are layered on by WithRetry so they also cover
+// redialing after a drop.
+func NewTCPWithOptions(handlers []Handler, opts Options) (*TCP, error) {
 	t := &TCP{
+		opts:      opts,
 		listeners: make([]net.Listener, len(handlers)),
 		addrs:     make([]string, len(handlers)),
 		conns:     make(map[[2]int]*lockedConn),
@@ -150,12 +274,23 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			return
 		}
 		reply, err := h(from, payload)
+		if err == nil && 1+len(reply) > maxFrame {
+			// An oversized reply written as-is would exceed the
+			// client's frame bound and poison the connection
+			// ("bad reply length" followed by a forced drop).
+			// Replace it with a structured, sentinel-preserving
+			// error frame instead; the connection stays usable.
+			err = fmt.Errorf("%w (%d bytes > %d)", ErrFrameTooLarge, 1+len(reply), maxFrame)
+		}
 		var out []byte
 		if err != nil {
 			e := []byte(err.Error())
+			if 1+len(e) > maxFrame { // cannot happen in practice; stay safe
+				e = e[:1024]
+			}
 			out = make([]byte, 5+len(e))
 			binary.LittleEndian.PutUint32(out, uint32(1+len(e)))
-			out[4] = tcpErr
+			out[4] = statusFor(err)
 			copy(out[5:], e)
 		} else {
 			out = make([]byte, 5+len(reply))
@@ -175,46 +310,80 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 type lockedConn struct {
 	mu   sync.Mutex
 	conn net.Conn
+	// dead is set (under mu) by dropConn when the connection is torn
+	// down. A caller that was queued on mu while the teardown happened
+	// must not write to the closed conn; it re-resolves instead.
+	dead bool
 }
 
 // Call implements Transport. Calls with the same (from, to) pair reuse one
 // connection and are serialized on it.
+//
+// If the connection was declared dead by a concurrent caller before this
+// call sent any bytes, Call transparently re-resolves (redialing if
+// needed) and retries: nothing of the request reached the peer, so the
+// retry is safe regardless of the payload's idempotency. Failures after
+// bytes were sent are returned to the caller (layer WithRetry above this
+// transport when the protocol is idempotent).
 func (t *TCP) Call(from, to int, payload []byte) ([]byte, error) {
 	if to < 0 || to >= len(t.addrs) {
 		return nil, fmt.Errorf("transport: no node %d", to)
 	}
-	lc, err := t.conn(from, to)
-	if err != nil {
-		return nil, err
+	if from < 0 || from >= len(t.addrs) {
+		return nil, fmt.Errorf("transport: no source node %d", from)
 	}
+	for attempt := 0; ; attempt++ {
+		lc, err := t.conn(from, to)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := t.roundTrip(lc, from, to, payload)
+		if err != nil && errors.Is(err, errConnStale) && attempt < staleRetries {
+			continue // dead on arrival; nothing was sent
+		}
+		return reply, err
+	}
+}
+
+// roundTrip performs one request/reply exchange on lc.
+func (t *TCP) roundTrip(lc *lockedConn, from, to int, payload []byte) ([]byte, error) {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
+	if lc.dead {
+		return nil, errConnStale
+	}
 	conn := lc.conn
+	if t.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(t.opts.CallTimeout))
+	}
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], uint32(from))
 	copy(frame[8:], payload)
 	if _, err := conn.Write(frame); err != nil {
-		t.dropConn(from, to)
+		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: write %d->%d: %w", from, to, err)
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		t.dropConn(from, to)
+		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrame {
-		t.dropConn(from, to)
+		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: bad reply length %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(conn, body); err != nil {
-		t.dropConn(from, to)
+		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
 	}
-	if body[0] == tcpErr {
-		return nil, fmt.Errorf("transport: remote node %d: %s", to, body[1:])
+	if t.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	if body[0] != tcpOK {
+		return nil, &RemoteError{Node: to, Sentinel: sentinelFor(body[0]), Msg: string(body[1:])}
 	}
 	return body[1:], nil
 }
@@ -223,6 +392,11 @@ func (t *TCP) conn(from, to int) (*lockedConn, error) {
 	key := [2]int{from, to}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return nil, net.ErrClosed
+	default:
+	}
 	if c, ok := t.conns[key]; ok {
 		return c, nil
 	}
@@ -235,14 +409,17 @@ func (t *TCP) conn(from, to int) (*lockedConn, error) {
 	return lc, nil
 }
 
-// dropConn removes a broken connection; the caller holds the lockedConn's
-// own mutex but not t.mu.
-func (t *TCP) dropConn(from, to int) {
+// dropConn tears down a broken connection: marks lc dead so queued waiters
+// re-resolve instead of writing to the closed net.Conn, and removes the
+// map entry (only if it still points at lc — a replacement dialed by a
+// retrying caller must survive). The caller holds lc.mu but not t.mu.
+func (t *TCP) dropConn(from, to int, lc *lockedConn) {
+	lc.dead = true
+	_ = lc.conn.Close()
 	key := [2]int{from, to}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if c, ok := t.conns[key]; ok {
-		_ = c.conn.Close()
+	if c, ok := t.conns[key]; ok && c == lc {
 		delete(t.conns, key)
 	}
 }

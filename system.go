@@ -8,6 +8,7 @@ import (
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
 	"actdsm/internal/threads"
+	"actdsm/internal/transport"
 )
 
 // System bundles an application with a DSM cluster and thread engine,
@@ -27,11 +28,14 @@ type System struct {
 type SystemOption func(*systemConfig)
 
 type systemConfig struct {
-	placement   []int
-	shuffleSeed uint64
-	gcThreshold int
-	useTCP      bool
-	nodeSpeeds  []float64
+	placement      []int
+	shuffleSeed    uint64
+	gcThreshold    int
+	useTCP         bool
+	nodeSpeeds     []float64
+	transportOpts  transport.Options
+	chaos          *transport.ChaosOptions
+	barrierRetries int
 }
 
 // WithPlacement sets the initial thread → node assignment (default:
@@ -54,6 +58,29 @@ func WithGCThreshold(bytes int) SystemOption {
 // WithTCP routes DSM protocol messages over real loopback TCP sockets.
 func WithTCP() SystemOption {
 	return func(c *systemConfig) { c.useTCP = true }
+}
+
+// WithTransportOptions tunes transport resilience: per-call timeouts
+// (TCP) and bounded retry with exponential backoff and jitter. See
+// transport.Options for the knobs and DESIGN.md §6 for why the DSM
+// protocol is safe to retry.
+func WithTransportOptions(o TransportOptions) SystemOption {
+	return func(c *systemConfig) { c.transportOpts = o }
+}
+
+// WithChaos wraps the cluster's transport with fault injection (dropped
+// requests and replies, delays, duplicates, partitions) for resilience
+// testing. Combine with WithTransportOptions(MaxAttempts > 1) so the
+// injected faults are retried.
+func WithChaos(o ChaosOptions) SystemOption {
+	return func(c *systemConfig) { cp := o; c.chaos = &cp }
+}
+
+// WithBarrierRetries makes Barrier re-broadcast a failed enter or
+// release phase up to n additional times; receivers deduplicate the
+// re-sent notices.
+func WithBarrierRetries(n int) SystemOption {
+	return func(c *systemConfig) { c.barrierRetries = n }
 }
 
 // WithNodeSpeeds makes the cluster heterogeneous: speeds[n] scales node
@@ -79,6 +106,9 @@ func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
 		Pages:            layout.TotalPages(),
 		GCThresholdBytes: cfg.gcThreshold,
 		UseTCP:           cfg.useTCP,
+		Transport:        cfg.transportOpts,
+		Chaos:            cfg.chaos,
+		BarrierRetries:   cfg.barrierRetries,
 	})
 	if err != nil {
 		return nil, err
