@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-compare
 
 ## check: the full gate — build, vet, and the test suite under the race
 ## detector. This is what CI should run.
@@ -22,3 +22,12 @@ race:
 ## micro-benchmarks (per-message-kind call stats are reported as metrics).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+## bench-compare: rerun the demand-vs-prefetch comparison (SOR and Ocean,
+## 8 nodes, test scale), rewrite BENCH_prefetch.json, and fail if the
+## prefetch configuration's demand calls regressed more than 5% against
+## the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/actbench -only prefetch \
+		-prefetch-json BENCH_prefetch.json \
+		-prefetch-baseline BENCH_prefetch.json

@@ -209,6 +209,10 @@ type (
 	Figure3Config = experiments.Figure3Config
 	// MapSummary summarizes a correlation map's structure.
 	MapSummary = experiments.MapSummary
+	// PrefetchRow is one application's demand-vs-prefetch comparison.
+	PrefetchRow = experiments.PrefetchRow
+	// PrefetchReport is the BENCH_prefetch.json schema.
+	PrefetchReport = experiments.PrefetchReport
 )
 
 // Summarize computes a MapSummary for a correlation matrix.
@@ -228,6 +232,11 @@ var (
 	Table6  = experiments.Table6
 	Figure2 = experiments.Figure2
 	Figure3 = experiments.Figure3
+
+	PrefetchComparison       = experiments.PrefetchComparison
+	PrefetchReportJSON       = experiments.PrefetchReportJSON
+	ComparePrefetchReports   = experiments.ComparePrefetchReports
+	FormatPrefetchComparison = experiments.FormatPrefetchComparison
 
 	AblationHeuristics = experiments.AblationHeuristics
 	AblationScaling    = experiments.AblationScaling

@@ -18,7 +18,10 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = sys.Close() }()
-	tracker := sys.TrackIteration(1)
+	tracker, err := sys.TrackIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +214,9 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	}
 	defer func() { _ = sys.Close() }()
 	rec := actdsm.NewRecorder(sys.Engine())
-	sys.SetHooks(rec.Hooks(actdsm.Hooks{}))
+	if err := sys.SetHooks(rec.Hooks(actdsm.Hooks{})); err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +228,7 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	if len(decoded.Events) != len(tr.Events) {
 		t.Fatalf("events: %d != %d", len(decoded.Events), len(tr.Events))
 	}
-	stats, elapsed, err := actdsm.ReplayTrace(decoded, 4, actdsm.MultiWriter)
+	stats, elapsed, err := actdsm.ReplayTrace(decoded, 4, actdsm.WithProtocol(actdsm.MultiWriter))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +236,7 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 		t.Fatalf("replay: %d misses, %v elapsed", stats.RemoteMisses, elapsed)
 	}
 	// The single-writer replay of the same trace must also succeed.
-	swStats, _, err := actdsm.ReplayTrace(decoded, 4, actdsm.SingleWriter)
+	swStats, _, err := actdsm.ReplayTrace(decoded, 4, actdsm.WithProtocol(actdsm.SingleWriter))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +283,7 @@ func (e errOf) Error() string { return string(e) }
 
 func TestReplayTraceErrors(t *testing.T) {
 	tr := &actdsm.Trace{Threads: 2, Pages: 1, Iterations: 1}
-	if _, _, err := actdsm.ReplayTrace(tr, 0, actdsm.MultiWriter); err == nil {
+	if _, _, err := actdsm.ReplayTrace(tr, 0, actdsm.WithProtocol(actdsm.MultiWriter)); err == nil {
 		t.Fatal("expected error for zero nodes")
 	}
 }

@@ -339,6 +339,39 @@ func BenchmarkAblationProtocol(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefetchComparison regenerates the demand-vs-prefetch
+// comparison (DESIGN.md §7; the BENCH_prefetch.json data) and asserts
+// its acceptance properties every iteration: prefetch active, and
+// demand calls cut by at least 20% on both SOR and Ocean. The custom
+// metrics report the per-app reduction plus hit/wasted accounting.
+func BenchmarkPrefetchComparison(b *testing.B) {
+	o := benchOptions(b)
+	var rows []actdsm.PrefetchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = actdsm.PrefetchComparison(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.PrefetchedPages == 0 || r.PrefetchHits == 0 {
+				b.Fatalf("%s: prefetch inactive (pages %d, hits %d)",
+					r.App, r.PrefetchedPages, r.PrefetchHits)
+			}
+			if r.Reduction < 0.20 {
+				b.Fatalf("%s: demand-call reduction %.1f%% < 20%% (%d -> %d)",
+					r.App, 100*r.Reduction, r.DemandCalls, r.PrefetchCalls)
+			}
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(100*r.Reduction, r.App+"-reduction-%")
+		b.ReportMetric(float64(r.PrefetchHits), r.App+"-hits")
+		b.ReportMetric(float64(r.PrefetchWasted), r.App+"-wasted")
+	}
+}
+
 // BenchmarkTraceReplay measures capture + replay of a Water trace — the
 // workload-generator path of the harness.
 func BenchmarkTraceReplay(b *testing.B) {
@@ -351,7 +384,9 @@ func BenchmarkTraceReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 	rec := actdsm.NewRecorder(sys.Engine())
-	sys.SetHooks(rec.Hooks(actdsm.Hooks{}))
+	if err := sys.SetHooks(rec.Hooks(actdsm.Hooks{})); err != nil {
+		b.Fatal(err)
+	}
 	if err := sys.Run(); err != nil {
 		b.Fatal(err)
 	}
@@ -359,7 +394,7 @@ func BenchmarkTraceReplay(b *testing.B) {
 	_ = sys.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := actdsm.ReplayTrace(tr, 8, actdsm.MultiWriter); err != nil {
+		if _, _, err := actdsm.ReplayTrace(tr, 8, actdsm.WithProtocol(actdsm.MultiWriter)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,7 +10,12 @@
 // and can take tens of minutes. The extra "transport" section (not part
 // of the paper) prints per-message-type call statistics — counts, wire
 // bytes, retries, and latency quantiles — for one run over each
-// transport.
+// transport. The "prefetch" section compares demand-only runs against
+// the correlation-driven prefetch + batched-diff layer (DESIGN.md §7) on
+// SOR and Ocean; -prefetch-json writes the comparison to a file
+// (BENCH_prefetch.json in CI) and -prefetch-baseline fails the run when
+// the prefetch configuration's demand calls regress more than 5% against
+// a committed baseline.
 package main
 
 import (
@@ -39,9 +44,11 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, transport)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, transport)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
+		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
+		prefBase  = flag.String("prefetch-baseline", "", "compare the prefetch report against this committed baseline; fail on >5% demand-call regression")
 	)
 	flag.Parse()
 
@@ -198,6 +205,48 @@ func run() error {
 				return "", err
 			}
 			return actdsm.FormatAblationProtocol(rows), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("prefetch") {
+		if err := section("Prefetch: demand vs correlation-driven prefetch + batching", func() (string, error) {
+			// Defaults to the acceptance pair (SOR and Ocean) unless
+			// -apps overrides; the committed baseline uses the default.
+			rows, err := actdsm.PrefetchComparison(opts)
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatPrefetchComparison(rows)
+			report, err := actdsm.PrefetchReportJSON(opts, rows)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_prefetch.json.
+			var baseline []byte
+			if *prefBase != "" {
+				baseline, err = os.ReadFile(*prefBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *prefJSON != "" {
+				if err := os.WriteFile(*prefJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *prefJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.ComparePrefetchReports(baseline, report, 0.05)
+				out += "\n-- vs baseline " + *prefBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
 		}); err != nil {
 			return err
 		}

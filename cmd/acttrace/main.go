@@ -63,7 +63,9 @@ func record(args []string) error {
 	}
 	defer func() { _ = sys.Close() }()
 	rec := actdsm.NewRecorder(sys.Engine())
-	sys.SetHooks(rec.Hooks(actdsm.Hooks{}))
+	if err := sys.SetHooks(rec.Hooks(actdsm.Hooks{})); err != nil {
+		return err
+	}
 	if err := sys.Run(); err != nil {
 		return err
 	}
@@ -111,6 +113,9 @@ func replay(args []string) error {
 	in := fs.String("in", "app.trace", "trace file")
 	nodes := fs.Int("nodes", 4, "cluster nodes")
 	proto := fs.String("protocol", "mw", "coherence protocol: mw or sw")
+	prefetch := fs.Int("prefetch", 0, "prefetch budget in pages/node/round (0 off, <0 unlimited)")
+	batch := fs.Bool("batch", false, "coalesce diff fetches per writer node")
+	tcp := fs.Bool("tcp", false, "replay over loopback TCP")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,11 +131,24 @@ func replay(args []string) error {
 	if *proto == "sw" {
 		p = actdsm.SingleWriter
 	}
-	stats, elapsed, err := actdsm.ReplayTrace(tr, *nodes, p)
+	opts := []actdsm.SystemOption{actdsm.WithProtocol(p)}
+	if *prefetch != 0 {
+		opts = append(opts, actdsm.WithPrefetchBudget(*prefetch))
+	}
+	if *batch {
+		opts = append(opts, actdsm.WithDiffBatching())
+	}
+	if *tcp {
+		opts = append(opts, actdsm.WithTCP())
+	}
+	stats, elapsed, err := actdsm.ReplayTrace(tr, *nodes, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed on %d nodes (%s): %.4f simulated s, %d remote misses, %.2f MB\n",
 		*nodes, *proto, elapsed.Seconds(), stats.RemoteMisses, float64(stats.BytesTotal)/1e6)
+	if *prefetch != 0 || *batch {
+		fmt.Print(stats.FormatPrefetch())
+	}
 	return nil
 }

@@ -100,9 +100,12 @@ func runOnce(adapt bool) (actdsm.Time, int64, int, error) {
 	migrations := 0
 
 	if adapt {
-		tracker := sys.TrackIteration(1)
+		tracker, err := sys.TrackIteration(1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		var lastPlaced *actdsm.Matrix
-		sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+		err = sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
 			if !tracker.Done() {
 				return
 			}
@@ -125,6 +128,9 @@ func runOnce(adapt bool) (actdsm.Time, int64, int, error) {
 				}
 			}
 		}})
+		if err != nil {
+			return 0, 0, 0, err
+		}
 	}
 	if err := sys.Run(); err != nil {
 		return 0, 0, 0, err

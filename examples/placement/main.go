@@ -41,7 +41,10 @@ func run() error {
 	}
 	defer func() { _ = sys.Close() }()
 
-	tracker := sys.TrackIteration(1)
+	tracker, err := sys.TrackIteration(1)
+	if err != nil {
+		return err
+	}
 	eng := sys.Engine()
 	cl := sys.Cluster()
 
@@ -51,7 +54,7 @@ func run() error {
 	lastStats := cl.Stats().Snapshot()
 	migratedAt := -1
 
-	sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+	err = sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
 		now := eng.Elapsed()
 		cur := cl.Stats().Snapshot()
 		iterTimes = append(iterTimes, now-last)
@@ -74,6 +77,9 @@ func run() error {
 				iter, m.CutCost(bad), m.CutCost(aligned), moves)
 		}
 	}})
+	if err != nil {
+		return err
+	}
 
 	if err := sys.Run(); err != nil {
 		return err

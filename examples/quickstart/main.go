@@ -37,7 +37,10 @@ func run() error {
 
 	// 2. Arm active correlation tracking for iteration 1 (iteration 0
 	//    warms the page caches) and run to completion.
-	tracker := sys.TrackIteration(1)
+	tracker, err := sys.TrackIteration(1)
+	if err != nil {
+		return err
+	}
 	if err := sys.Run(); err != nil {
 		return err
 	}

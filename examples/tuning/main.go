@@ -58,5 +58,41 @@ func run() error {
 	fmt.Println("\nMore nodes add compute but break sharing clusters apart;")
 	fmt.Println("whether 8 nodes beats 4 depends on the communication/computation")
 	fmt.Println("ratio — exactly the trade-off the paper's Figure 3 illustrates.")
+
+	return sweepPrefetchBudget()
+}
+
+// sweepPrefetchBudget tunes the second knob correlation data feeds: the
+// per-node, per-epoch page budget of the prefetch layer (DESIGN.md §7).
+// Budget 0 is demand-only; -1 is unbounded. A small budget captures most
+// of the round-trip savings on a regular workload; past the app's
+// per-epoch sharing set, extra budget buys nothing and only risks wasted
+// prefetches (pages invalidated before first touch).
+func sweepPrefetchBudget() error {
+	const app, threads, nodes = "Ocean", 64, 8
+	fmt.Printf("\nprefetch-budget sweep (%s, %d threads, %d nodes, tracked):\n", app, threads, nodes)
+	fmt.Printf("  %8s %13s %6s %7s %6s %6s %12s\n",
+		"budget", "demand calls", "hits", "wasted", "late", "rounds", "elapsed")
+	for _, budget := range []int{0, 1, 2, 4, 8, -1} {
+		res, err := actdsm.Run(actdsm.RunConfig{
+			App: app, Threads: threads, Nodes: nodes,
+			TrackIter:      1,
+			PrefetchBudget: budget,
+			BatchDiffs:     budget != 0,
+		})
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		label := fmt.Sprint(budget)
+		if budget < 0 {
+			label = "∞"
+		}
+		fmt.Printf("  %8s %13d %6d %7d %6d %6d %12d\n",
+			label, s.DemandCalls(), s.PrefetchHits, s.PrefetchWasted,
+			s.PrefetchLate, s.PrefetchRounds, int64(res.Elapsed))
+	}
+	fmt.Println("\nThe knob maps to actdsm.WithPrefetchBudget(n) on the System API")
+	fmt.Println("(paired with actdsm.WithDiffBatching() to coalesce the fetches).")
 	return nil
 }

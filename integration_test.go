@@ -31,12 +31,15 @@ func TestFullStackSoak(t *testing.T) {
 	}
 	defer func() { _ = sys.Close() }()
 
-	tracker := sys.TrackIteration(1)
+	tracker, err := sys.TrackIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng := sys.Engine()
 	migrated := false
 	var missesBefore, missesAfter int64
 	lastStats := sys.Cluster().Stats().Snapshot()
-	sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+	err = sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
 		cur := sys.Cluster().Stats().Snapshot()
 		delta := cur.Sub(lastStats).RemoteMisses
 		lastStats = cur
@@ -94,7 +97,10 @@ func TestFullStackSoakTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = sys.Close() }()
-	tracker := sys.TrackIteration(1)
+	tracker, err := sys.TrackIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}

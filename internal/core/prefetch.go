@@ -1,0 +1,31 @@
+package core
+
+import "actdsm/internal/vm"
+
+// PredictNodePages turns the tracker's per-thread access bitmaps (paper
+// §4.2) into a per-node page prediction: the union of the bitmaps of the
+// threads currently placed on the node. The same correlation data that
+// drives thread placement thereby drives data movement — if a node's
+// resident threads touched a page during the tracked iteration, the node
+// will want that page in the coming one.
+//
+// bitmaps[tid] may be nil (untracked thread); placement[tid] gives each
+// thread's node. Returns nil when no resident thread has a bitmap, which
+// callers treat as "no prediction" (falling back to fault-window
+// history).
+func PredictNodePages(bitmaps []*vm.Bitmap, placement []int, node, npages int) *vm.Bitmap {
+	var out *vm.Bitmap
+	for tid, bm := range bitmaps {
+		if bm == nil || tid >= len(placement) || placement[tid] != node {
+			continue
+		}
+		if bm.Len() != npages {
+			continue
+		}
+		if out == nil {
+			out = vm.NewBitmap(npages)
+		}
+		out.Or(bm)
+	}
+	return out
+}

@@ -66,6 +66,24 @@ type Config struct {
 	// phase re-sends every notice; receivers deduplicate. This layers
 	// above (and composes with) transport-level retry. Default 0.
 	BarrierRetries int
+	// BatchDiffs coalesces diff fetches: instead of one DiffRequest per
+	// writer applied serially, the fault path groups the needed
+	// (page, interval) pairs per writer node and issues one
+	// DiffBatchRequest per writer with parallel fan-out. The batch
+	// request is a pure read of the writer's diff store (idempotent), so
+	// it composes with transport retry exactly like DiffRequest.
+	// Multi-writer protocol only. Default off.
+	BatchDiffs bool
+	// PrefetchBudget enables correlation-driven prefetch at barrier
+	// release (Cluster.PrefetchRound): each node predicts the pages its
+	// resident threads will touch — from an installed predictor
+	// (SetPrefetchPredictor, fed by the tracker's access bitmaps) or,
+	// absent one, from the node's fault window of the previous epoch —
+	// and pulls the pending diffs for those pages ahead of demand,
+	// batched per writer. 0 disables prefetch; > 0 caps the pages
+	// prefetched per node per round; < 0 is unlimited. Multi-writer
+	// protocol only.
+	PrefetchBudget int
 }
 
 // defaultGCThreshold reflects CVM's memory budget (194 MB nodes): diffs
@@ -91,6 +109,10 @@ type Cluster struct {
 
 	onRemoteFault func(node, tid int, p vm.PageID)
 	onAccess      []func(node, tid int, p vm.PageID, a vm.Access)
+
+	// prefetchPredict, when non-nil, supplies the predicted page set for
+	// a node's prefetch round (see SetPrefetchPredictor).
+	prefetchPredict func(node int) *vm.Bitmap
 }
 
 // barrierState accumulates one barrier episode at the manager. entered
@@ -103,6 +125,10 @@ type barrierState struct {
 	lam     int32
 	notices []msg.Notice
 	have    map[[3]int32]bool // (page, writer, interval)
+	// hot holds each node's predicted pages for the coming epoch (the
+	// BarrierEnter.Hot field), consumed by collectPushDiffs to piggyback
+	// the predicted diffs on the release fan-out.
+	hot map[int32][]int32
 }
 
 // New builds and starts a cluster.
@@ -121,6 +147,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Protocol == 0 {
 		cfg.Protocol = MultiWriter
+	}
+	if cfg.Protocol == SingleWriter && (cfg.PrefetchBudget != 0 || cfg.BatchDiffs) {
+		return nil, errors.New("dsm: prefetch and diff batching require the multi-writer protocol")
 	}
 	c := &Cluster{cfg: cfg, costs: cfg.Costs}
 	c.nodes = make([]*node, cfg.Nodes)
@@ -292,16 +321,30 @@ func (c *Cluster) Span(node, tid, off, size int, a vm.Access) ([]byte, sim.Threa
 		return nil, ti, fmt.Errorf("dsm: span [%d,%d) out of segment", off, off+size)
 	}
 	n := c.nodes[node]
+	first := vm.PageID(off / memlayout.PageSize)
+	last := vm.PageID((off + size - 1) / memlayout.PageSize)
 	// Memory-barrier handshake: server goroutines mutate protocol state
 	// under n.mu; taking it once orders their writes before this span's
 	// unlocked protection checks. The engine guarantees no server-side
-	// mutation overlaps the span itself.
+	// mutation overlaps the span itself. The same critical section settles
+	// prefetch accounting: the first touch of a page brought current by a
+	// prefetch round is a hit — a demand miss that did not happen — and
+	// feeds the fault-window predictor so a usefully prefetched page stays
+	// in next round's prediction.
 	n.mu.Lock()
 	n.charge = &ti
 	n.curTID = tid
+	for p := first; p <= last; p++ {
+		st := &n.pages[p]
+		if st.prefetched {
+			st.prefetched = false
+			c.stats.PrefetchHits.Add(1)
+			if n.faultWin != nil {
+				n.faultWin.Set(p)
+			}
+		}
+	}
 	n.mu.Unlock()
-	first := vm.PageID(off / memlayout.PageSize)
-	last := vm.PageID((off + size - 1) / memlayout.PageSize)
 	for p := first; p <= last; p++ {
 		trackF, _, err := n.as.Touch(tid, p, a)
 		if trackF {
@@ -370,6 +413,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		episode: episode,
 		entered: make(map[int32]bool, nnodes),
 		have:    make(map[[3]int32]bool),
+		hot:     make(map[int32][]int32, nnodes),
 	}
 	c.barrierMu.Unlock()
 
@@ -379,8 +423,15 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	// application calling Barrier again after an error — re-sends every
 	// notice; receivers deduplicate.
 	enters := make([]*msg.BarrierEnter, nnodes)
+	pushEnabled := c.cfg.PrefetchBudget != 0 && c.cfg.Protocol == MultiWriter
 	for i := 0; i < nnodes; i++ {
 		n := c.nodes[i]
+		// The predictor may consult the placement engine; compute it
+		// before taking the node lock to keep lock order one-way.
+		var pred *vm.Bitmap
+		if pushEnabled && c.prefetchPredict != nil {
+			pred = c.prefetchPredict(i)
+		}
 		n.mu.Lock()
 		_, diffCost := n.closeIntervalLocked()
 		enters[i] = &msg.BarrierEnter{
@@ -391,6 +442,11 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		n.mu.Unlock()
 		costs[i] += diffCost
+		if pushEnabled {
+			// After closeIntervalLocked the node's own dirty pages are
+			// clean again, so its prediction covers them too.
+			enters[i].Hot = n.hotPages(pred)
+		}
 	}
 
 	// Phase 2: parallel enter fan-in to the manager.
@@ -419,6 +475,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	}
 	notices := append([]msg.Notice(nil), c.barrier.notices...)
 	lam := c.barrier.lam
+	hot := c.barrier.hot
 	c.barrierMu.Unlock()
 	// The parallel fan-in makes arrival order nondeterministic; sort the
 	// union so the release broadcast (and everything downstream of its
@@ -433,18 +490,38 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		return a.Page < b.Page
 	})
-	release := &msg.BarrierRelease{Episode: episode, Lam: lam, Notices: notices}
+	// Piggybacked push: the manager batch-fetches the diffs each node's
+	// prediction (BarrierEnter.Hot) will need — coalesced to at most one
+	// DiffBatchRequest per writer for the whole cluster — and rides them
+	// on the release messages, so served pages cost zero extra round
+	// trips at the readers.
+	var push map[int32][]msg.PushedDiff
+	if pushEnabled {
+		var pcost sim.Time
+		push, pcost, err = c.collectPushDiffs(hot, notices)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: barrier push collect: %w", err)
+		}
+		costs[mgr] += pcost
+	}
+	releases := make([]*msg.BarrierRelease, nnodes)
+	for i := 0; i < nnodes; i++ {
+		releases[i] = &msg.BarrierRelease{
+			Episode: episode, Lam: lam, Notices: notices, Push: push[int32(i)],
+		}
+	}
 
 	// Phase 3: parallel release fan-out. serveBarrierRelease is
-	// idempotent (pending-notice dedup, max-merge clocks), so phase
-	// retries that re-deliver to some nodes are harmless.
+	// idempotent (pending-notice dedup, max-merge clocks, push skipped
+	// once a page's pending set is drained), so phase retries that
+	// re-deliver to some nodes are harmless.
 	err = c.broadcast(func() error {
 		return fanOut(nnodes, func(i int) error {
 			if i == mgr {
-				_, err := c.nodes[i].serveBarrierRelease(release)
+				_, err := c.nodes[i].serveBarrierRelease(releases[i])
 				return err
 			}
-			_, wire, err := c.call(mgr, i, release)
+			_, wire, err := c.call(mgr, i, releases[i])
 			if err != nil {
 				return fmt.Errorf("dsm: barrier release node %d: %w", i, err)
 			}
@@ -454,6 +531,16 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if pushEnabled {
+		// Applying pushed diffs happened inside serveBarrierRelease;
+		// charge each node's accumulated apply cost to this episode.
+		for i, n := range c.nodes {
+			n.mu.Lock()
+			costs[i] += n.pushCost
+			n.pushCost = 0
+			n.mu.Unlock()
+		}
 	}
 	for i := 0; i < nnodes; i++ {
 		costs[i] += c.costs.BarrierBase

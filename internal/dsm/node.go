@@ -23,6 +23,10 @@ type pageState struct {
 	// pending lists write notices received but not yet applied; the
 	// page is invalid while it is non-empty.
 	pending []msg.Notice
+	// prefetched is true when the page was brought current by a prefetch
+	// round and has not been touched (hit) or re-invalidated (wasted)
+	// since. Pure accounting: it never affects protocol decisions.
+	prefetched bool
 	// appliedVT[w] is the highest interval of writer w whose diff has
 	// been applied to (or is reflected in) the local copy. nil means
 	// all zeros.
@@ -151,6 +155,23 @@ type node struct {
 	// one access). curTID is the thread being charged.
 	charge *sim.ThreadInterval
 	curTID int
+
+	// faultWin records the pages that missed remotely — or hit a
+	// prefetched copy — since the last prefetch round. It is the
+	// fallback predictor when no tracker-driven predictor is installed:
+	// the pages a node's threads needed last epoch approximate the pages
+	// they will need next epoch. Nil unless prefetch is enabled.
+	faultWin *vm.Bitmap
+	// late marks pages the predictor selected last round but the budget
+	// excluded; a demand miss on one counts as PrefetchLate.
+	late map[vm.PageID]bool
+	// pushedEpoch counts pages brought current by barrier-piggybacked
+	// push in the current epoch; the pull prefetch round charges them
+	// against the budget and resets the count.
+	pushedEpoch int
+	// pushCost accumulates the virtual-time cost of applying pushed
+	// diffs; Cluster.Barrier drains it into the node's episode cost.
+	pushCost sim.Time
 }
 
 func newNode(id int, c *Cluster, npages int) *node {
@@ -168,6 +189,10 @@ func newNode(id int, c *Cluster, npages int) *node {
 	}
 	n.as = vm.NewAddressSpace(npages, n.resolveFault)
 	n.interval = 1
+	if c.cfg.PrefetchBudget != 0 {
+		n.faultWin = vm.NewBitmap(npages)
+		n.late = make(map[vm.PageID]bool)
+	}
 	if c.cfg.Protocol == SingleWriter {
 		n.initSingleWriter()
 	}
@@ -207,6 +232,11 @@ func (n *node) addPendingLocked(nt msg.Notice) {
 	st := &n.pages[nt.Page]
 	if st.staleOrDup(nt) {
 		return
+	}
+	if st.prefetched {
+		// Invalidated before any local touch: the prefetch was wasted.
+		st.prefetched = false
+		n.c.stats.PrefetchWasted.Add(1)
 	}
 	st.pending = append(st.pending, nt)
 	if st.hasCopy {
@@ -329,6 +359,15 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 		st.dirty = true
 		n.as.SetProt(p, vm.ProtReadWrite)
 	}
+	if remote {
+		if n.faultWin != nil {
+			n.faultWin.Set(p)
+		}
+		if n.late[p] {
+			delete(n.late, p)
+			c.stats.PrefetchLate.Add(1)
+		}
+	}
 	n.mu.Unlock()
 
 	if remote {
@@ -400,34 +439,50 @@ func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice) (bool, erro
 		byWriter[nt.Writer] = append(byWriter[nt.Writer], nt)
 	}
 	got := make(map[[2]int32][]byte, len(pending))
-	// Iterate writers in a fixed order for determinism.
-	writers := make([]int32, 0, len(byWriter))
-	for w := range byWriter {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
-		nts := byWriter[w]
-		req := &msg.DiffRequest{From: int32(n.id), Page: int32(p)}
-		for _, nt := range nts {
-			req.Intervals = append(req.Intervals, nt.Interval)
-		}
-		reply, wire, err := c.call(n.id, int(w), req)
+	if c.cfg.BatchDiffs {
+		// Batched path: one DiffBatchRequest per writer, fanned out in
+		// parallel; the stall is the slowest round trip, not the sum.
+		batched, wire, complete, err := n.fetchDiffBatches(byWriter)
 		if err != nil {
-			return false, fmt.Errorf("dsm: node %d fetch diffs page %d from %d: %w", n.id, p, w, err)
+			return false, err
 		}
-		dr, ok := reply.(*msg.DiffReply)
-		if !ok || len(dr.Diffs) != len(nts) {
-			return false, fmt.Errorf("dsm: node %d bad diff reply for page %d from %d", n.id, p, w)
-		}
-		c.stats.DiffFetches.Add(1)
 		n.addCharge(sim.ThreadInterval{Stall: wire})
-		for i, df := range dr.Diffs {
-			if df == nil {
-				return false, nil // garbage-collected
+		if !complete {
+			return false, nil // garbage-collected
+		}
+		for k, df := range batched {
+			got[[2]int32{k[1], k[2]}] = df
+		}
+	} else {
+		// Iterate writers in a fixed order for determinism.
+		writers := make([]int32, 0, len(byWriter))
+		for w := range byWriter {
+			writers = append(writers, w)
+		}
+		sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+		for _, w := range writers {
+			nts := byWriter[w]
+			req := &msg.DiffRequest{From: int32(n.id), Page: int32(p)}
+			for _, nt := range nts {
+				req.Intervals = append(req.Intervals, nt.Interval)
 			}
-			got[[2]int32{w, nts[i].Interval}] = df
-			c.stats.BytesDiff.Add(int64(len(df)))
+			reply, wire, err := c.call(n.id, int(w), req)
+			if err != nil {
+				return false, fmt.Errorf("dsm: node %d fetch diffs page %d from %d: %w", n.id, p, w, err)
+			}
+			dr, ok := reply.(*msg.DiffReply)
+			if !ok || len(dr.Diffs) != len(nts) {
+				return false, fmt.Errorf("dsm: node %d bad diff reply for page %d from %d", n.id, p, w)
+			}
+			c.stats.DiffFetches.Add(1)
+			n.addCharge(sim.ThreadInterval{Stall: wire})
+			for i, df := range dr.Diffs {
+				if df == nil {
+					return false, nil // garbage-collected
+				}
+				got[[2]int32{w, nts[i].Interval}] = df
+				c.stats.BytesDiff.Add(int64(len(df)))
+			}
 		}
 	}
 
@@ -469,6 +524,8 @@ func (n *node) serve(from int, m msg.Message) (msg.Message, error) {
 		return n.servePageRequest(req)
 	case *msg.DiffRequest:
 		return n.serveDiffRequest(req)
+	case *msg.DiffBatchRequest:
+		return n.serveDiffBatchRequest(req)
 	case *msg.BarrierEnter:
 		return n.serveBarrierEnter(req)
 	case *msg.BarrierRelease:
@@ -577,6 +634,12 @@ func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 	}
 	b.entered[req.Node] = true
 	b.lam = maxI32(b.lam, req.Lam)
+	if len(req.Hot) > 0 {
+		if b.hot == nil {
+			b.hot = make(map[int32][]int32)
+		}
+		b.hot[req.Node] = req.Hot
+	}
 	for _, nt := range req.Notices {
 		k := [3]int32{nt.Page, nt.Writer, nt.Interval}
 		if b.have[k] {
@@ -596,6 +659,11 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 		n.addPendingLocked(nt)
 		if nt.Interval > n.seen[nt.Writer] {
 			n.seen[nt.Writer] = nt.Interval
+		}
+	}
+	if len(req.Push) > 0 {
+		if err := n.applyPushLocked(req.Push); err != nil {
+			return nil, err
 		}
 	}
 	// The barrier flushed all pre-barrier notices cluster-wide, so the
@@ -666,6 +734,10 @@ func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 		st := &n.pages[p]
 		if st.dirty {
 			return nil, fmt.Errorf("dsm: GC of page %d with open twin on node %d", p, n.id)
+		}
+		if st.prefetched {
+			st.prefetched = false
+			n.c.stats.PrefetchWasted.Add(1)
 		}
 		st.hasCopy = false
 		st.pending = nil

@@ -1,0 +1,507 @@
+package dsm
+
+// Correlation-driven prefetch and batched diff transfer.
+//
+// The paper's thesis is that correlation data predicts *future* sharing;
+// the placement layer spends that prediction on where threads run, and
+// this file spends it on *when data moves*. At barrier release — the
+// moment every page's pending write notices for the epoch are known —
+// each node predicts the pages its resident threads will touch (from the
+// tracker's per-thread access bitmaps, or from its own fault window when
+// tracking is off) and pulls the pending diffs for those pages ahead of
+// demand. The fetches are coalesced: one DiffBatchRequest per writer
+// node covers every (page, interval) the prediction needs from it, so a
+// round that would have cost one synchronous round trip per faulting
+// page costs one round trip per peer.
+//
+// Consistency is unaffected (DESIGN.md §7): prefetch applies exactly the
+// diffs the demand path would apply, in the same (Lamport, writer,
+// interval) order, against the same pending-notice bookkeeping — it only
+// moves the application earlier, to a point where the barrier has already
+// established that the epoch's notices are complete. A page any of whose
+// diffs has been garbage-collected is skipped whole, leaving its pending
+// set intact for the demand path's full-page fallback.
+
+import (
+	"fmt"
+	"sort"
+
+	"actdsm/internal/msg"
+	"actdsm/internal/sim"
+	"actdsm/internal/vm"
+)
+
+// SetPrefetchPredictor installs f, consulted at the start of each
+// prefetch round for the set of pages node's resident threads are
+// predicted to touch in the coming epoch. The facade wires this to the
+// union of the correlation tracker's per-thread access bitmaps (paper
+// §4.2) over the node's resident threads. A nil return (or no installed
+// predictor) falls back to the node's fault window: the pages it missed
+// on in the previous epoch.
+func (c *Cluster) SetPrefetchPredictor(f func(node int) *vm.Bitmap) {
+	c.prefetchPredict = f
+}
+
+// PrefetchRound runs one prefetch round on every node. It is intended to
+// be called at barrier release, after Barrier has delivered the epoch's
+// write notices, while application threads are still parked; it is a
+// no-op (returning zero costs) unless Config.PrefetchBudget is non-zero
+// and the protocol is multi-writer. Nodes are processed in order so runs
+// stay deterministic; each node's per-writer batch fetches fan out in
+// parallel. The returned slice holds each node's virtual-time cost.
+func (c *Cluster) PrefetchRound() ([]sim.Time, error) {
+	costs := make([]sim.Time, c.cfg.Nodes)
+	if c.cfg.PrefetchBudget == 0 || c.cfg.Protocol != MultiWriter {
+		return costs, nil
+	}
+	c.stats.PrefetchRounds.Add(1)
+	for i, n := range c.nodes {
+		cost, err := n.prefetch(c.cfg.PrefetchBudget)
+		if err != nil {
+			return nil, err
+		}
+		costs[i] = cost
+	}
+	return costs, nil
+}
+
+// hotPages returns the node's prediction for the coming epoch as a page
+// list for the barrier enter message: every predicted page whose pending
+// diffs a barrier-piggybacked push could apply (a held, clean copy with
+// no pre-existing pending backlog — the push carries only the closing
+// epoch's diffs, and a page with older pendings could not be completed).
+// pred is the installed predictor's bitmap, computed by the caller
+// outside the node lock; nil falls back to the fault window.
+func (n *node) hotPages(pred *vm.Bitmap) []int32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if pred == nil {
+		pred = n.faultWin
+	}
+	if pred == nil {
+		return nil
+	}
+	var hot []int32
+	pred.ForEach(func(p vm.PageID) {
+		if int(p) >= len(n.pages) {
+			return
+		}
+		st := &n.pages[p]
+		if !st.hasCopy || st.dirty || len(st.pending) > 0 {
+			return
+		}
+		hot = append(hot, int32(p))
+	})
+	return hot
+}
+
+// applyPushLocked applies the diffs piggybacked on a barrier release,
+// after the release's notices have been queued. A page is applied only
+// when the push covers its entire pending set (same no-partial-apply rule
+// as the pull path); anything else is left for demand or pull. Applying
+// is idempotent across re-deliveries: a retried release finds the pending
+// set empty (the notices dedup through staleOrDup) and skips.
+func (n *node) applyPushLocked(push []msg.PushedDiff) error {
+	c := n.c
+	diffs := make(map[[3]int32][]byte, len(push))
+	var pages []vm.PageID
+	seen := make(map[vm.PageID]bool)
+	for _, pd := range push {
+		if int(pd.Page) < 0 || int(pd.Page) >= len(n.pages) {
+			return fmt.Errorf("dsm: node %d pushed diff for page %d out of range", n.id, pd.Page)
+		}
+		diffs[[3]int32{pd.Page, pd.Writer, pd.Interval}] = pd.Diff
+		if p := vm.PageID(pd.Page); !seen[p] {
+			seen[p] = true
+			pages = append(pages, p)
+		}
+	}
+	for _, p := range pages {
+		st := &n.pages[p]
+		if !st.hasCopy || len(st.pending) == 0 {
+			continue
+		}
+		complete := true
+		for _, nt := range st.pending {
+			if _, ok := diffs[[3]int32{nt.Page, nt.Writer, nt.Interval}]; !ok {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		ordered := append([]msg.Notice(nil), st.pending...)
+		sort.Slice(ordered, func(i, j int) bool {
+			a, b := ordered[i], ordered[j]
+			if a.Lam != b.Lam {
+				return a.Lam < b.Lam
+			}
+			if a.Writer != b.Writer {
+				return a.Writer < b.Writer
+			}
+			return a.Interval < b.Interval
+		})
+		for _, nt := range ordered {
+			df := diffs[[3]int32{nt.Page, nt.Writer, nt.Interval}]
+			if err := ApplyDiff(n.pageData(p), df); err != nil {
+				return fmt.Errorf("dsm: node %d apply pushed diff page %d: %w", n.id, p, err)
+			}
+			n.pushCost += sim.Time(len(df)) * c.costs.DiffPerByte
+			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
+			n.bumpLamportLocked(nt.Lam)
+		}
+		st.pending = st.pending[:0]
+		n.as.SetProt(p, vm.ProtRead)
+		st.prefetched = true
+		n.pushedEpoch++
+		c.stats.PrefetchedPages.Add(1)
+	}
+	return nil
+}
+
+// collectPushDiffs runs at the barrier manager between the enter fan-in
+// and the release fan-out: hot maps each node to its predicted pages,
+// notices is the episode's sorted union. It fetches every diff any node's
+// prediction needs — coalesced into at most one DiffBatchRequest per
+// writer for the whole cluster, the coalescing no per-reader pull can
+// achieve — and returns the per-destination push lists plus the
+// manager's wire cost. Budget > 0 caps the pages served per destination.
+func (c *Cluster) collectPushDiffs(hot map[int32][]int32, notices []msg.Notice) (map[int32][]msg.PushedDiff, sim.Time, error) {
+	const mgr = 0
+	budget := c.cfg.PrefetchBudget
+	byPage := make(map[int32][]msg.Notice)
+	for _, nt := range notices {
+		byPage[nt.Page] = append(byPage[nt.Page], nt)
+	}
+
+	// Select each destination's served pages and the union of needed
+	// (page, writer, interval) diffs.
+	need := make(map[[3]int32]bool)
+	wants := make(map[int32][]int32)
+	for dest := 0; dest < c.cfg.Nodes; dest++ {
+		count := 0
+		for _, p := range hot[int32(dest)] {
+			foreign := false
+			for _, nt := range byPage[p] {
+				if int(nt.Writer) != dest {
+					foreign = true
+					break
+				}
+			}
+			if !foreign {
+				continue // nothing pending for this page this epoch
+			}
+			if budget > 0 && count >= budget {
+				break // remaining predictions fall to pull or demand
+			}
+			count++
+			wants[int32(dest)] = append(wants[int32(dest)], p)
+			for _, nt := range byPage[p] {
+				if int(nt.Writer) != dest {
+					need[[3]int32{nt.Page, nt.Writer, nt.Interval}] = true
+				}
+			}
+		}
+	}
+	if len(need) == 0 {
+		return nil, 0, nil
+	}
+
+	// One batch per writer for the whole cluster; the manager reads its
+	// own diffs locally inside fetchDiffBatches.
+	byWriter := make(map[int32][]msg.Notice)
+	for _, nt := range notices {
+		if need[[3]int32{nt.Page, nt.Writer, nt.Interval}] {
+			byWriter[nt.Writer] = append(byWriter[nt.Writer], nt)
+		}
+	}
+	got, wire, _, err := c.nodes[mgr].fetchDiffBatches(byWriter)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Assemble each destination's push list. A page any of whose diffs
+	// is missing (garbage-collected on the writer) is skipped whole.
+	out := make(map[int32][]msg.PushedDiff)
+	for dest, pages := range wants {
+		for _, p := range pages {
+			ok := true
+			for _, nt := range byPage[p] {
+				if int32(dest) == nt.Writer {
+					continue
+				}
+				if _, have := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]; !have {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, nt := range byPage[p] {
+				if int32(dest) == nt.Writer {
+					continue
+				}
+				out[dest] = append(out[dest], msg.PushedDiff{
+					Page:     nt.Page,
+					Writer:   nt.Writer,
+					Interval: nt.Interval,
+					Diff:     got[[3]int32{nt.Page, nt.Writer, nt.Interval}],
+				})
+			}
+		}
+	}
+	return out, wire, nil
+}
+
+// prefetch runs one node's prefetch round: predict, select candidates
+// under the budget, batch-fetch per writer, apply. Called with mu NOT
+// held; no application thread is active on the node. It is the pull
+// backstop behind the barrier-piggybacked push: pages the push already
+// served have empty pending sets and are skipped, and the pages the push
+// served this epoch are charged against the budget.
+func (n *node) prefetch(budget int) (sim.Time, error) {
+	c := n.c
+	var pred *vm.Bitmap
+	if c.prefetchPredict != nil {
+		pred = c.prefetchPredict(n.id)
+	}
+
+	type candidate struct {
+		p    vm.PageID
+		pend []msg.Notice
+	}
+	var cands []candidate
+	n.mu.Lock()
+	if pred == nil {
+		pred = n.faultWin
+	}
+	// Pages already pushed this epoch consume budget; a capped round
+	// marks every remaining candidate late.
+	remaining := budget
+	if budget > 0 {
+		remaining = budget - n.pushedEpoch
+	}
+	n.pushedEpoch = 0
+	// Start a fresh fault window and late set for the coming epoch.
+	n.faultWin = vm.NewBitmap(c.cfg.Pages)
+	n.late = make(map[vm.PageID]bool)
+	if pred != nil {
+		pred.ForEach(func(p vm.PageID) {
+			if int(p) >= len(n.pages) {
+				return
+			}
+			st := &n.pages[p]
+			// Only pages a diff fetch can help: a held copy invalidated
+			// by pending notices. Pages without a copy would cost the
+			// same full-page round trip now as on demand.
+			if !st.hasCopy || len(st.pending) == 0 || st.dirty {
+				return
+			}
+			if budget > 0 && len(cands) >= remaining {
+				// Predicted but over budget: a demand miss on this page
+				// in the coming epoch counts as PrefetchLate.
+				n.late[p] = true
+				return
+			}
+			cands = append(cands, candidate{
+				p:    p,
+				pend: append([]msg.Notice(nil), st.pending...),
+			})
+		})
+	}
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+
+	// Coalesce everything the round needs into one batch per writer.
+	byWriter := make(map[int32][]msg.Notice)
+	for _, cd := range cands {
+		for _, nt := range cd.pend {
+			byWriter[nt.Writer] = append(byWriter[nt.Writer], nt)
+		}
+	}
+	got, wire, _, err := n.fetchDiffBatches(byWriter)
+	if err != nil {
+		return 0, err
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var applyCost sim.Time
+	for _, cd := range cands {
+		st := &n.pages[cd.p]
+		// Never apply a partial set: if any of the page's diffs was
+		// garbage-collected, leave the page untouched — its pending set
+		// survives and the demand path falls back to a full fetch.
+		complete := true
+		for _, nt := range cd.pend {
+			if _, ok := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]; !ok {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		// Same causal application order as the demand path.
+		ordered := append([]msg.Notice(nil), cd.pend...)
+		sort.Slice(ordered, func(i, j int) bool {
+			a, b := ordered[i], ordered[j]
+			if a.Lam != b.Lam {
+				return a.Lam < b.Lam
+			}
+			if a.Writer != b.Writer {
+				return a.Writer < b.Writer
+			}
+			return a.Interval < b.Interval
+		})
+		for _, nt := range ordered {
+			df := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]
+			if err := ApplyDiff(n.pageData(cd.p), df); err != nil {
+				return 0, fmt.Errorf("dsm: node %d prefetch apply diff page %d: %w", n.id, cd.p, err)
+			}
+			applyCost += sim.Time(len(df)) * c.costs.DiffPerByte
+			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
+			n.bumpLamportLocked(nt.Lam)
+		}
+		// Drop exactly the applied notices.
+		keep := st.pending[:0]
+		for _, nt := range st.pending {
+			if _, ok := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]; !ok {
+				keep = append(keep, nt)
+			}
+		}
+		st.pending = keep
+		if len(st.pending) == 0 {
+			n.as.SetProt(cd.p, vm.ProtRead)
+			st.prefetched = true
+			c.stats.PrefetchedPages.Add(1)
+		}
+	}
+	return wire + applyCost, nil
+}
+
+// fetchDiffBatches fetches the diffs named by byWriter — each writer's
+// notices for any number of pages — with one DiffBatchRequest per writer,
+// fanned out in parallel. It returns the fetched diffs keyed by
+// (page, writer, interval), the slowest round trip's wire cost (the
+// requester's stall, since the fan-out overlaps), and whether every
+// requested diff was present (false when a writer has garbage-collected
+// one). It performs no state mutation on n and must be called without mu
+// held; stats are recorded atomically.
+func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][]byte, sim.Time, bool, error) {
+	c := n.c
+	writers := make([]int32, 0, len(byWriter))
+	for w := range byWriter {
+		writers = append(writers, w)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+
+	reqs := make([]*msg.DiffBatchRequest, len(writers))
+	for i, w := range writers {
+		nts := append([]msg.Notice(nil), byWriter[w]...)
+		sort.Slice(nts, func(a, b int) bool {
+			if nts[a].Page != nts[b].Page {
+				return nts[a].Page < nts[b].Page
+			}
+			return nts[a].Interval < nts[b].Interval
+		})
+		req := &msg.DiffBatchRequest{From: int32(n.id)}
+		total := 0
+		for _, nt := range nts {
+			if len(req.Pages) == 0 || req.Pages[len(req.Pages)-1].Page != nt.Page {
+				req.Pages = append(req.Pages, msg.PageIntervals{Page: nt.Page})
+			}
+			pi := &req.Pages[len(req.Pages)-1]
+			pi.Intervals = append(pi.Intervals, nt.Interval)
+			total++
+		}
+		if int(w) != n.id {
+			c.stats.BatchSizeHist[batchSizeBucket(total)].Add(1)
+		}
+		reqs[i] = req
+	}
+
+	replies := make([]*msg.DiffBatchReply, len(writers))
+	wires := make([]sim.Time, len(writers))
+	err := fanOut(len(writers), func(i int) error {
+		w := writers[i]
+		if int(w) == n.id {
+			// The barrier manager reading its own diff store (push
+			// collection): a local read, not a remote call.
+			reply, err := n.serveDiffBatchRequest(reqs[i])
+			if err != nil {
+				return err
+			}
+			replies[i] = reply.(*msg.DiffBatchReply)
+			return nil
+		}
+		reply, wire, err := c.call(n.id, int(w), reqs[i])
+		if err != nil {
+			return fmt.Errorf("dsm: node %d batch fetch diffs from %d: %w", n.id, w, err)
+		}
+		br, ok := reply.(*msg.DiffBatchReply)
+		if !ok || len(br.Pages) != len(reqs[i].Pages) {
+			return fmt.Errorf("dsm: node %d bad diff batch reply from %d", n.id, w)
+		}
+		c.stats.DiffBatchFetches.Add(1)
+		replies[i], wires[i] = br, wire
+		return nil
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+
+	got := make(map[[3]int32][]byte)
+	complete := true
+	var maxWire sim.Time
+	for i, w := range writers {
+		if wires[i] > maxWire {
+			maxWire = wires[i]
+		}
+		for j, pd := range replies[i].Pages {
+			want := reqs[i].Pages[j]
+			if pd.Page != want.Page || len(pd.Diffs) != len(want.Intervals) {
+				return nil, 0, false, fmt.Errorf("dsm: node %d misaligned diff batch reply from %d", n.id, w)
+			}
+			for k, df := range pd.Diffs {
+				if df == nil {
+					complete = false
+					continue
+				}
+				got[[3]int32{pd.Page, w, want.Intervals[k]}] = df
+				if int(w) != n.id {
+					c.stats.BatchedDiffs.Add(1)
+					c.stats.BytesDiff.Add(int64(len(df)))
+				}
+			}
+		}
+	}
+	return got, maxWire, complete, nil
+}
+
+// serveDiffBatchRequest answers a batched diff fetch: a pure read of this
+// node's diff store, grouped per page. nil entries mark garbage-collected
+// diffs, exactly as in DiffReply.
+func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := &msg.DiffBatchReply{Pages: make([]msg.PageDiffs, len(req.Pages))}
+	for i, pi := range req.Pages {
+		out.Pages[i].Page = pi.Page
+		out.Pages[i].Diffs = make([][]byte, len(pi.Intervals))
+		if int(pi.Page) < 0 || int(pi.Page) >= len(n.pages) {
+			continue
+		}
+		store := n.diffs[vm.PageID(pi.Page)]
+		for j, iv := range pi.Intervals {
+			if store != nil {
+				out.Pages[i].Diffs[j] = store[iv]
+			}
+		}
+	}
+	return out, nil
+}

@@ -32,6 +32,27 @@ func bucketBound(b int) time.Duration {
 	return time.Microsecond << b
 }
 
+// BatchSizeBuckets is the number of power-of-two buckets in the batched
+// diff fetch size histogram. Bucket i counts DiffBatchRequest calls that
+// asked for a number of diffs in [1<<i, 1<<(i+1)); the last bucket
+// absorbs the tail (≥ 128 diffs).
+const BatchSizeBuckets = 8
+
+// batchSizeBucket maps a batch size (number of requested diffs) to its
+// histogram bucket.
+func batchSizeBucket(n int) int {
+	b := 0
+	for n > 1 && b < BatchSizeBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// BatchSizeBound returns the inclusive lower bound of batch-size
+// histogram bucket b.
+func BatchSizeBound(b int) int { return 1 << b }
+
 // CallStats counts one message type's transport calls. All fields are
 // atomic: the parallel barrier/GC fan-out and TCP server goroutines
 // report concurrently.
@@ -99,6 +120,28 @@ type Stats struct {
 	TwinsCreated atomic.Int64
 	// DiffsCreated counts diffs created at interval ends.
 	DiffsCreated atomic.Int64
+	// DiffBatchFetches counts batched diff fetch round trips
+	// (DiffBatchRequest calls), each replacing one or more DiffRequests.
+	DiffBatchFetches atomic.Int64
+	// BatchedDiffs counts diffs delivered through batched fetches.
+	BatchedDiffs atomic.Int64
+	// PrefetchRounds counts barrier-release prefetch rounds.
+	PrefetchRounds atomic.Int64
+	// PrefetchedPages counts pages brought current ahead of demand.
+	PrefetchedPages atomic.Int64
+	// PrefetchHits counts prefetched pages later touched by a resident
+	// thread before being invalidated again — each hit is an avoided
+	// demand miss.
+	PrefetchHits atomic.Int64
+	// PrefetchWasted counts prefetched pages invalidated (by a write
+	// notice or a GC consolidation) before any local touch.
+	PrefetchWasted atomic.Int64
+	// PrefetchLate counts demand misses on pages the predictor selected
+	// but the prefetch budget excluded in the preceding round.
+	PrefetchLate atomic.Int64
+	// BatchSizeHist is the histogram of diffs requested per
+	// DiffBatchRequest, in power-of-two buckets.
+	BatchSizeHist [BatchSizeBuckets]atomic.Int64
 	// Calls holds per-message-type call counters and latency
 	// histograms, indexed by msg.Kind of the request.
 	Calls [msg.KindCount]CallStats
@@ -175,6 +218,17 @@ type Snapshot struct {
 	GCRounds        int64
 	TwinsCreated    int64
 	DiffsCreated    int64
+
+	DiffBatchFetches int64
+	BatchedDiffs     int64
+	PrefetchRounds   int64
+	PrefetchedPages  int64
+	PrefetchHits     int64
+	PrefetchWasted   int64
+	PrefetchLate     int64
+	// BatchSizeHist is the diffs-per-batched-fetch histogram
+	// (power-of-two buckets; see BatchSizeBound).
+	BatchSizeHist [BatchSizeBuckets]int64
 	// Calls holds the per-message-type counters for every kind with
 	// activity, ordered by kind.
 	Calls []CallSnapshot
@@ -198,6 +252,17 @@ func (s *Stats) Snapshot() Snapshot {
 		GCRounds:        s.GCRounds.Load(),
 		TwinsCreated:    s.TwinsCreated.Load(),
 		DiffsCreated:    s.DiffsCreated.Load(),
+
+		DiffBatchFetches: s.DiffBatchFetches.Load(),
+		BatchedDiffs:     s.BatchedDiffs.Load(),
+		PrefetchRounds:   s.PrefetchRounds.Load(),
+		PrefetchedPages:  s.PrefetchedPages.Load(),
+		PrefetchHits:     s.PrefetchHits.Load(),
+		PrefetchWasted:   s.PrefetchWasted.Load(),
+		PrefetchLate:     s.PrefetchLate.Load(),
+	}
+	for b := range s.BatchSizeHist {
+		out.BatchSizeHist[b] = s.BatchSizeHist[b].Load()
 	}
 	for k := range s.Calls {
 		cs := &s.Calls[k]
@@ -239,6 +304,14 @@ type Counters struct {
 	GCRounds        int64
 	TwinsCreated    int64
 	DiffsCreated    int64
+
+	DiffBatchFetches int64
+	BatchedDiffs     int64
+	PrefetchRounds   int64
+	PrefetchedPages  int64
+	PrefetchHits     int64
+	PrefetchWasted   int64
+	PrefetchLate     int64
 }
 
 // Counters projects the snapshot onto its comparable counter subset.
@@ -259,6 +332,14 @@ func (s Snapshot) Counters() Counters {
 		GCRounds:        s.GCRounds,
 		TwinsCreated:    s.TwinsCreated,
 		DiffsCreated:    s.DiffsCreated,
+
+		DiffBatchFetches: s.DiffBatchFetches,
+		BatchedDiffs:     s.BatchedDiffs,
+		PrefetchRounds:   s.PrefetchRounds,
+		PrefetchedPages:  s.PrefetchedPages,
+		PrefetchHits:     s.PrefetchHits,
+		PrefetchWasted:   s.PrefetchWasted,
+		PrefetchLate:     s.PrefetchLate,
 	}
 }
 
@@ -282,6 +363,17 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		GCRounds:        s.GCRounds - o.GCRounds,
 		TwinsCreated:    s.TwinsCreated - o.TwinsCreated,
 		DiffsCreated:    s.DiffsCreated - o.DiffsCreated,
+
+		DiffBatchFetches: s.DiffBatchFetches - o.DiffBatchFetches,
+		BatchedDiffs:     s.BatchedDiffs - o.BatchedDiffs,
+		PrefetchRounds:   s.PrefetchRounds - o.PrefetchRounds,
+		PrefetchedPages:  s.PrefetchedPages - o.PrefetchedPages,
+		PrefetchHits:     s.PrefetchHits - o.PrefetchHits,
+		PrefetchWasted:   s.PrefetchWasted - o.PrefetchWasted,
+		PrefetchLate:     s.PrefetchLate - o.PrefetchLate,
+	}
+	for b := range d.BatchSizeHist {
+		d.BatchSizeHist[b] = s.BatchSizeHist[b] - o.BatchSizeHist[b]
 	}
 	prev := make(map[string]CallSnapshot, len(o.Calls))
 	for _, c := range o.Calls {
@@ -320,6 +412,50 @@ func (s Snapshot) FormatCalls() string {
 		fmt.Fprintf(&b, "%-15s %9d %6d %7d %11d %8s %8s %8s\n",
 			c.Kind, c.Count, c.Errors, c.Retries, c.Bytes,
 			fmtLat(c.Quantile(0.50)), fmtLat(c.Quantile(0.95)), fmtLat(c.Quantile(0.99)))
+	}
+	return b.String()
+}
+
+// DemandCalls returns the total number of remote data-movement round
+// trips: PageRequest + DiffRequest + DiffBatchRequest calls. This is the
+// quantity the prefetch/batching layer exists to reduce.
+func (s Snapshot) DemandCalls() int64 {
+	var total int64
+	for _, c := range s.Calls {
+		switch c.Kind {
+		case msg.KindPageRequest.String(), msg.KindDiffRequest.String(), msg.KindDiffBatchRequest.String():
+			total += c.Count
+		}
+	}
+	return total
+}
+
+// FormatPrefetch renders the prefetch and batching accounting: the
+// accuracy counters (hits / wasted / late) and the batch-size histogram.
+func (s Snapshot) FormatPrefetch() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefetch: rounds %d  pages %d  hits %d  wasted %d  late %d\n",
+		s.PrefetchRounds, s.PrefetchedPages, s.PrefetchHits, s.PrefetchWasted, s.PrefetchLate)
+	fmt.Fprintf(&b, "batching: fetches %d  diffs %d\n", s.DiffBatchFetches, s.BatchedDiffs)
+	var total int64
+	for _, n := range s.BatchSizeHist {
+		total += n
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "batch size histogram (diffs per fetch):\n")
+		for i, n := range s.BatchSizeHist {
+			if n == 0 {
+				continue
+			}
+			lo := BatchSizeBound(i)
+			label := fmt.Sprintf("%d-%d", lo, BatchSizeBound(i+1)-1)
+			if i == BatchSizeBuckets-1 {
+				label = fmt.Sprintf("%d+", lo)
+			} else if lo == BatchSizeBound(i+1)-1 {
+				label = fmt.Sprintf("%d", lo)
+			}
+			fmt.Fprintf(&b, "  %7s %9d\n", label, n)
+		}
 	}
 	return b.String()
 }

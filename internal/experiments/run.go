@@ -16,6 +16,7 @@ import (
 	"actdsm/internal/memlayout"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
+	"actdsm/internal/vm"
 )
 
 // RunConfig describes one application run on a simulated cluster.
@@ -41,6 +42,14 @@ type RunConfig struct {
 	GCThresholdBytes int
 	// Protocol selects the coherence protocol (0 = multi-writer).
 	Protocol dsm.Protocol
+	// PrefetchBudget forwards to dsm.Config: pages prefetched per node
+	// per barrier episode (-1 = unbounded, 0 = off). When tracking is
+	// also enabled, the tracker's bitmaps drive the prediction once the
+	// tracked iteration completes.
+	PrefetchBudget int
+	// BatchDiffs forwards to dsm.Config: coalesce demand diff fetches
+	// into one DiffBatchRequest per writer.
+	BatchDiffs bool
 }
 
 // RunResult captures everything the experiment tables need from one run.
@@ -84,6 +93,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Pages:            layout.TotalPages(),
 		GCThresholdBytes: cfg.GCThresholdBytes,
 		Protocol:         cfg.Protocol,
+		PrefetchBudget:   cfg.PrefetchBudget,
+		BatchDiffs:       cfg.BatchDiffs,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +139,20 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		res.Tracker.Start()
 	}
 	eng.SetHooks(hooks)
+
+	if cfg.PrefetchBudget != 0 {
+		// Same wiring as the facade: once the tracker has a complete
+		// iteration's bitmaps, a node's prediction is the union of its
+		// resident threads' access bitmaps; before that (or with
+		// tracking off) the nil return falls back to the fault window.
+		tracker, npages := res.Tracker, layout.TotalPages()
+		cl.SetPrefetchPredictor(func(node int) *vm.Bitmap {
+			if tracker == nil || !tracker.Done() {
+				return nil
+			}
+			return core.PredictNodePages(tracker.Bitmaps(), eng.Placement(), node, npages)
+		})
+	}
 
 	if err := eng.Run(app.Body); err != nil {
 		return nil, fmt.Errorf("experiments: run %s: %w", cfg.App, err)

@@ -35,11 +35,16 @@ const (
 	KindSWDowngrade
 	KindSWFlush
 	KindSWInvalidate
+	// Batched diff transfer (demand batching + prefetch): one request
+	// fetches the diffs of many (page, interval) pairs from a single
+	// writer node in a single round trip.
+	KindDiffBatchRequest
+	KindDiffBatchReply
 )
 
 // KindCount is one past the highest Kind value, sized for arrays indexed
 // by Kind (e.g. the DSM's per-message-type call statistics).
-const KindCount = int(KindSWInvalidate) + 1
+const KindCount = int(KindDiffBatchReply) + 1
 
 // kindNames is indexed by Kind.
 var kindNames = [KindCount]string{
@@ -59,6 +64,9 @@ var kindNames = [KindCount]string{
 	KindSWDowngrade:    "SWDowngrade",
 	KindSWFlush:        "SWFlush",
 	KindSWInvalidate:   "SWInvalidate",
+
+	KindDiffBatchRequest: "DiffBatchRequest",
+	KindDiffBatchReply:   "DiffBatchReply",
 }
 
 // String implements fmt.Stringer.
@@ -121,6 +129,8 @@ var (
 	_ Message = (*SWDowngrade)(nil)
 	_ Message = (*SWFlush)(nil)
 	_ Message = (*SWInvalidate)(nil)
+	_ Message = (*DiffBatchRequest)(nil)
+	_ Message = (*DiffBatchReply)(nil)
 )
 
 // PageRequest asks the page manager for a full copy of Page. Pending lists
@@ -171,24 +181,42 @@ func (*DiffReply) Kind() Kind { return KindDiffReply }
 
 // BarrierEnter announces a node's arrival at barrier Episode, carrying the
 // write notices the node created since the last barrier and the node's
-// Lamport clock.
+// Lamport clock. Hot (present only when prefetch is enabled) lists the
+// pages the node predicts its threads will touch in the coming epoch; the
+// manager uses it to piggyback matching diffs on the node's release.
 type BarrierEnter struct {
 	Node    int32
 	Episode int32
 	Lam     int32
 	Notices []Notice
+	Hot     []int32
 }
 
 // Kind implements Message.
 func (*BarrierEnter) Kind() Kind { return KindBarrierEnter }
 
+// PushedDiff is one diff piggybacked on a barrier release: the diff of
+// (Page, Writer, Interval). Its Lamport stamp travels in the release's
+// notice for the same triple.
+type PushedDiff struct {
+	Page     int32
+	Writer   int32
+	Interval int32
+	Diff     []byte
+}
+
 // BarrierRelease is the manager's broadcast releasing barrier Episode; it
 // carries the union of all nodes' notices for the episode and the maximum
-// Lamport clock across entrants.
+// Lamport clock across entrants. Push (present only when prefetch is
+// enabled) carries the diffs matching the destination node's predicted
+// hot pages, so the node applies them at release time instead of paying a
+// demand round trip per page — the data rides a message that was being
+// sent anyway.
 type BarrierRelease struct {
 	Episode int32
 	Lam     int32
 	Notices []Notice
+	Push    []PushedDiff
 }
 
 // Kind implements Message.
@@ -302,6 +330,43 @@ type SWInvalidate struct {
 // Kind implements Message.
 func (*SWInvalidate) Kind() Kind { return KindSWInvalidate }
 
+// PageIntervals names one page and the writer-local intervals whose diffs
+// are wanted for it.
+type PageIntervals struct {
+	Page      int32
+	Intervals []int32
+}
+
+// DiffBatchRequest asks a single writer node for the diffs of many
+// (page, interval) pairs in one round trip. It is semantically exactly a
+// sequence of DiffRequests coalesced per destination: a pure read of the
+// writer's diff store, so it is idempotent and safe to retry.
+type DiffBatchRequest struct {
+	From  int32
+	Pages []PageIntervals
+}
+
+// Kind implements Message.
+func (*DiffBatchRequest) Kind() Kind { return KindDiffBatchRequest }
+
+// PageDiffs carries the diffs for one page, aligned with the request's
+// Intervals for that page. A nil entry means the writer no longer stores
+// that diff (garbage-collected); the requester must fall back to a full
+// page fetch for that page.
+type PageDiffs struct {
+	Page  int32
+	Diffs [][]byte
+}
+
+// DiffBatchReply answers a DiffBatchRequest, aligned with the request's
+// Pages.
+type DiffBatchReply struct {
+	Pages []PageDiffs
+}
+
+// Kind implements Message.
+func (*DiffBatchReply) Kind() Kind { return KindDiffBatchReply }
+
 // Encode serializes m (kind byte + body).
 func Encode(m Message) []byte {
 	e := &encoder{buf: make([]byte, 0, 64)}
@@ -351,6 +416,10 @@ func Decode(b []byte) (Message, error) {
 		m = &SWFlush{}
 	case KindSWInvalidate:
 		m = &SWInvalidate{}
+	case KindDiffBatchRequest:
+		m = &DiffBatchRequest{}
+	case KindDiffBatchReply:
+		m = &DiffBatchReply{}
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", k)
 	}
@@ -475,6 +544,10 @@ func (m *BarrierEnter) encodeBody(e *encoder) {
 	e.i32(m.Episode)
 	e.i32(m.Lam)
 	e.notices(m.Notices)
+	e.i32(int32(len(m.Hot)))
+	for _, p := range m.Hot {
+		e.i32(p)
+	}
 }
 
 func (m *BarrierEnter) decodeBody(d *decoder) (err error) {
@@ -487,14 +560,35 @@ func (m *BarrierEnter) decodeBody(d *decoder) (err error) {
 	if m.Lam, err = d.i32(); err != nil {
 		return err
 	}
-	m.Notices, err = d.notices()
-	return err
+	if m.Notices, err = d.notices(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Hot = make([]int32, n)
+		for i := range m.Hot {
+			if m.Hot[i], err = d.i32(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (m *BarrierRelease) encodeBody(e *encoder) {
 	e.i32(m.Episode)
 	e.i32(m.Lam)
 	e.notices(m.Notices)
+	e.i32(int32(len(m.Push)))
+	for _, pd := range m.Push {
+		e.i32(pd.Page)
+		e.i32(pd.Writer)
+		e.i32(pd.Interval)
+		e.bytes(pd.Diff)
+	}
 }
 
 func (m *BarrierRelease) decodeBody(d *decoder) (err error) {
@@ -504,8 +598,32 @@ func (m *BarrierRelease) decodeBody(d *decoder) (err error) {
 	if m.Lam, err = d.i32(); err != nil {
 		return err
 	}
-	m.Notices, err = d.notices()
-	return err
+	if m.Notices, err = d.notices(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Push = make([]PushedDiff, n)
+		for i := range m.Push {
+			pd := &m.Push[i]
+			if pd.Page, err = d.i32(); err != nil {
+				return err
+			}
+			if pd.Writer, err = d.i32(); err != nil {
+				return err
+			}
+			if pd.Interval, err = d.i32(); err != nil {
+				return err
+			}
+			if pd.Diff, err = d.bytes(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (m *LockAcquire) encodeBody(e *encoder) {
@@ -639,6 +757,84 @@ func (m *SWInvalidate) encodeBody(e *encoder) { e.i32(m.Page) }
 func (m *SWInvalidate) decodeBody(d *decoder) (err error) {
 	m.Page, err = d.i32()
 	return err
+}
+
+func (m *DiffBatchRequest) encodeBody(e *encoder) {
+	e.i32(m.From)
+	e.i32(int32(len(m.Pages)))
+	for _, pi := range m.Pages {
+		e.i32(pi.Page)
+		e.i32(int32(len(pi.Intervals)))
+		for _, iv := range pi.Intervals {
+			e.i32(iv)
+		}
+	}
+}
+
+func (m *DiffBatchRequest) decodeBody(d *decoder) (err error) {
+	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Pages = make([]PageIntervals, n)
+	for i := range m.Pages {
+		if m.Pages[i].Page, err = d.i32(); err != nil {
+			return err
+		}
+		k, err := d.length()
+		if err != nil {
+			return err
+		}
+		m.Pages[i].Intervals = make([]int32, k)
+		for j := range m.Pages[i].Intervals {
+			if m.Pages[i].Intervals[j], err = d.i32(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *DiffBatchReply) encodeBody(e *encoder) {
+	e.i32(int32(len(m.Pages)))
+	for _, pd := range m.Pages {
+		e.i32(pd.Page)
+		e.i32(int32(len(pd.Diffs)))
+		for _, df := range pd.Diffs {
+			if df == nil {
+				e.i32(-1)
+				continue
+			}
+			e.bytes(df)
+		}
+	}
+}
+
+func (m *DiffBatchReply) decodeBody(d *decoder) (err error) {
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Pages = make([]PageDiffs, n)
+	for i := range m.Pages {
+		if m.Pages[i].Page, err = d.i32(); err != nil {
+			return err
+		}
+		k, err := d.length()
+		if err != nil {
+			return err
+		}
+		m.Pages[i].Diffs = make([][]byte, k)
+		for j := range m.Pages[i].Diffs {
+			if m.Pages[i].Diffs[j], err = d.bytesOrNil(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 type encoder struct{ buf []byte }

@@ -29,12 +29,25 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&DiffRequest{From: 1, Page: 2, Intervals: []int32{4, 5, 6}},
 		&DiffReply{Page: 2, Diffs: [][]byte{{1, 2}, nil, {}}},
 		&BarrierEnter{Node: 1, Episode: 12, Lam: 3, Notices: ns},
+		&BarrierEnter{Node: 2, Episode: 13, Lam: 4, Notices: nil, Hot: []int32{0, 5, 17}},
 		&BarrierRelease{Episode: 12, Lam: 9, Notices: ns},
+		&BarrierRelease{Episode: 13, Lam: 10, Notices: ns, Push: []PushedDiff{
+			{Page: 5, Writer: 1, Interval: 2, Diff: []byte{9, 8, 7}},
+			{Page: 17, Writer: 0, Interval: 4, Diff: []byte{1}},
+		}},
 		&LockAcquire{Node: 2, Lock: 5, Seen: []int32{0, 3, 9}},
 		&LockGrant{Lock: 5, Lam: 2, Notices: ns},
 		&LockRelease{Node: 2, Lock: 5, Lam: 4, Notices: nil},
 		&GCCollect{Page: 4},
 		&Ack{},
+		&DiffBatchRequest{From: 2, Pages: []PageIntervals{
+			{Page: 4, Intervals: []int32{1, 2, 9}},
+			{Page: 8, Intervals: nil},
+		}},
+		&DiffBatchReply{Pages: []PageDiffs{
+			{Page: 4, Diffs: [][]byte{{1, 2}, nil, {}}},
+			{Page: 8, Diffs: nil},
+		}},
 	}
 	for _, m := range cases {
 		got := roundTrip(t, m)
@@ -51,25 +64,46 @@ func TestRoundTripAllKinds(t *testing.T) {
 func equivalent(a, b Message) bool {
 	if da, ok := a.(*DiffReply); ok {
 		db := b.(*DiffReply)
-		if da.Page != db.Page || len(da.Diffs) != len(db.Diffs) {
+		return da.Page == db.Page && diffsEquivalent(da.Diffs, db.Diffs)
+	}
+	if ba, ok := a.(*DiffBatchReply); ok {
+		bb := b.(*DiffBatchReply)
+		if len(ba.Pages) != len(bb.Pages) {
 			return false
 		}
-		for i := range da.Diffs {
-			if (da.Diffs[i] == nil) != (db.Diffs[i] == nil) {
+		for i := range ba.Pages {
+			if ba.Pages[i].Page != bb.Pages[i].Page {
 				return false
 			}
-			if len(da.Diffs[i]) != len(db.Diffs[i]) {
+			if !diffsEquivalent(ba.Pages[i].Diffs, bb.Pages[i].Diffs) {
 				return false
-			}
-			for j := range da.Diffs[i] {
-				if da.Diffs[i][j] != db.Diffs[i][j] {
-					return false
-				}
 			}
 		}
 		return true
 	}
 	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+// diffsEquivalent compares diff slices where a nil entry is meaningful
+// (garbage-collected) but a nil vs empty slice-of-slices is not.
+func diffsEquivalent(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			return false
+		}
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func normalize(m Message) Message {
@@ -100,11 +134,17 @@ func normalize(m Message) Message {
 		if c.Notices == nil {
 			c.Notices = []Notice{}
 		}
+		if c.Hot == nil {
+			c.Hot = []int32{}
+		}
 		return &c
 	case *BarrierRelease:
 		c := *v
 		if c.Notices == nil {
 			c.Notices = []Notice{}
+		}
+		if c.Push == nil {
+			c.Push = []PushedDiff{}
 		}
 		return &c
 	case *LockAcquire:
@@ -123,6 +163,15 @@ func normalize(m Message) Message {
 		c := *v
 		if c.Notices == nil {
 			c.Notices = []Notice{}
+		}
+		return &c
+	case *DiffBatchRequest:
+		c := *v
+		c.Pages = append([]PageIntervals{}, c.Pages...)
+		for i := range c.Pages {
+			if c.Pages[i].Intervals == nil {
+				c.Pages[i].Intervals = []int32{}
+			}
 		}
 		return &c
 	}
@@ -168,8 +217,9 @@ func TestSizeMatchesEncode(t *testing.T) {
 	if Size(m) != len(Encode(m)) {
 		t.Fatal("Size != len(Encode)")
 	}
-	// 1 kind + 4 node + 4 episode + 4 lam + 4 count + 10*16 notices.
-	if got := Size(m); got != 1+4+4+4+4+160 {
+	// 1 kind + 4 node + 4 episode + 4 lam + 4 notice count + 10*16
+	// notices + 4 hot-page count.
+	if got := Size(m); got != 1+4+4+4+4+160+4 {
 		t.Fatalf("Size = %d", got)
 	}
 }

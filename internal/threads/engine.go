@@ -459,6 +459,18 @@ func (e *Engine) completeBarrier() error {
 	for n, c := range costs {
 		e.clocks[n].Advance(c)
 	}
+	// Correlation-driven prefetch rides the barrier release: the epoch's
+	// write notices are fully delivered, the threads are still parked, and
+	// each node can pull the pages its residents are predicted to touch
+	// before demand faults pay per-page round trips. No-op unless the
+	// cluster's PrefetchBudget enables it.
+	pcosts, err := e.cluster.PrefetchRound()
+	if err != nil {
+		return err
+	}
+	for n, c := range pcosts {
+		e.clocks[n].Advance(c)
+	}
 	// Global rendezvous: everyone leaves at the latest clock.
 	maxT := sim.MaxClock(e.clocks)
 	for _, c := range e.clocks {

@@ -8,12 +8,24 @@ import (
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
 	"actdsm/internal/threads"
-	"actdsm/internal/transport"
 )
 
 // System bundles an application with a DSM cluster and thread engine,
 // giving interactive control (hooks, tracking, migration) that the
 // one-shot Run helper does not.
+//
+// Lifecycle: a System moves through exactly two phases.
+//
+//  1. Configuration — between NewSystem and Run. SetHooks and
+//     TrackIteration may be called (in any order relative to each
+//     other: Run composes them, so hook installation and tracking
+//     arm-up cannot race).
+//  2. Running/finished — once Run has been called. SetHooks and
+//     TrackIteration return ErrAlreadyRan: silently accepting them
+//     (the old behaviour) meant a TrackIteration after Run produced a
+//     tracker that never fired.
+//
+// Run itself returns ErrAlreadyRan on a second call.
 type System struct {
 	app     App
 	cluster *dsm.Cluster
@@ -24,40 +36,68 @@ type System struct {
 	ran     bool
 }
 
-// SystemOption customizes NewSystem.
-type SystemOption func(*systemConfig)
+// ErrAlreadyRan reports a configuration call (SetHooks, TrackIteration)
+// or a second Run on a System whose Run has already been invoked.
+var ErrAlreadyRan = errors.New("actdsm: system already ran")
 
-type systemConfig struct {
-	placement      []int
-	shuffleSeed    uint64
-	gcThreshold    int
-	useTCP         bool
-	nodeSpeeds     []float64
-	transportOpts  transport.Options
-	chaos          *transport.ChaosOptions
-	barrierRetries int
+// SystemConfig is a System's complete configuration: the DSM cluster's
+// ClusterConfig plus the engine-level knobs (initial placement, execution
+// shuffling, heterogeneous node speeds). Every SystemOption writes into
+// this one struct, so a new cluster knob is surfaced here by adding it to
+// ClusterConfig alone — there is no parallel field chain to maintain.
+type SystemConfig struct {
+	// Cluster configures the DSM substrate. NewSystem overwrites
+	// Cluster.Nodes (from its node-count argument) and Cluster.Pages
+	// (from the application's shared-segment layout); every other field
+	// is passed through to dsm.New as-is.
+	Cluster ClusterConfig
+	// Placement is the initial thread → node assignment (default:
+	// stretch).
+	Placement []int
+	// ShuffleSeed randomizes per-node thread execution order.
+	ShuffleSeed uint64
+	// NodeSpeeds scales each node's CPU speed (1.0 = baseline) for
+	// heterogeneous clusters.
+	NodeSpeeds []float64
+}
+
+// SystemOption customizes NewSystem by mutating a SystemConfig.
+type SystemOption func(*SystemConfig)
+
+// WithClusterConfig replaces the entire cluster configuration at once —
+// the escape hatch for knobs without a dedicated option. Applied in
+// option order: it overwrites cluster fields set by earlier options, and
+// later options overwrite its fields. Nodes and Pages are still set by
+// NewSystem.
+func WithClusterConfig(c ClusterConfig) SystemOption {
+	return func(sc *SystemConfig) { sc.Cluster = c }
 }
 
 // WithPlacement sets the initial thread → node assignment (default:
 // stretch).
 func WithPlacement(assign []int) SystemOption {
-	return func(c *systemConfig) { c.placement = append([]int(nil), assign...) }
+	return func(c *SystemConfig) { c.Placement = append([]int(nil), assign...) }
 }
 
 // WithShuffle randomizes per-node thread execution order with the seed.
 func WithShuffle(seed uint64) SystemOption {
-	return func(c *systemConfig) { c.shuffleSeed = seed }
+	return func(c *SystemConfig) { c.ShuffleSeed = seed }
 }
 
 // WithGCThreshold sets the diff garbage-collection threshold in bytes
 // (negative disables GC).
 func WithGCThreshold(bytes int) SystemOption {
-	return func(c *systemConfig) { c.gcThreshold = bytes }
+	return func(c *SystemConfig) { c.Cluster.GCThresholdBytes = bytes }
 }
 
 // WithTCP routes DSM protocol messages over real loopback TCP sockets.
 func WithTCP() SystemOption {
-	return func(c *systemConfig) { c.useTCP = true }
+	return func(c *SystemConfig) { c.Cluster.UseTCP = true }
+}
+
+// WithProtocol selects the coherence protocol (default MultiWriter).
+func WithProtocol(p Protocol) SystemOption {
+	return func(c *SystemConfig) { c.Cluster.Protocol = p }
 }
 
 // WithTransportOptions tunes transport resilience: per-call timeouts
@@ -65,7 +105,7 @@ func WithTCP() SystemOption {
 // transport.Options for the knobs and DESIGN.md §6 for why the DSM
 // protocol is safe to retry.
 func WithTransportOptions(o TransportOptions) SystemOption {
-	return func(c *systemConfig) { c.transportOpts = o }
+	return func(c *SystemConfig) { c.Cluster.Transport = o }
 }
 
 // WithChaos wraps the cluster's transport with fault injection (dropped
@@ -73,27 +113,44 @@ func WithTransportOptions(o TransportOptions) SystemOption {
 // testing. Combine with WithTransportOptions(MaxAttempts > 1) so the
 // injected faults are retried.
 func WithChaos(o ChaosOptions) SystemOption {
-	return func(c *systemConfig) { cp := o; c.chaos = &cp }
+	return func(c *SystemConfig) { cp := o; c.Cluster.Chaos = &cp }
 }
 
 // WithBarrierRetries makes Barrier re-broadcast a failed enter or
 // release phase up to n additional times; receivers deduplicate the
 // re-sent notices.
 func WithBarrierRetries(n int) SystemOption {
-	return func(c *systemConfig) { c.barrierRetries = n }
+	return func(c *SystemConfig) { c.Cluster.BarrierRetries = n }
+}
+
+// WithDiffBatching coalesces diff fetches into one DiffBatchRequest per
+// writer node with parallel fan-out (DESIGN.md §7).
+func WithDiffBatching() SystemOption {
+	return func(c *SystemConfig) { c.Cluster.BatchDiffs = true }
+}
+
+// WithPrefetchBudget enables correlation-driven prefetch at barrier
+// release: each node pulls the pending diffs of the pages its resident
+// threads are predicted to touch (from the active tracker's bitmaps when
+// tracking ran, else from the node's previous-epoch fault window),
+// batched per writer. budget > 0 caps the pages prefetched per node per
+// round; budget < 0 is unlimited; 0 disables (the default). See
+// DESIGN.md §7.
+func WithPrefetchBudget(budget int) SystemOption {
+	return func(c *SystemConfig) { c.Cluster.PrefetchBudget = budget }
 }
 
 // WithNodeSpeeds makes the cluster heterogeneous: speeds[n] scales node
 // n's CPU (1.0 = baseline). Combine with CapacitiesForSpeeds-derived
 // placements to exploit the fast nodes.
 func WithNodeSpeeds(speeds []float64) SystemOption {
-	return func(c *systemConfig) { c.nodeSpeeds = append([]float64(nil), speeds...) }
+	return func(c *SystemConfig) { c.NodeSpeeds = append([]float64(nil), speeds...) }
 }
 
 // NewSystem builds a cluster sized for the application's shared segment
 // and an engine hosting its threads.
 func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
-	var cfg systemConfig
+	var cfg SystemConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -101,24 +158,19 @@ func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
 	if err := app.Setup(layout); err != nil {
 		return nil, fmt.Errorf("actdsm: set up %s: %w", app.Name(), err)
 	}
-	cluster, err := dsm.New(dsm.Config{
-		Nodes:            nodes,
-		Pages:            layout.TotalPages(),
-		GCThresholdBytes: cfg.gcThreshold,
-		UseTCP:           cfg.useTCP,
-		Transport:        cfg.transportOpts,
-		Chaos:            cfg.chaos,
-		BarrierRetries:   cfg.barrierRetries,
-	})
+	ccfg := cfg.Cluster
+	ccfg.Nodes = nodes
+	ccfg.Pages = layout.TotalPages()
+	cluster, err := dsm.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
 	engine, err := threads.NewEngine(cluster, threads.Config{
 		Threads:          app.Threads(),
-		Placement:        cfg.placement,
+		Placement:        cfg.Placement,
 		SchedulerEnabled: true,
-		ShuffleSeed:      cfg.shuffleSeed,
-		NodeSpeeds:       cfg.nodeSpeeds,
+		ShuffleSeed:      cfg.ShuffleSeed,
+		NodeSpeeds:       cfg.NodeSpeeds,
 	})
 	if err != nil {
 		_ = cluster.Close()
@@ -139,21 +191,40 @@ func (s *System) Engine() *Engine { return s.engine }
 // Layout returns the application's shared-segment layout.
 func (s *System) Layout() *Layout { return s.layout }
 
-// SetHooks installs engine hooks; call before Run. If tracking was
-// requested, the tracker's instrumentation wraps these hooks.
-func (s *System) SetHooks(h Hooks) { s.hooks = h }
-
-// TrackIteration arms active correlation tracking for the given 0-based
-// iteration and returns the tracker; call before Run.
-func (s *System) TrackIteration(iter int) *ActiveTracker {
-	s.tracker = core.NewActiveTracker(s.engine, iter)
-	return s.tracker
+// SetHooks installs engine hooks; it must be called before Run and
+// returns ErrAlreadyRan afterwards (hooks installed on a running or
+// finished system would silently never fire for already-past events).
+// If tracking was requested, the tracker's instrumentation wraps these
+// hooks; SetHooks and TrackIteration may be called in either order.
+func (s *System) SetHooks(h Hooks) error {
+	if s.ran {
+		return fmt.Errorf("actdsm: SetHooks after Run: %w", ErrAlreadyRan)
+	}
+	s.hooks = h
+	return nil
 }
 
-// Run executes the application to completion.
+// TrackIteration arms active correlation tracking for the given 0-based
+// iteration and returns the tracker. It must be called before Run and
+// returns ErrAlreadyRan afterwards: previously a post-Run call was
+// silently accepted and produced a tracker that never fired. (To track
+// again *during* a run, use ActiveTracker.Retrack from a hook — see
+// examples/adaptive.)
+func (s *System) TrackIteration(iter int) (*ActiveTracker, error) {
+	if s.ran {
+		return nil, fmt.Errorf("actdsm: TrackIteration after Run: %w", ErrAlreadyRan)
+	}
+	s.tracker = core.NewActiveTracker(s.engine, iter)
+	return s.tracker, nil
+}
+
+// Run executes the application to completion. It composes the hooks and
+// tracker configured beforehand, wires the correlation-driven prefetch
+// predictor (when the cluster's PrefetchBudget enables prefetch), and
+// returns ErrAlreadyRan on a second call.
 func (s *System) Run() error {
 	if s.ran {
-		return errors.New("actdsm: system already ran")
+		return ErrAlreadyRan
 	}
 	s.ran = true
 	if s.tracker != nil {
@@ -162,6 +233,19 @@ func (s *System) Run() error {
 	} else {
 		s.engine.SetHooks(s.hooks)
 	}
+	// Correlation-driven prefetch prediction: once the tracker has a
+	// complete iteration's bitmaps, a node's prediction is the union of
+	// its resident threads' access bitmaps — the same data placement
+	// spends on cut costs, spent here on data movement. Before tracking
+	// completes (or without a tracker) the predictor returns nil and the
+	// cluster falls back to each node's fault-window history.
+	tracker, engine, cluster := s.tracker, s.engine, s.cluster
+	cluster.SetPrefetchPredictor(func(node int) *Bitmap {
+		if tracker == nil || !tracker.Done() {
+			return nil
+		}
+		return core.PredictNodePages(tracker.Bitmaps(), engine.Placement(), node, cluster.NumPages())
+	})
 	return s.engine.Run(s.app.Body)
 }
 

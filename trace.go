@@ -25,17 +25,33 @@ func NewRecorder(e *Engine) *Recorder { return trace.NewRecorder(e) }
 func DecodeTrace(b []byte) (*Trace, error) { return trace.Decode(b) }
 
 // ReplayTrace replays a captured trace on a fresh cluster with the given
-// node count and protocol, returning the run's protocol counters and
-// elapsed virtual time.
-func ReplayTrace(t *Trace, nodes int, protocol Protocol) (Snapshot, Time, error) {
-	cl, err := dsm.New(dsm.Config{Nodes: nodes, Pages: t.Pages, Protocol: protocol})
+// node count, returning the run's protocol counters and elapsed virtual
+// time. The replayed system accepts the same options as NewSystem —
+// protocol (WithProtocol), transport and chaos (WithTCP,
+// WithTransportOptions, WithChaos), prefetch and batching
+// (WithPrefetchBudget, WithDiffBatching), placement, or a whole
+// WithClusterConfig — so a recorded access stream can be driven against
+// any cluster shape or protocol variant. Nodes and Pages come from the
+// arguments and the trace itself.
+func ReplayTrace(t *Trace, nodes int, opts ...SystemOption) (Snapshot, Time, error) {
+	var cfg SystemConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ccfg := cfg.Cluster
+	ccfg.Nodes = nodes
+	ccfg.Pages = t.Pages
+	cl, err := dsm.New(ccfg)
 	if err != nil {
 		return Snapshot{}, 0, err
 	}
 	defer func() { _ = cl.Close() }()
 	eng, err := threads.NewEngine(cl, threads.Config{
 		Threads:          t.Threads,
+		Placement:        cfg.Placement,
 		SchedulerEnabled: true,
+		ShuffleSeed:      cfg.ShuffleSeed,
+		NodeSpeeds:       cfg.NodeSpeeds,
 	})
 	if err != nil {
 		return Snapshot{}, 0, err
