@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-compare
+.PHONY: check build vet test race bench bench-compare fuzz-smoke sweep check-mutations
 
 ## check: the full gate — build, vet, and the test suite under the race
 ## detector. This is what CI should run.
@@ -31,3 +31,27 @@ bench-compare:
 	$(GO) run ./cmd/actbench -only prefetch \
 		-prefetch-json BENCH_prefetch.json \
 		-prefetch-baseline BENCH_prefetch.json
+
+## fuzz-smoke: run every fuzz target briefly (FUZZTIME each, default
+## 10s). Catches codec and diff-application regressions without a long
+## fuzzing campaign; CI runs this on every push.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/msg
+	$(GO) test -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/msg
+	$(GO) test -fuzz=FuzzApplyDiff -fuzztime=$(FUZZTIME) ./internal/dsm
+	$(GO) test -fuzz=FuzzDiffRoundTrip -fuzztime=$(FUZZTIME) ./internal/dsm
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
+
+## sweep: the coherence model-checker (DESIGN.md §8) — SWEEP_SEEDS seeded
+## schedules per scenario under seeded chaos plans with the LRC oracle
+## attached. A violation prints a shrunk, ready-to-paste repro and fails.
+SWEEP_SEEDS ?= 200
+sweep:
+	$(GO) run ./cmd/actcheck -seeds $(SWEEP_SEEDS) -q
+
+## check-mutations: checker validation — each deliberately broken
+## protocol variant must trip the oracle (the sweep FAILING is the pass).
+check-mutations:
+	$(GO) run ./cmd/actcheck -seeds 5 -q -expect-failure -mutation no-transitivity
+	$(GO) run ./cmd/actcheck -seeds 5 -q -expect-failure -mutation no-notice-dedup

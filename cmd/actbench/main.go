@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"actdsm"
+	"actdsm/internal/check"
 )
 
 func main() {
@@ -44,7 +45,7 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, transport)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, check, transport)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
@@ -251,6 +252,17 @@ func run() error {
 			return err
 		}
 	}
+	if selected("check") {
+		if err := section("Check: coherence model-checker sweep", func() (string, error) {
+			seeds := 50
+			if opts.Scale == actdsm.ScalePaper {
+				seeds = 1000
+			}
+			return checkSweep(seeds)
+		}); err != nil {
+			return err
+		}
+	}
 	if selected("transport") {
 		if err := section("Transport: per-message call statistics (SOR)", func() (string, error) {
 			return transportStats(*threads, *nodes, opts.Scale)
@@ -259,6 +271,25 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// checkSweep runs a short coherence model-checker sweep (DESIGN.md §8)
+// across every checker scenario: seeded schedules under seeded chaos
+// plans with the LRC oracle attached. Any violation is shrunk to a
+// minimal repro and fails the section. Use cmd/actcheck for longer
+// sweeps and mutation validation.
+func checkSweep(seeds int) (string, error) {
+	res, err := check.Sweep(check.SweepConfig{Seeds: seeds})
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("%d trials across %d scenarios, %d aborted, %.2fs\n",
+		res.Trials, len(check.Scenarios()), res.Aborted, res.Elapsed.Seconds())
+	if res.Failure != nil {
+		f := check.Shrink(res.Failure)
+		return "", fmt.Errorf("coherence violation (minimal repro below)\n%s", f.ReproStanza())
+	}
+	return out + "clean: no invariant violations\n", nil
 }
 
 // transportStats runs one SOR workload over each transport and renders

@@ -1,0 +1,539 @@
+package check
+
+// Deterministic schedule exploration: replay small application
+// configurations under seeded schedules × chaos plans with the Oracle
+// attached, record any failing (seed, plan) pair, and greedily shrink
+// the plan to a minimal reproduction.
+//
+// Determinism contract: every trial runs the Local transport with
+// dsm.Config.SerialFanOut, so the global transport-call sequence is a
+// pure function of (scenario, seed, plan, mutation). Chaos plans key
+// faults by global call number; replaying the same trial replays the
+// same faults at the same protocol points, which is what makes shrinking
+// (and the printed regression stanza) exact.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actdsm/internal/apps"
+	"actdsm/internal/dsm"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/sim"
+	"actdsm/internal/threads"
+	"actdsm/internal/transport"
+)
+
+// Scenario is one workload configuration the sweep replays.
+type Scenario struct {
+	// Name identifies the scenario in reports and repro stanzas.
+	Name string
+	// App is an apps registry name ("SOR", "Ocean", "LU1k", ...) or
+	// "LockChain" for the checker's synthetic lock hand-off chain.
+	App        string
+	Threads    int
+	Nodes      int
+	Iterations int
+	// PrefetchBudget and BatchDiffs forward to dsm.Config, covering the
+	// pull-prefetch, push, and batched-diff paths.
+	PrefetchBudget int
+	BatchDiffs     bool
+}
+
+// Scenarios returns the default sweep set: the paper's regular
+// barrier-structured kernels at 4–8 nodes across the protocol's data
+// movement modes, plus the lock chain that exercises transitive causal
+// history.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "SOR4", App: "SOR", Threads: 4, Nodes: 4, Iterations: 4, BatchDiffs: true},
+		{Name: "SOR8", App: "SOR", Threads: 8, Nodes: 8, Iterations: 3, BatchDiffs: true, PrefetchBudget: -1},
+		{Name: "Ocean4", App: "Ocean", Threads: 4, Nodes: 4, Iterations: 3, PrefetchBudget: -1},
+		{Name: "LU4", App: "LU1k", Threads: 4, Nodes: 4, Iterations: 4, BatchDiffs: true},
+		{Name: "LockChain4", App: "LockChain", Threads: 4, Nodes: 4, Iterations: 5, BatchDiffs: true},
+	}
+}
+
+// ScenarioByName returns the named default scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("check: unknown scenario %q", name)
+}
+
+// MustScenario is ScenarioByName, panicking on unknown names (for repro
+// stanzas).
+func MustScenario(name string) Scenario {
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// Plan is a deterministic chaos plan: injected faults keyed by the
+// 1-based global transport call number.
+type Plan struct {
+	Faults map[int64]transport.Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// Clone deep-copies the plan.
+func (p Plan) Clone() Plan {
+	out := Plan{Faults: make(map[int64]transport.Fault, len(p.Faults))}
+	for k, v := range p.Faults {
+		out.Faults[k] = v
+	}
+	return out
+}
+
+// calls returns the fault call numbers in ascending order.
+func (p Plan) calls() []int64 {
+	out := make([]int64, 0, len(p.Faults))
+	for c := range p.Faults {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the plan as "call:fault,call:fault" in call order
+// ("-" for an empty plan). ParsePlan inverts it.
+func (p Plan) String() string {
+	if p.Empty() {
+		return "-"
+	}
+	parts := make([]string, 0, len(p.Faults))
+	for _, c := range p.calls() {
+		parts = append(parts, fmt.Sprintf("%d:%s", c, p.Faults[c]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the String encoding of a plan.
+func ParsePlan(s string) (Plan, error) {
+	p := Plan{Faults: make(map[int64]transport.Fault)}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "-" {
+		return p, nil
+	}
+	byName := map[string]transport.Fault{
+		transport.FaultDropRequest.String(): transport.FaultDropRequest,
+		transport.FaultDropReply.String():   transport.FaultDropReply,
+		transport.FaultDuplicate.String():   transport.FaultDuplicate,
+		transport.FaultDelay.String():       transport.FaultDelay,
+	}
+	for _, part := range strings.Split(s, ",") {
+		cs, fs, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("check: bad plan element %q", part)
+		}
+		call, err := strconv.ParseInt(cs, 10, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("check: bad plan call number %q: %w", cs, err)
+		}
+		f, ok := byName[fs]
+		if !ok {
+			return Plan{}, fmt.Errorf("check: unknown fault %q", fs)
+		}
+		p.Faults[call] = f
+	}
+	return p, nil
+}
+
+// Trial fully determines one checker run.
+type Trial struct {
+	Scenario Scenario
+	// Seed shuffles per-node thread execution order (the schedule
+	// dimension of the exploration).
+	Seed uint64
+	Plan Plan
+	// Mutation optionally runs a deliberately broken protocol, for
+	// validating that the checker detects that bug class.
+	Mutation dsm.Mutation
+}
+
+// TrialResult is one trial's outcome.
+type TrialResult struct {
+	// Violations holds every invariant breach the oracle detected.
+	Violations []Violation
+	// RunErr is a non-violation failure: the run aborted (for example a
+	// chaos plan exhausted the transport's retry budget). Online
+	// violations detected before the abort are still reported;
+	// end-of-run conservation and coherence checks are skipped.
+	RunErr error
+	// Calls is the number of transport calls the trial made (the
+	// calibration input for plan generation).
+	Calls int64
+	// Elapsed is the trial's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Failed reports whether the trial detected a coherence violation.
+func (r TrialResult) Failed() bool { return len(r.Violations) > 0 }
+
+// buildApp constructs the scenario's workload.
+func buildApp(sc Scenario) (apps.App, error) {
+	if sc.App == "LockChain" {
+		return newLockChain(sc.Threads, sc.Iterations)
+	}
+	return apps.New(sc.App, apps.Config{
+		Threads:    sc.Threads,
+		Iterations: sc.Iterations,
+		Scale:      apps.ScaleTest,
+	})
+}
+
+// RunTrial executes one trial with the oracle attached and returns what
+// it found. Trials are deterministic: the same Trial yields the same
+// TrialResult.
+func RunTrial(tr Trial) TrialResult {
+	start := time.Now()
+	res := TrialResult{}
+	fail := func(err error) TrialResult {
+		res.RunErr = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	app, err := buildApp(tr.Scenario)
+	if err != nil {
+		return fail(err)
+	}
+	layout := memlayout.NewLayout()
+	if err := app.Setup(layout); err != nil {
+		return fail(err)
+	}
+
+	var calls atomic.Int64
+	faults := tr.Plan.Faults
+	planFn := func(from, to int, payload []byte, call int64) transport.Fault {
+		if call > calls.Load() {
+			calls.Store(call)
+		}
+		return faults[call] // zero value is FaultNone
+	}
+	cl, err := dsm.New(dsm.Config{
+		Nodes:          tr.Scenario.Nodes,
+		Pages:          layout.TotalPages(),
+		SerialFanOut:   true,
+		Mutation:       tr.Mutation,
+		BatchDiffs:     tr.Scenario.BatchDiffs,
+		PrefetchBudget: tr.Scenario.PrefetchBudget,
+		// Tight retry budget: enough attempts that a single injected
+		// fault per call number always recovers (a retried call gets a
+		// fresh call number), with microsecond backoff so thousand-trial
+		// sweeps stay fast.
+		Transport: transport.Options{
+			MaxAttempts: 6,
+			BackoffBase: time.Microsecond,
+			BackoffMax:  8 * time.Microsecond,
+		},
+		BarrierRetries: 2,
+		Chaos:          &transport.ChaosOptions{Plan: planFn},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	oracle := NewOracle(tr.Scenario.Nodes)
+	oracle.Attach(cl)
+
+	eng, err := threads.NewEngine(cl, threads.Config{
+		Threads:          tr.Scenario.Threads,
+		SchedulerEnabled: true,
+		ShuffleSeed:      tr.Seed,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	runErr := eng.Run(app.Body)
+	res.Calls = calls.Load()
+	if runErr != nil {
+		res.RunErr = runErr
+		res.Violations = oracle.Violations()
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	// End-of-run oracles: replica agreement at the final quiescent point,
+	// then the oracle's conservation checks.
+	if err := cl.CheckCoherence(); err != nil {
+		res.Violations = append(res.Violations,
+			Violation{Invariant: "final-coherence", Node: -1, Detail: err.Error()})
+	}
+	_ = oracle.Finish(cl.Stats().Snapshot())
+	res.Violations = append(res.Violations, oracle.Violations()...)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// planForSeed derives a chaos plan from a trial seed: up to maxFaults
+// drop/duplicate events at call numbers within the scenario's calibrated
+// call count. Seed 0 (and roughly one in maxFaults+1 seeds) yields an
+// empty plan, keeping pure schedule exploration in the mix.
+func planForSeed(seed uint64, totalCalls int64, maxFaults int) Plan {
+	p := Plan{Faults: make(map[int64]transport.Fault)}
+	if totalCalls <= 0 || maxFaults <= 0 {
+		return p
+	}
+	rng := sim.NewRNG(0x9E3779B97F4A7C15 ^ (seed + 1))
+	kinds := []transport.Fault{
+		transport.FaultDropRequest, transport.FaultDropReply, transport.FaultDuplicate,
+	}
+	n := rng.Intn(maxFaults + 1)
+	for i := 0; i < n; i++ {
+		call := int64(rng.Intn(int(totalCalls))) + 1
+		p.Faults[call] = kinds[rng.Intn(len(kinds))]
+	}
+	return p
+}
+
+// SweepConfig configures an exploration sweep.
+type SweepConfig struct {
+	// Scenarios to replay; nil selects Scenarios().
+	Scenarios []Scenario
+	// Seeds is the number of schedules replayed per scenario.
+	Seeds int
+	// MaxFaults bounds the chaos events per generated plan (default 3).
+	MaxFaults int
+	// Mutation runs every trial under a deliberately broken protocol.
+	Mutation dsm.Mutation
+	// Workers bounds trial parallelism (default GOMAXPROCS). Trials are
+	// independent and individually deterministic, so parallelism does
+	// not affect reproducibility.
+	Workers int
+	// Progress, when non-nil, receives (done, total) after each trial.
+	Progress func(done, total int)
+}
+
+// Failure records one failing trial.
+type Failure struct {
+	Scenario   Scenario
+	Seed       uint64
+	Plan       Plan
+	Mutation   dsm.Mutation
+	Violations []Violation
+}
+
+func (f *Failure) trial() Trial {
+	return Trial{Scenario: f.Scenario, Seed: f.Seed, Plan: f.Plan, Mutation: f.Mutation}
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	// Trials is the number of trials executed.
+	Trials int
+	// Aborted counts trials that ended in a non-violation run error
+	// (chaos plan exhausted the retry budget); these are inconclusive,
+	// not failures.
+	Aborted int
+	// Failure is the lowest-(scenario, seed) failing trial, nil if the
+	// sweep was clean.
+	Failure *Failure
+	// Elapsed is the sweep's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Sweep replays cfg.Seeds schedules per scenario, each under a seeded
+// chaos plan, and returns the first failure found (by scenario order,
+// then seed). Each scenario is first calibrated with one clean run to
+// learn its transport call count; a violation in the calibration run
+// itself is reported as a failure with an empty plan.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	start := time.Now()
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = Scenarios()
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 100
+	}
+	if cfg.MaxFaults == 0 {
+		cfg.MaxFaults = 3
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &SweepResult{}
+	total := len(scenarios) * cfg.Seeds
+	var done atomic.Int64
+	report := func() {
+		if cfg.Progress != nil {
+			cfg.Progress(int(done.Add(1)), total)
+		} else {
+			done.Add(1)
+		}
+	}
+
+	type outcome struct {
+		scIdx int
+		seed  uint64
+		plan  Plan
+		r     TrialResult
+	}
+	var (
+		mu       sync.Mutex
+		best     *outcome // lowest (scIdx, seed) failure
+		aborted  int
+		executed int
+	)
+	better := func(o *outcome) bool {
+		return best == nil || o.scIdx < best.scIdx ||
+			(o.scIdx == best.scIdx && o.seed < best.seed)
+	}
+
+	for scIdx, sc := range scenarios {
+		// Calibration: one clean, chaos-free run.
+		cal := RunTrial(Trial{Scenario: sc, Seed: 0, Mutation: cfg.Mutation})
+		if cal.RunErr != nil && !cal.Failed() {
+			return nil, fmt.Errorf("check: scenario %s calibration run failed: %w", sc.Name, cal.RunErr)
+		}
+		executed++
+		if cal.Failed() {
+			o := &outcome{scIdx: scIdx, seed: 0, plan: Plan{}, r: cal}
+			mu.Lock()
+			if better(o) {
+				best = o
+			}
+			mu.Unlock()
+			// The scenario fails without chaos; no need to sweep it.
+			continue
+		}
+		totalCalls := cal.Calls
+
+		seedCh := make(chan uint64)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for seed := range seedCh {
+					mu.Lock()
+					skip := best != nil && (scIdx > best.scIdx ||
+						(scIdx == best.scIdx && seed > best.seed))
+					mu.Unlock()
+					if skip {
+						report()
+						continue
+					}
+					plan := planForSeed(seed, totalCalls, cfg.MaxFaults)
+					r := RunTrial(Trial{Scenario: sc, Seed: seed, Plan: plan, Mutation: cfg.Mutation})
+					mu.Lock()
+					executed++
+					if r.RunErr != nil && !r.Failed() {
+						aborted++
+					}
+					if r.Failed() {
+						o := &outcome{scIdx: scIdx, seed: seed, plan: plan, r: r}
+						if better(o) {
+							best = o
+						}
+					}
+					mu.Unlock()
+					report()
+				}
+			}()
+		}
+		for seed := uint64(0); seed < uint64(cfg.Seeds); seed++ {
+			seedCh <- seed
+		}
+		close(seedCh)
+		wg.Wait()
+	}
+
+	res.Trials = executed
+	res.Aborted = aborted
+	res.Elapsed = time.Since(start)
+	if best != nil {
+		res.Failure = &Failure{
+			Scenario:   scenarios[best.scIdx],
+			Seed:       best.seed,
+			Plan:       best.plan,
+			Mutation:   cfg.Mutation,
+			Violations: best.r.Violations,
+		}
+	}
+	return res, nil
+}
+
+// Shrink greedily minimizes a failure's chaos plan: it repeatedly
+// removes single fault events while the trial still detects a violation,
+// until no single removal keeps it failing. The result reproduces a
+// violation by construction. (The seed is atomic and never shrunk.)
+func Shrink(f *Failure) *Failure {
+	cur := *f
+	for {
+		improved := false
+		for _, c := range cur.Plan.calls() {
+			cand := cur.Plan.Clone()
+			delete(cand.Faults, c)
+			t := cur.trial()
+			t.Plan = cand
+			r := RunTrial(t)
+			if r.Failed() {
+				cur.Plan = cand
+				cur.Violations = r.Violations
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return &cur
+		}
+	}
+}
+
+// ReproStanza renders the failure as a ready-to-paste regression test
+// for internal/check.
+func (f *Failure) ReproStanza() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Regression: %s seed=%d plan=%s mutation=%s\n",
+		f.Scenario.Name, f.Seed, f.Plan, f.Mutation)
+	for _, v := range f.Violations {
+		fmt.Fprintf(&b, "//   %s\n", v)
+	}
+	fmt.Fprintf(&b, "func TestRepro_%s_%d(t *testing.T) {\n", sanitizeIdent(f.Scenario.Name), f.Seed)
+	fmt.Fprintf(&b, "\tplan, err := check.ParsePlan(%q)\n", f.Plan.String())
+	b.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+	b.WriteString("\tres := check.RunTrial(check.Trial{\n")
+	fmt.Fprintf(&b, "\t\tScenario: check.MustScenario(%q),\n", f.Scenario.Name)
+	fmt.Fprintf(&b, "\t\tSeed:     %d,\n", f.Seed)
+	b.WriteString("\t\tPlan:     plan,\n")
+	if f.Mutation != dsm.MutationNone {
+		fmt.Fprintf(&b, "\t\tMutation: dsm.Mutation(%d), // %s\n", uint8(f.Mutation), f.Mutation)
+	}
+	b.WriteString("\t})\n")
+	inv := "violation"
+	if len(f.Violations) > 0 {
+		inv = f.Violations[0].Invariant
+	}
+	fmt.Fprintf(&b, "\tif !res.Failed() {\n\t\tt.Fatalf(\"expected a coherence violation (%s)\")\n\t}\n}\n", inv)
+	return b.String()
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

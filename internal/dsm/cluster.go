@@ -74,6 +74,16 @@ type Config struct {
 	// it composes with transport retry exactly like DiffRequest.
 	// Multi-writer protocol only. Default off.
 	BatchDiffs bool
+	// SerialFanOut runs broadcast and batch fan-outs sequentially in
+	// index order instead of in parallel. With the Local transport this
+	// makes the global transport-call sequence fully deterministic, which
+	// the coherence model checker (internal/check) relies on to key chaos
+	// plans by call number and reproduce failures exactly. Testing knob;
+	// leave off in production (parallel fan-out hides latency).
+	SerialFanOut bool
+	// Mutation injects a deliberate protocol bug for checker validation
+	// (see the Mutation constants). Test-only; never set in production.
+	Mutation Mutation
 	// PrefetchBudget enables correlation-driven prefetch at barrier
 	// release (Cluster.PrefetchRound): each node predicts the pages its
 	// resident threads will touch — from an installed predictor
@@ -113,6 +123,10 @@ type Cluster struct {
 	// prefetchPredict, when non-nil, supplies the predicted page set for
 	// a node's prefetch round (see SetPrefetchPredictor).
 	prefetchPredict func(node int) *vm.Bitmap
+
+	// probe, when non-nil, receives protocol events for the coherence
+	// model checker (see Probe).
+	probe *Probe
 }
 
 // barrierState accumulates one barrier episode at the manager. entered
@@ -265,8 +279,11 @@ func (c *Cluster) call(from, to int, m msg.Message) (msg.Message, sim.Time, erro
 
 // fanOut runs f(0..n-1) concurrently and returns the lowest-index error
 // (errgroup-style aggregation; deterministic error selection keeps
-// failure messages stable across runs).
-func fanOut(n int, f func(i int) error) error {
+// failure messages stable across runs). When serial is true the calls run
+// sequentially in index order instead — same semantics (every f(i) runs
+// even after a failure, lowest-index error wins), but the transport-call
+// sequence becomes deterministic, which Config.SerialFanOut promises.
+func fanOut(n int, serial bool, f func(i int) error) error {
 	if n <= 1 {
 		if n == 1 {
 			return f(0)
@@ -274,15 +291,21 @@ func fanOut(n int, f func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
+	if serial {
+		for i := 0; i < n; i++ {
 			errs[i] = f(i)
-		}(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = f(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -451,7 +474,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 
 	// Phase 2: parallel enter fan-in to the manager.
 	err := c.broadcast(func() error {
-		return fanOut(nnodes, func(i int) error {
+		return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
 			if i == mgr {
 				_, err := c.nodes[mgr].serveBarrierEnter(enters[mgr])
 				return err
@@ -516,7 +539,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	// once a page's pending set is drained), so phase retries that
 	// re-deliver to some nodes are harmless.
 	err = c.broadcast(func() error {
-		return fanOut(nnodes, func(i int) error {
+		return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
 			if i == mgr {
 				_, err := c.nodes[i].serveBarrierRelease(releases[i])
 				return err
@@ -606,7 +629,7 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 		mgr.charge = &ti
 		mgr.mu.Unlock()
 		if len(pending) > 0 {
-			ok, err := mgr.fetchAndApplyDiffs(p, pending)
+			ok, err := mgr.fetchAndApplyDiffs(p, pending, ApplyServer)
 			if err != nil {
 				return fmt.Errorf("dsm: gc consolidate page %d: %w", p, err)
 			}
@@ -628,7 +651,7 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 		// GCCollections stays exactly-once per page.
 		collect := &msg.GCCollect{Page: int32(p)}
 		err := c.broadcast(func() error {
-			return fanOut(len(c.nodes), func(i int) error {
+			return fanOut(len(c.nodes), c.cfg.SerialFanOut, func(i int) error {
 				if i == mgr.id {
 					_, err := c.nodes[i].serveGCCollect(collect)
 					return err
@@ -681,6 +704,7 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 		return 0, fmt.Errorf("dsm: node %d acquire lock %d: unexpected reply %T", node, lock, grantMsg)
 	}
 	n.mu.Lock()
+	c.probeNoticesDelivered(node, ViaLockGrant, grant.Notices)
 	n.bumpLamportLocked(grant.Lam)
 	for _, nt := range grant.Notices {
 		n.addPendingLocked(nt)
@@ -693,6 +717,7 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	// keeps a retried acquire safe — a lost grant reply is re-served.
 	n.lockPos[mgr] = grant.Pos
 	n.mu.Unlock()
+	c.probeLockAcquired(node, lock)
 	c.stats.LockAcquires.Add(1)
 	return wire, nil
 }
@@ -710,11 +735,24 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	// been sent, so the next acquirer inherits transitive causal
 	// history without re-transmitting delivered prefixes.
 	start := n.sentKnown[mgr]
+	shipped := n.known[start:]
+	if c.cfg.Mutation == MutationNoTransitivity {
+		// Test-only bug: ship only the releaser's own notices, dropping
+		// the received history a correct release must forward. A third
+		// node can then miss a causally-ordered update (lost update).
+		var own []msg.Notice
+		for _, nt := range shipped {
+			if int(nt.Writer) == node {
+				own = append(own, nt)
+			}
+		}
+		shipped = own
+	}
 	rel := &msg.LockRelease{
 		Node:    int32(node),
 		Lock:    lock,
 		Lam:     n.lamport,
-		Notices: append([]msg.Notice(nil), n.known[start:]...),
+		Notices: append([]msg.Notice(nil), shipped...),
 	}
 	n.sentKnown[mgr] = len(n.known)
 	n.mu.Unlock()
@@ -731,6 +769,7 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 		}
 		cost += wire
 	}
+	c.probeLockReleased(node, lock)
 	return cost, nil
 }
 

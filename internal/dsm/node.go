@@ -230,7 +230,9 @@ func (n *node) addPendingLocked(nt msg.Notice) {
 		return // own writes are already in the local copy
 	}
 	st := &n.pages[nt.Page]
-	if st.staleOrDup(nt) {
+	// MutationNoNoticeDedup (test-only) disables the stale/duplicate
+	// filter so the checker can prove it detects double application.
+	if n.c.cfg.Mutation != MutationNoNoticeDedup && st.staleOrDup(nt) {
 		return
 	}
 	if st.prefetched {
@@ -287,6 +289,7 @@ func (n *node) closeIntervalLocked() ([]msg.Notice, sim.Time) {
 	}
 	n.fresh = append(n.fresh, notices...)
 	n.addKnownLocked(notices)
+	n.c.probeIntervalClosed(n.id, notices)
 	return notices, cost
 }
 
@@ -332,7 +335,7 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 		}
 		remote = true
 	case len(pending) > 0:
-		ok, err := n.fetchAndApplyDiffs(p, pending)
+		ok, err := n.fetchAndApplyDiffs(p, pending, ApplyDemand)
 		if err != nil {
 			return err
 		}
@@ -411,13 +414,15 @@ func (n *node) fetchFullPage(p vm.PageID) error {
 			st.appliedVT[w] = v
 		}
 	}
+	n.c.probePageFetched(n.id, p, append([]int32(nil), st.appliedVT...))
 	return nil
 }
 
 // fetchAndApplyDiffs retrieves the diffs named by pending from their
 // writers and applies them in (Lamport, writer) order. It returns false if
-// any writer has garbage-collected a needed diff.
-func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice) (bool, error) {
+// any writer has garbage-collected a needed diff. src classifies the
+// protocol path for the probe (demand fault vs. manager serving).
+func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice, src ApplySource) (bool, error) {
 	c := n.c
 	sort.Slice(pending, func(i, j int) bool {
 		if pending[i].Lam != pending[j].Lam {
@@ -502,6 +507,7 @@ func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice) (bool, erro
 		applyCost += sim.Time(len(f.diff)) * c.costs.DiffPerByte
 		st.noteApplied(c.cfg.Nodes, f.notice.Writer, f.notice.Interval)
 		n.bumpLamportLocked(f.notice.Lam)
+		c.probeDiffApplied(n.id, src, f.notice)
 	}
 	n.addCharge(sim.ThreadInterval{Overhead: applyCost})
 	// Remove exactly the notices we applied; concurrent server-side
@@ -561,8 +567,10 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	}
 	n.mu.Lock()
 	st := &n.pages[p]
+	n.c.probeNoticesDelivered(n.id, ViaPageRequest, req.Pending)
 	for _, nt := range req.Pending {
-		if int(nt.Writer) != n.id && !st.staleOrDup(nt) {
+		if int(nt.Writer) != n.id &&
+			(n.c.cfg.Mutation == MutationNoNoticeDedup || !st.staleOrDup(nt)) {
 			st.pending = append(st.pending, nt)
 			n.as.SetProt(p, vm.ProtNone)
 		}
@@ -571,7 +579,7 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	n.mu.Unlock()
 
 	if len(pending) > 0 {
-		ok, err := n.fetchAndApplyDiffs(p, pending)
+		ok, err := n.fetchAndApplyDiffs(p, pending, ApplyServer)
 		if err != nil {
 			return nil, err
 		}
@@ -654,6 +662,8 @@ func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.c.probeBarrierReleased(n.id, req.Episode)
+	n.c.probeNoticesDelivered(n.id, ViaBarrier, req.Notices)
 	n.bumpLamportLocked(req.Lam)
 	for _, nt := range req.Notices {
 		n.addPendingLocked(nt)
@@ -743,6 +753,7 @@ func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 		st.pending = nil
 		st.appliedVT = nil
 		n.as.SetProt(p, vm.ProtNone)
+		n.c.probePageInvalidated(n.id, p)
 	}
 	return &msg.Ack{}, nil
 }

@@ -1,0 +1,212 @@
+package dsm
+
+// Protocol observation points for the coherence model checker
+// (internal/check). A Probe receives fine-grained protocol events —
+// interval closes, notice deliveries, diff applications, page fetches and
+// invalidations, lock transfers — that together let an external oracle
+// maintain a happens-before reference store and assert LRC invariants
+// online. Probes are instrumentation only: they charge no virtual time and
+// must never call back into the cluster (several events fire with a node's
+// mutex held).
+
+import (
+	"actdsm/internal/msg"
+	"actdsm/internal/vm"
+)
+
+// ApplySource classifies the protocol path that applied a diff (or, for
+// transitions, brought a page current).
+type ApplySource uint8
+
+// Apply sources.
+const (
+	// ApplyDemand is the demand fault path: a thread touched an invalid
+	// page and pulled the pending diffs (or the full page) synchronously.
+	ApplyDemand ApplySource = iota + 1
+	// ApplyPrefetch is the barrier-release pull prefetch round.
+	ApplyPrefetch
+	// ApplyPush is a barrier-piggybacked pushed diff applied at release.
+	ApplyPush
+	// ApplyServer is a manager bringing its own copy current to serve a
+	// PageRequest or to consolidate a page for garbage collection.
+	ApplyServer
+)
+
+// String implements fmt.Stringer.
+func (s ApplySource) String() string {
+	switch s {
+	case ApplyDemand:
+		return "demand"
+	case ApplyPrefetch:
+		return "prefetch"
+	case ApplyPush:
+		return "push"
+	case ApplyServer:
+		return "server"
+	default:
+		return "unknown"
+	}
+}
+
+// DeliverVia classifies the protocol path that delivered write notices to
+// a node.
+type DeliverVia uint8
+
+// Delivery paths.
+const (
+	// ViaBarrier is the barrier release broadcast (the episode's union).
+	ViaBarrier DeliverVia = iota + 1
+	// ViaLockGrant is the notice suffix carried by a lock grant.
+	ViaLockGrant
+	// ViaPageRequest is a requester's pending set forwarded to the page
+	// manager inside a PageRequest (the manager learns the notices too).
+	ViaPageRequest
+)
+
+// String implements fmt.Stringer.
+func (v DeliverVia) String() string {
+	switch v {
+	case ViaBarrier:
+		return "barrier"
+	case ViaLockGrant:
+		return "lock-grant"
+	case ViaPageRequest:
+		return "page-request"
+	default:
+		return "unknown"
+	}
+}
+
+// Probe is a set of optional protocol event callbacks. All fields may be
+// nil. Callbacks may run concurrently (transport server goroutines,
+// parallel fan-outs) unless Config.SerialFanOut is set and the transport
+// is Local; implementations must be safe for concurrent use. Several
+// callbacks fire with the node's internal mutex held: they must return
+// quickly and must not call into the Cluster.
+type Probe struct {
+	// IntervalClosed fires when a node closes interval notices[i].Interval
+	// with the given write notices (one per dirty page with a non-empty
+	// diff). All notices share the same Writer, Interval, and Lam.
+	IntervalClosed func(node int, notices []msg.Notice)
+	// NoticesDelivered fires when write notices reach a node through a
+	// consistency path. Re-deliveries (transport retries, re-broadcast
+	// phases) fire again with the same notices; observers must be
+	// idempotent, exactly like the protocol's own dedup.
+	NoticesDelivered func(node int, via DeliverVia, notices []msg.Notice)
+	// DiffApplied fires for every diff applied to a node's page copy,
+	// with the notice naming it and the path that applied it.
+	DiffApplied func(node int, src ApplySource, nt msg.Notice)
+	// PageFetched fires when a full page image (with the manager's
+	// applied-interval vector) replaces a node's copy.
+	PageFetched func(node int, p vm.PageID, appliedVT []int32)
+	// PageInvalidated fires when garbage collection drops a non-manager
+	// replica outright (copy, pending set, and applied vector all reset).
+	PageInvalidated func(node int, p vm.PageID)
+	// LockAcquired fires after a node has applied a lock grant's notices
+	// (the acquire side of the happens-before edge).
+	LockAcquired func(node int, lock int32)
+	// LockReleased fires after a node has closed its interval and shipped
+	// its release to the lock manager (the release side of the edge).
+	LockReleased func(node int, lock int32)
+	// BarrierReleased fires once per node per barrier episode, when the
+	// release reaches the node (before its pushed diffs are applied).
+	BarrierReleased func(node int, episode int32)
+}
+
+// SetProbe installs p, replacing any previous probe. A nil p detaches.
+// Install before driving traffic; installation is not synchronized with
+// in-flight operations.
+func (c *Cluster) SetProbe(p *Probe) { c.probe = p }
+
+// Mutation selects a deliberate, test-only protocol bug used to validate
+// that the coherence checker (internal/check) actually detects the class
+// of error it claims to. Never set in production configurations.
+type Mutation uint8
+
+// Mutations.
+const (
+	// MutationNone runs the correct protocol.
+	MutationNone Mutation = iota
+	// MutationNoTransitivity breaks transitive causal history on lock
+	// releases: a release ships only the releaser's own notices instead
+	// of everything it has created or received since the last barrier. A
+	// third node can then apply causally-ordered diffs out of order or
+	// miss an update entirely (lost update).
+	MutationNoTransitivity
+	// MutationNoNoticeDedup disables the receiver-side stale/duplicate
+	// notice filter: re-delivered or already-reflected notices are queued
+	// again, so their diffs are fetched and applied more than once per
+	// (writer, interval) — the exactly-once invariant the checker pins.
+	MutationNoNoticeDedup
+	// MutationPushPartialApply breaks the push path's no-partial-apply
+	// rule: a barrier-piggybacked push that covers only part of a page's
+	// pending set is applied anyway and the rest of the pending set is
+	// dropped, losing the uncovered updates.
+	MutationPushPartialApply
+)
+
+// String implements fmt.Stringer.
+func (m Mutation) String() string {
+	switch m {
+	case MutationNone:
+		return "none"
+	case MutationNoTransitivity:
+		return "no-transitivity"
+	case MutationNoNoticeDedup:
+		return "no-notice-dedup"
+	case MutationPushPartialApply:
+		return "push-partial-apply"
+	default:
+		return "unknown"
+	}
+}
+
+// probe event helpers: nil-safe wrappers so call sites stay one line.
+
+func (c *Cluster) probeIntervalClosed(node int, notices []msg.Notice) {
+	if c.probe != nil && c.probe.IntervalClosed != nil && len(notices) > 0 {
+		c.probe.IntervalClosed(node, notices)
+	}
+}
+
+func (c *Cluster) probeNoticesDelivered(node int, via DeliverVia, notices []msg.Notice) {
+	if c.probe != nil && c.probe.NoticesDelivered != nil && len(notices) > 0 {
+		c.probe.NoticesDelivered(node, via, notices)
+	}
+}
+
+func (c *Cluster) probeDiffApplied(node int, src ApplySource, nt msg.Notice) {
+	if c.probe != nil && c.probe.DiffApplied != nil {
+		c.probe.DiffApplied(node, src, nt)
+	}
+}
+
+func (c *Cluster) probePageFetched(node int, p vm.PageID, vt []int32) {
+	if c.probe != nil && c.probe.PageFetched != nil {
+		c.probe.PageFetched(node, p, vt)
+	}
+}
+
+func (c *Cluster) probePageInvalidated(node int, p vm.PageID) {
+	if c.probe != nil && c.probe.PageInvalidated != nil {
+		c.probe.PageInvalidated(node, p)
+	}
+}
+
+func (c *Cluster) probeLockAcquired(node int, lock int32) {
+	if c.probe != nil && c.probe.LockAcquired != nil {
+		c.probe.LockAcquired(node, lock)
+	}
+}
+
+func (c *Cluster) probeLockReleased(node int, lock int32) {
+	if c.probe != nil && c.probe.LockReleased != nil {
+		c.probe.LockReleased(node, lock)
+	}
+}
+
+func (c *Cluster) probeBarrierReleased(node int, episode int32) {
+	if c.probe != nil && c.probe.BarrierReleased != nil {
+		c.probe.BarrierReleased(node, episode)
+	}
+}

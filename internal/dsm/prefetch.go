@@ -128,7 +128,10 @@ func (n *node) applyPushLocked(push []msg.PushedDiff) error {
 				break
 			}
 		}
-		if !complete {
+		// MutationPushPartialApply (test-only) breaks the no-partial-apply
+		// rule: the page is applied anyway and the uncovered updates are
+		// silently dropped below (lost update).
+		if !complete && c.cfg.Mutation != MutationPushPartialApply {
 			continue
 		}
 		ordered := append([]msg.Notice(nil), st.pending...)
@@ -143,13 +146,17 @@ func (n *node) applyPushLocked(push []msg.PushedDiff) error {
 			return a.Interval < b.Interval
 		})
 		for _, nt := range ordered {
-			df := diffs[[3]int32{nt.Page, nt.Writer, nt.Interval}]
+			df, ok := diffs[[3]int32{nt.Page, nt.Writer, nt.Interval}]
+			if !ok {
+				continue // only reachable under MutationPushPartialApply
+			}
 			if err := ApplyDiff(n.pageData(p), df); err != nil {
 				return fmt.Errorf("dsm: node %d apply pushed diff page %d: %w", n.id, p, err)
 			}
 			n.pushCost += sim.Time(len(df)) * c.costs.DiffPerByte
 			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
 			n.bumpLamportLocked(nt.Lam)
+			c.probeDiffApplied(n.id, ApplyPush, nt)
 		}
 		st.pending = st.pending[:0]
 		n.as.SetProt(p, vm.ProtRead)
@@ -366,6 +373,7 @@ func (n *node) prefetch(budget int) (sim.Time, error) {
 			applyCost += sim.Time(len(df)) * c.costs.DiffPerByte
 			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
 			n.bumpLamportLocked(nt.Lam)
+			c.probeDiffApplied(n.id, ApplyPrefetch, nt)
 		}
 		// Drop exactly the applied notices.
 		keep := st.pending[:0]
@@ -427,7 +435,7 @@ func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][
 
 	replies := make([]*msg.DiffBatchReply, len(writers))
 	wires := make([]sim.Time, len(writers))
-	err := fanOut(len(writers), func(i int) error {
+	err := fanOut(len(writers), c.cfg.SerialFanOut, func(i int) error {
 		w := writers[i]
 		if int(w) == n.id {
 			// The barrier manager reading its own diff store (push

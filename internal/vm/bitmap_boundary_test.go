@@ -1,0 +1,124 @@
+package vm
+
+// Word-boundary edge cases for the correlation-tracking bitmaps: bit
+// positions straddling the 64-bit word seams (63/64/65), capacities that
+// are not word multiples, and the derived operations (Count, Or,
+// AndCount, ForEach, Pages, Clone) at those seams.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBitmapWordSeams(t *testing.T) {
+	for _, n := range []int{64, 65, 127, 128, 129, 200} {
+		b := NewBitmap(n)
+		if b.Len() != n {
+			t.Fatalf("Len() = %d, want %d", b.Len(), n)
+		}
+		seams := []PageID{0, 63}
+		if n > 64 {
+			seams = append(seams, 64)
+		}
+		if n > 65 {
+			seams = append(seams, 65)
+		}
+		seams = append(seams, PageID(n-1))
+		for _, p := range seams {
+			b.Set(p)
+			if !b.Get(p) {
+				t.Fatalf("n=%d: bit %d not set", n, p)
+			}
+		}
+		// Set is idempotent across the seam.
+		for _, p := range seams {
+			b.Set(p)
+		}
+		uniq := map[PageID]bool{}
+		for _, p := range seams {
+			uniq[p] = true
+		}
+		if b.Count() != len(uniq) {
+			t.Fatalf("n=%d: Count() = %d, want %d", n, b.Count(), len(uniq))
+		}
+		// Clearing the word-straddling bits must not disturb neighbours.
+		b.Clear(63)
+		if n > 64 {
+			if !b.Get(64) {
+				t.Fatalf("n=%d: Clear(63) cleared bit 64", n)
+			}
+			b.Clear(64)
+			if n > 65 && !b.Get(65) {
+				t.Fatalf("n=%d: Clear(64) cleared bit 65", n)
+			}
+		}
+		if b.Get(63) {
+			t.Fatalf("n=%d: bit 63 still set after Clear", n)
+		}
+	}
+}
+
+func TestBitmapSeamOps(t *testing.T) {
+	// Two bitmaps overlapping exactly on the seam bits 63 and 64.
+	a := NewBitmap(130)
+	b := NewBitmap(130)
+	for _, p := range []PageID{1, 63, 64, 129} {
+		a.Set(p)
+	}
+	for _, p := range []PageID{63, 64, 65, 128} {
+		b.Set(p)
+	}
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d, want 2 (bits 63 and 64)", got)
+	}
+	u := a.Clone()
+	u.Or(b)
+	wantPages := []PageID{1, 63, 64, 65, 128, 129}
+	if got := u.Pages(); !reflect.DeepEqual(got, wantPages) {
+		t.Fatalf("union Pages() = %v, want %v", got, wantPages)
+	}
+	if u.Count() != len(wantPages) {
+		t.Fatalf("union Count() = %d, want %d", u.Count(), len(wantPages))
+	}
+	// ForEach must walk ascending across the word seam.
+	var walked []PageID
+	u.ForEach(func(p PageID) { walked = append(walked, p) })
+	if !reflect.DeepEqual(walked, wantPages) {
+		t.Fatalf("ForEach order = %v, want %v", walked, wantPages)
+	}
+	// Clone is independent of its source.
+	u.Reset()
+	if u.Count() != 0 {
+		t.Fatalf("Reset left %d bits", u.Count())
+	}
+	if a.Count() != 4 {
+		t.Fatalf("Reset of union disturbed source: Count = %d", a.Count())
+	}
+}
+
+func TestBitmapEmptyAndFull(t *testing.T) {
+	// Empty bitmap: every derived op degenerates cleanly.
+	b := NewBitmap(65)
+	if b.Count() != 0 {
+		t.Fatalf("empty Count = %d", b.Count())
+	}
+	if got := b.Pages(); len(got) != 0 {
+		t.Fatalf("empty Pages = %v", got)
+	}
+	b.ForEach(func(p PageID) { t.Fatalf("ForEach visited %d on empty bitmap", p) })
+
+	// Full bitmap across a partial last word: Count equals capacity and
+	// the tail bits beyond n stay untouched by Set/Clear round trips.
+	for p := 0; p < 65; p++ {
+		b.Set(PageID(p))
+	}
+	if b.Count() != 65 {
+		t.Fatalf("full Count = %d, want 65", b.Count())
+	}
+	for p := 0; p < 65; p++ {
+		b.Clear(PageID(p))
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count after full clear = %d", b.Count())
+	}
+}
