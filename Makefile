@@ -1,16 +1,37 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-compare fuzz-smoke sweep check-mutations
+.PHONY: check build vet test race lint fmt-check tools bench bench-compare fuzz-smoke sweep check-mutations
 
-## check: the full gate — build, vet, and the test suite under the race
-## detector. This is what CI should run.
-check: build vet race
+## check: the full gate — formatting, build, vet, static analysis, and
+## the test suite under the race detector. This is what CI runs (CI's
+## lint job additionally runs govulncheck).
+check: fmt-check build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## fmt-check: fail when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## lint: staticcheck when installed (see 'make tools'), otherwise a
+## skip notice — the container image does not bake analysis tools in,
+## CI installs them in the lint job.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (run 'make tools')"; fi
+
+## tools: one-time install of the analysis tools check/CI use. Requires
+## network access; CI's lint job runs the same installs.
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
 
 test:
 	$(GO) test ./...

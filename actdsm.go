@@ -28,6 +28,7 @@ import (
 	"actdsm/internal/dsm"
 	"actdsm/internal/experiments"
 	"actdsm/internal/memlayout"
+	"actdsm/internal/obs"
 	"actdsm/internal/placement"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
@@ -99,6 +100,32 @@ type (
 	DensityTracker = core.DensityTracker
 	// Move is one thread migration of a reconfiguration plan.
 	Move = placement.Move
+	// ObsRecorder is the observability layer's event recorder: epoch
+	// timelines, Perfetto trace export (WriteTrace), metrics dump
+	// (WriteMetrics), and per-epoch breakdown (Breakdown). Obtain one
+	// via WithObservability + System.Recorder. (Not to be confused with
+	// Recorder, the page-access trace capturer.)
+	ObsRecorder = obs.Recorder
+	// ObsConfig configures the observability recorder (enablement and
+	// ring-buffer capacity).
+	ObsConfig = obs.Config
+	// ObsEvent is one structured observability event.
+	ObsEvent = obs.Event
+	// Breakdown is the per-epoch critical-path report.
+	Breakdown = obs.Breakdown
+	// Probe is the DSM protocol's instrumentation hook set (the
+	// coherence checker and the observability layer both feed on it).
+	Probe = dsm.Probe
+)
+
+// Observability exporters usable without a Recorder.
+var (
+	// MetricsText renders a Snapshot in Prometheus text format.
+	MetricsText = obs.MetricsText
+	// TraceJSON renders recorded events as Chrome trace-event JSON.
+	TraceJSON = obs.TraceJSON
+	// ComputeBreakdown folds recorded events into per-epoch summaries.
+	ComputeBreakdown = obs.ComputeBreakdown
 )
 
 // Input-size classes.

@@ -16,6 +16,14 @@
 // (BENCH_prefetch.json in CI) and -prefetch-baseline fails the run when
 // the prefetch configuration's demand calls regress more than 5% against
 // a committed baseline.
+//
+// The "sor" section runs one observed SOR workload and prints its
+// per-epoch time breakdown (DESIGN.md §9). With -trace-out it writes a
+// Chrome trace-event / Perfetto JSON timeline (open in ui.perfetto.dev),
+// with -metrics-out a Prometheus-style text dump of every protocol
+// counter, and with -pprof a CPU profile of the whole actbench run:
+//
+//	actbench -only sor -trace-out sor.json -metrics-out sor.metrics
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,13 +54,28 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, check, transport)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
 		prefBase  = flag.String("prefetch-baseline", "", "compare the prefetch report against this committed baseline; fail on >5% demand-call regression")
+		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
+		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := actdsm.ExperimentOptions{
 		Threads:       *threads,
@@ -270,7 +294,71 @@ func run() error {
 			return err
 		}
 	}
+	if selected("sor") {
+		if err := section("SOR: observed run, per-epoch time breakdown (DESIGN.md §9)", func() (string, error) {
+			return observedSOR(*threads, *nodes, opts.Scale, *traceOut, *metricOut)
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// observedSOR runs one deterministic SOR workload with the observability
+// recorder enabled and renders its per-epoch breakdown; traceOut and
+// metricsOut optionally receive the Perfetto timeline and the metrics
+// dump of the same run.
+func observedSOR(threads, nodes int, scale actdsm.Scale, traceOut, metricsOut string) (string, error) {
+	app, err := actdsm.NewApp("SOR", actdsm.AppConfig{Threads: threads, Scale: scale})
+	if err != nil {
+		return "", err
+	}
+	sys, err := actdsm.NewSystem(app, nodes,
+		actdsm.WithObservability(),
+		actdsm.WithDiffBatching(),
+		actdsm.WithPrefetchBudget(-1),
+	)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = sys.Close() }()
+	if err := sys.Run(); err != nil {
+		return "", err
+	}
+	rec := sys.Recorder()
+	out := rec.Breakdown().String()
+	if dropped := rec.Dropped(); dropped > 0 {
+		out += fmt.Sprintf("(ring dropped %d events; raise ObsConfig.BufferEvents)\n", dropped)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return "", err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			_ = f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("(wrote %s — open in ui.perfetto.dev)\n", traceOut)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return "", err
+		}
+		if err := rec.WriteMetrics(sys.Cluster().Stats().Snapshot(), f); err != nil {
+			_ = f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("(wrote %s)\n", metricsOut)
+	}
+	return out, nil
 }
 
 // checkSweep runs a short coherence model-checker sweep (DESIGN.md §8)

@@ -6,15 +6,21 @@
 //	actrun -app LU1k [-threads 64] [-nodes 8] [-iters 5]
 //	       [-placement stretch|mincost|random] [-scale test|paper]
 //	       [-seed N] [-verify] [-tcp]
+//	       [-trace-out FILE] [-metrics-out FILE] [-breakdown]
 //
 // The mincost policy first runs a short tracked execution to obtain
 // thread correlations, then derives the placement with the min-cost
 // heuristic (paper §5.1).
+//
+// -trace-out, -metrics-out, and -breakdown enable the observability
+// recorder (DESIGN.md §9) and export the run's Perfetto timeline, a
+// Prometheus-style metrics dump, and the per-epoch time breakdown.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"actdsm"
@@ -38,8 +44,12 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "seed for the random policy")
 		verify    = flag.Bool("verify", false, "enable numerical verification")
 		useTCP    = flag.Bool("tcp", false, "run the DSM protocol over loopback TCP")
+		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline to this file")
+		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump to this file")
+		breakdown = flag.Bool("breakdown", false, "print the per-epoch time breakdown")
 	)
 	flag.Parse()
+	observe := *traceOut != "" || *metricOut != "" || *breakdown
 
 	scale := actdsm.ScaleTest
 	if *scaleFlag == "paper" {
@@ -76,6 +86,9 @@ func run() error {
 	if *useTCP {
 		opts = append(opts, actdsm.WithTCP())
 	}
+	if observe {
+		opts = append(opts, actdsm.WithObservability())
+	}
 	sys, err := actdsm.NewSystem(appInst, *nodes, opts...)
 	if err != nil {
 		return err
@@ -99,5 +112,40 @@ func run() error {
 	fmt.Printf("  barriers        %d\n", st.Barriers)
 	fmt.Printf("  lock acquires   %d\n", st.LockAcquires)
 	fmt.Printf("  gc rounds       %d (pages collected %d)\n", st.GCRounds, st.GCCollections)
+
+	if observe {
+		rec := sys.Recorder()
+		if *breakdown {
+			fmt.Printf("\nper-epoch breakdown:\n%s", rec.Breakdown().String())
+		}
+		if *traceOut != "" {
+			if err := writeWith(*traceOut, rec.WriteTrace); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s — open in ui.perfetto.dev)\n", *traceOut)
+		}
+		if *metricOut != "" {
+			err := writeWith(*metricOut, func(w io.Writer) error {
+				return rec.WriteMetrics(st, w)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n", *metricOut)
+		}
+	}
 	return nil
+}
+
+// writeWith creates path, streams through f, and closes it.
+func writeWith(path string, f func(io.Writer) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file); err != nil {
+		_ = file.Close()
+		return err
+	}
+	return file.Close()
 }

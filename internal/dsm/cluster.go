@@ -208,7 +208,21 @@ func New(cfg Config) (*Cluster, error) {
 			userOnRetry(from, to, attempt, payload, err)
 		}
 	}
-	c.tr = transport.WithRetry(tr, retryOpts)
+	// The call observer sits outermost so it times the whole logical
+	// call — retries, backoff sleeps and all — and fires exactly once
+	// per Cluster-level request. It forwards to the probe only when one
+	// is installed, so the disabled path is a nil check per call.
+	c.tr = transport.WithCallObserver(transport.WithRetry(tr, retryOpts),
+		func(from, to int, payload, reply []byte, d time.Duration, err error) {
+			if c.probe == nil || c.probe.TransportCall == nil {
+				return
+			}
+			var kind msg.Kind
+			if len(payload) > 0 {
+				kind = msg.Kind(payload[0])
+			}
+			c.probeTransportCall(from, to, kind, len(payload)+len(reply), d, err != nil)
+		})
 	return c, nil
 }
 
@@ -629,7 +643,7 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 		mgr.charge = &ti
 		mgr.mu.Unlock()
 		if len(pending) > 0 {
-			ok, err := mgr.fetchAndApplyDiffs(p, pending, ApplyServer)
+			ok, err := mgr.fetchAndApplyDiffs(-1, p, pending, ApplyServer)
 			if err != nil {
 				return fmt.Errorf("dsm: gc consolidate page %d: %w", p, err)
 			}

@@ -330,19 +330,19 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	remote := false
 	switch {
 	case needFull:
-		if err := n.fetchFullPage(p); err != nil {
+		if err := n.fetchFullPage(tid, p); err != nil {
 			return err
 		}
 		remote = true
 	case len(pending) > 0:
-		ok, err := n.fetchAndApplyDiffs(p, pending, ApplyDemand)
+		ok, err := n.fetchAndApplyDiffs(tid, p, pending, ApplyDemand)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			// A writer garbage-collected a needed diff; fall back
 			// to a full fetch from the manager.
-			if err := n.fetchFullPage(p); err != nil {
+			if err := n.fetchFullPage(tid, p); err != nil {
 				return err
 			}
 		}
@@ -380,8 +380,10 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	return nil
 }
 
-// fetchFullPage brings a page current via the page manager.
-func (n *node) fetchFullPage(p vm.PageID) error {
+// fetchFullPage brings a page current via the page manager. tid is the
+// faulting thread (< 0 for server-side fetches), for the observability
+// probe's stall attribution.
+func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 	c := n.c
 	mgr := c.manager(p)
 	n.mu.Lock()
@@ -399,6 +401,7 @@ func (n *node) fetchFullPage(p vm.PageID) error {
 	}
 	c.stats.PageFetches.Add(1)
 	n.addCharge(sim.ThreadInterval{Stall: wire})
+	c.probeRemoteFetch(n.id, tid, FetchPage, p, wire)
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -420,9 +423,10 @@ func (n *node) fetchFullPage(p vm.PageID) error {
 
 // fetchAndApplyDiffs retrieves the diffs named by pending from their
 // writers and applies them in (Lamport, writer) order. It returns false if
-// any writer has garbage-collected a needed diff. src classifies the
-// protocol path for the probe (demand fault vs. manager serving).
-func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice, src ApplySource) (bool, error) {
+// any writer has garbage-collected a needed diff. tid is the faulting
+// thread (< 0 for server-side fetches) and src classifies the protocol
+// path for the probe (demand fault vs. manager serving).
+func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, src ApplySource) (bool, error) {
 	c := n.c
 	sort.Slice(pending, func(i, j int) bool {
 		if pending[i].Lam != pending[j].Lam {
@@ -452,6 +456,7 @@ func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice, src ApplySo
 			return false, err
 		}
 		n.addCharge(sim.ThreadInterval{Stall: wire})
+		n.c.probeRemoteFetch(n.id, tid, FetchDiffBatch, p, wire)
 		if !complete {
 			return false, nil // garbage-collected
 		}
@@ -481,6 +486,7 @@ func (n *node) fetchAndApplyDiffs(p vm.PageID, pending []msg.Notice, src ApplySo
 			}
 			c.stats.DiffFetches.Add(1)
 			n.addCharge(sim.ThreadInterval{Stall: wire})
+			c.probeRemoteFetch(n.id, tid, FetchDiff, p, wire)
 			for i, df := range dr.Diffs {
 				if df == nil {
 					return false, nil // garbage-collected
@@ -579,7 +585,7 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	n.mu.Unlock()
 
 	if len(pending) > 0 {
-		ok, err := n.fetchAndApplyDiffs(p, pending, ApplyServer)
+		ok, err := n.fetchAndApplyDiffs(-1, p, pending, ApplyServer)
 		if err != nil {
 			return nil, err
 		}

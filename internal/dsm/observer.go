@@ -10,7 +10,10 @@ package dsm
 // mutex held).
 
 import (
+	"time"
+
 	"actdsm/internal/msg"
+	"actdsm/internal/sim"
 	"actdsm/internal/vm"
 )
 
@@ -77,6 +80,35 @@ func (v DeliverVia) String() string {
 	}
 }
 
+// FetchKind classifies a remote data-movement round trip on the demand
+// or server path, for the observability layer's stall attribution.
+type FetchKind uint8
+
+// Fetch kinds.
+const (
+	// FetchPage is a full-page fetch from the page manager.
+	FetchPage FetchKind = iota + 1
+	// FetchDiff is a serial per-writer diff fetch (DiffRequest).
+	FetchDiff
+	// FetchDiffBatch is a coalesced per-writer batch (DiffBatchRequest),
+	// whose stall is the slowest round trip of the parallel fan-out.
+	FetchDiffBatch
+)
+
+// String implements fmt.Stringer.
+func (k FetchKind) String() string {
+	switch k {
+	case FetchPage:
+		return "page"
+	case FetchDiff:
+		return "diff"
+	case FetchDiffBatch:
+		return "diff-batch"
+	default:
+		return "unknown"
+	}
+}
+
 // Probe is a set of optional protocol event callbacks. All fields may be
 // nil. Callbacks may run concurrently (transport server goroutines,
 // parallel fan-outs) unless Config.SerialFanOut is set and the transport
@@ -111,6 +143,22 @@ type Probe struct {
 	// BarrierReleased fires once per node per barrier episode, when the
 	// release reaches the node (before its pushed diffs are applied).
 	BarrierReleased func(node int, episode int32)
+
+	// RemoteFetch fires for every remote data fetch with the faulting
+	// thread (tid < 0 for server-side fetches: a manager consolidating a
+	// page or the barrier push collection), the fetch classification, and
+	// the requester's virtual-time wire stall. The observability layer
+	// uses it to decompose per-thread stall into full-page vs. diff time.
+	RemoteFetch func(node, tid int, k FetchKind, p vm.PageID, wire sim.Time)
+	// PrefetchDone fires once per node per barrier-release prefetch round
+	// with the number of pages brought current and the round's cost.
+	PrefetchDone func(node, pages int, cost sim.Time)
+	// TransportCall fires for every completed logical transport call
+	// (after any retries) with the request kind, total wire bytes, and
+	// the wall-clock latency. Unlike every other probe event it measures
+	// real time, not virtual time; it is fed by the transport layer's
+	// call observer (transport.WithCallObserver).
+	TransportCall func(from, to int, kind msg.Kind, bytes int, wall time.Duration, failed bool)
 }
 
 // SetProbe installs p, replacing any previous probe. A nil p detaches.
@@ -208,5 +256,23 @@ func (c *Cluster) probeLockReleased(node int, lock int32) {
 func (c *Cluster) probeBarrierReleased(node int, episode int32) {
 	if c.probe != nil && c.probe.BarrierReleased != nil {
 		c.probe.BarrierReleased(node, episode)
+	}
+}
+
+func (c *Cluster) probeRemoteFetch(node, tid int, k FetchKind, p vm.PageID, wire sim.Time) {
+	if c.probe != nil && c.probe.RemoteFetch != nil {
+		c.probe.RemoteFetch(node, tid, k, p, wire)
+	}
+}
+
+func (c *Cluster) probePrefetchDone(node, pages int, cost sim.Time) {
+	if c.probe != nil && c.probe.PrefetchDone != nil {
+		c.probe.PrefetchDone(node, pages, cost)
+	}
+}
+
+func (c *Cluster) probeTransportCall(from, to int, kind msg.Kind, bytes int, wall time.Duration, failed bool) {
+	if c.probe != nil && c.probe.TransportCall != nil {
+		c.probe.TransportCall(from, to, kind, bytes, wall, failed)
 	}
 }

@@ -56,11 +56,12 @@ func (c *Cluster) PrefetchRound() ([]sim.Time, error) {
 	}
 	c.stats.PrefetchRounds.Add(1)
 	for i, n := range c.nodes {
-		cost, err := n.prefetch(c.cfg.PrefetchBudget)
+		pages, cost, err := n.prefetch(c.cfg.PrefetchBudget)
 		if err != nil {
 			return nil, err
 		}
 		costs[i] = cost
+		c.probePrefetchDone(i, pages, cost)
 	}
 	return costs, nil
 }
@@ -267,8 +268,9 @@ func (c *Cluster) collectPushDiffs(hot map[int32][]int32, notices []msg.Notice) 
 // held; no application thread is active on the node. It is the pull
 // backstop behind the barrier-piggybacked push: pages the push already
 // served have empty pending sets and are skipped, and the pages the push
-// served this epoch are charged against the budget.
-func (n *node) prefetch(budget int) (sim.Time, error) {
+// served this epoch are charged against the budget. It returns the number
+// of pages brought current and the round's virtual-time cost.
+func (n *node) prefetch(budget int) (int, sim.Time, error) {
 	c := n.c
 	var pred *vm.Bitmap
 	if c.prefetchPredict != nil {
@@ -320,7 +322,7 @@ func (n *node) prefetch(budget int) (sim.Time, error) {
 	}
 	n.mu.Unlock()
 	if len(cands) == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 
 	// Coalesce everything the round needs into one batch per writer.
@@ -332,12 +334,13 @@ func (n *node) prefetch(budget int) (sim.Time, error) {
 	}
 	got, wire, _, err := n.fetchDiffBatches(byWriter)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var applyCost sim.Time
+	applied := 0
 	for _, cd := range cands {
 		st := &n.pages[cd.p]
 		// Never apply a partial set: if any of the page's diffs was
@@ -368,7 +371,7 @@ func (n *node) prefetch(budget int) (sim.Time, error) {
 		for _, nt := range ordered {
 			df := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]
 			if err := ApplyDiff(n.pageData(cd.p), df); err != nil {
-				return 0, fmt.Errorf("dsm: node %d prefetch apply diff page %d: %w", n.id, cd.p, err)
+				return 0, 0, fmt.Errorf("dsm: node %d prefetch apply diff page %d: %w", n.id, cd.p, err)
 			}
 			applyCost += sim.Time(len(df)) * c.costs.DiffPerByte
 			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
@@ -386,10 +389,11 @@ func (n *node) prefetch(budget int) (sim.Time, error) {
 		if len(st.pending) == 0 {
 			n.as.SetProt(cd.p, vm.ProtRead)
 			st.prefetched = true
+			applied++
 			c.stats.PrefetchedPages.Add(1)
 		}
 	}
-	return wire + applyCost, nil
+	return applied, wire + applyCost, nil
 }
 
 // fetchDiffBatches fetches the diffs named by byWriter — each writer's

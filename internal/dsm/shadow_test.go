@@ -144,8 +144,9 @@ func TestShadowModelWithLocks(t *testing.T) {
 // they surface as errors rather than corruption or hangs.
 func TestTransportFailurePropagates(t *testing.T) {
 	c := newTestCluster(t, 2, 2)
-	// Reach inside: the Local transport supports fault injection.
-	lt, ok := c.tr.(*transport.Local)
+	// Reach inside (through the call-observer wrapper): the Local
+	// transport supports fault injection.
+	lt, ok := transport.Base(c.tr).(*transport.Local)
 	if !ok {
 		t.Fatal("expected Local transport")
 	}

@@ -1,0 +1,246 @@
+package obs
+
+// Per-epoch critical-path breakdown: the textual answer to "where did
+// the time go?". For every barrier episode it aggregates, per node, the
+// folded thread time (split compute / stall / overhead, with the stall
+// further split page-fetch / diff-fetch / lock by the probe's
+// attribution), the barrier-protocol and prefetch-round costs, and the
+// rendezvous wait — and names the critical node, the one every other
+// node waited for. This is the paper's Table-2 argument made visible:
+// placement changes pay off exactly when they shrink the critical
+// node's stall share.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"actdsm/internal/sim"
+)
+
+// NodeBreakdown is one node's share of one barrier episode.
+type NodeBreakdown struct {
+	Node int
+
+	// Start is the node clock at episode start; the episode spans
+	// [Start, Start+Folded+Barrier+Prefetch+Wait].
+	Start sim.Time
+	// Folded is the node-clock time the folded thread charges occupied
+	// (after latency toleration and node-speed scaling).
+	Folded sim.Time
+	// Barrier and Prefetch are the node's barrier-protocol and
+	// prefetch-round costs; Wait pads the node to the global release.
+	Barrier, Prefetch, Wait sim.Time
+
+	// Raw per-thread charges accumulated during the episode (pre-fold;
+	// they can exceed Folded when latency toleration overlapped stalls).
+	Compute, Stall, Overhead sim.Time
+	// Attributed stall shares (<= Stall; remainder is unclassified).
+	PageStall, DiffStall, LockStall sim.Time
+
+	// Slices is the number of thread scheduling slices; Fetches the
+	// number of remote fetch round trips charged to resident threads.
+	Slices, Fetches int
+}
+
+// End returns the node clock at episode release.
+func (n NodeBreakdown) End() sim.Time {
+	return n.Start + n.Folded + n.Barrier + n.Prefetch + n.Wait
+}
+
+// EpochBreakdown is one barrier episode across all nodes.
+type EpochBreakdown struct {
+	Epoch int
+	// Start and End are the earliest node start and the common release.
+	Start, End sim.Time
+	Nodes      []NodeBreakdown
+	// Critical is the node that set the release time (maximum
+	// Start+Folded+Barrier+Prefetch — i.e. zero wait).
+	Critical int
+	// Migrations and MigrationCost count thread migrations charged
+	// after this episode's release (between it and the next episode).
+	Migrations    int
+	MigrationCost sim.Time
+}
+
+// Breakdown is the whole run, one entry per barrier episode.
+type Breakdown struct {
+	Epochs []EpochBreakdown
+	// Wall is the maximum node clock at the end of the last episode.
+	Wall sim.Time
+}
+
+// ComputeBreakdown folds a recorder's events into per-epoch summaries.
+func ComputeBreakdown(events []Event) *Breakdown {
+	type key struct{ epoch, node int32 }
+	nodes := make(map[key]*NodeBreakdown)
+	epochs := make(map[int32]*EpochBreakdown)
+	get := func(epoch, node int32) *NodeBreakdown {
+		k := key{epoch, node}
+		nb := nodes[k]
+		if nb == nil {
+			nb = &NodeBreakdown{Node: int(node)}
+			nodes[k] = nb
+		}
+		return nb
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvRunSlice:
+			nb := get(e.Epoch, e.Node)
+			nb.Slices++
+			nb.Compute += e.Compute
+			nb.Stall += e.Stall
+			nb.Overhead += e.Overhead
+			nb.PageStall += e.PageStall
+			nb.DiffStall += e.DiffStall
+			nb.LockStall += e.LockStall
+		case EvRemoteFetch:
+			if e.TID >= 0 {
+				get(e.Epoch, e.Node).Fetches++
+			}
+		case EvNodeEpoch:
+			nb := get(e.Epoch, e.Node)
+			nb.Start = e.Time
+			nb.Folded = e.Dur
+			nb.Barrier = e.Barrier
+			nb.Prefetch = e.Prefetch
+			nb.Wait = e.Wait
+			ep := epochs[e.Epoch]
+			if ep == nil {
+				ep = &EpochBreakdown{Epoch: int(e.Epoch), Start: e.Time}
+				epochs[e.Epoch] = ep
+			}
+			if e.Time < ep.Start {
+				ep.Start = e.Time
+			}
+			if end := nb.End(); end > ep.End {
+				ep.End = end
+			}
+		case EvMigrate:
+			// Migrations are charged with all threads parked, after the
+			// recorder's epoch stamp advanced past the closing episode.
+			if ep := epochs[e.Epoch-1]; ep != nil {
+				ep.Migrations++
+				ep.MigrationCost += e.Dur
+			}
+		}
+	}
+	b := &Breakdown{}
+	var order []int32
+	for e := range epochs {
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, en := range order {
+		ep := epochs[en]
+		var ns []NodeBreakdown
+		for k, nb := range nodes {
+			if k.epoch == en {
+				ns = append(ns, *nb)
+			}
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Node < ns[j].Node })
+		ep.Nodes = ns
+		// Critical node: minimum wait (ties to the lowest id).
+		ep.Critical = -1
+		var minWait sim.Time
+		for i, nb := range ns {
+			if ep.Critical < 0 || nb.Wait < minWait {
+				ep.Critical, minWait = i, nb.Wait
+			}
+		}
+		if ep.Critical >= 0 {
+			ep.Critical = ns[ep.Critical].Node
+		}
+		b.Epochs = append(b.Epochs, *ep)
+		if ep.End > b.Wall {
+			b.Wall = ep.End
+		}
+	}
+	return b
+}
+
+// Breakdown computes the per-epoch report from the recorder's events.
+func (r *Recorder) Breakdown() *Breakdown {
+	return ComputeBreakdown(r.Events())
+}
+
+// pct renders a share of total as a fixed-width percentage.
+func pct(part, total sim.Time) string {
+	if total <= 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%4.1f%%", 100*float64(part)/float64(total))
+}
+
+// WriteTo renders the breakdown as an aligned per-epoch table. Per-node
+// component sums tile each node's episode exactly (folded + barrier +
+// prefetch + wait spans [start, release]); the per-epoch row shows the
+// cross-node aggregate shares of the episode's node-time.
+func (b *Breakdown) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %10s %7s | %6s %6s %6s %6s | %6s %6s %6s %5s %5s\n",
+		"epoch", "wall", "crit", "comput", "stall", "ovhd", "wait", "page", "diff", "lock", "barr", "pref")
+	for _, ep := range b.Epochs {
+		var folded, barrier, prefetch, wait sim.Time
+		var comp, stall, ovhd, page, diff, lock sim.Time
+		for _, nb := range ep.Nodes {
+			folded += nb.Folded
+			barrier += nb.Barrier
+			prefetch += nb.Prefetch
+			wait += nb.Wait
+			comp += nb.Compute
+			stall += nb.Stall
+			ovhd += nb.Overhead
+			page += nb.PageStall
+			diff += nb.DiffStall
+			lock += nb.LockStall
+		}
+		nodeTime := folded + barrier + prefetch + wait
+		// The folded window compresses raw thread charges; report the raw
+		// shares scaled into the folded aggregate so columns stay
+		// comparable across scheduler modes.
+		raw := comp + stall + ovhd
+		scale := 1.0
+		if raw > 0 {
+			scale = float64(folded) / float64(raw)
+		}
+		sc := func(t sim.Time) sim.Time { return sim.Time(float64(t) * scale) }
+		fmt.Fprintf(&sb, "%-6d %10s %7s | %6s %6s %6s %6s | %6s %6s %6s %5s %5s\n",
+			ep.Epoch,
+			fmtTime(ep.End-ep.Start),
+			fmt.Sprintf("n%d", ep.Critical),
+			pct(sc(comp), nodeTime), pct(sc(stall), nodeTime), pct(sc(ovhd), nodeTime), pct(wait, nodeTime),
+			pct(sc(page), nodeTime), pct(sc(diff), nodeTime), pct(sc(lock), nodeTime),
+			pct(barrier, nodeTime), pct(prefetch, nodeTime))
+		if ep.Migrations > 0 {
+			fmt.Fprintf(&sb, "       + %d migrations, %s\n", ep.Migrations, fmtTime(ep.MigrationCost))
+		}
+	}
+	fmt.Fprintf(&sb, "total  %10s  (%d epochs)\n", fmtTime(b.Wall), len(b.Epochs))
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the breakdown table.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	_, _ = b.WriteTo(&sb)
+	return sb.String()
+}
+
+// fmtTime renders virtual nanoseconds compactly.
+func fmtTime(t sim.Time) string {
+	switch {
+	case t >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(t)/1e9)
+	case t >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(t)/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

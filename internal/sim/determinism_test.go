@@ -42,7 +42,9 @@ var wallClockAllowed = map[string]bool{
 	"cmd/actbench/main.go":            true, // section elapsed-time banner
 	"internal/check/explore.go":       true, // TrialResult.Elapsed / SweepResult.Elapsed
 	"internal/dsm/cluster.go":         true, // per-message latency quantiles
+	"internal/obs/obs.go":             true, // recorder start anchor + transport-span end stamps; export-only, never protocol input
 	"internal/transport/chaos.go":     true, // injected FaultDelay sleeps
+	"internal/transport/observer.go":  true, // per-call wall latency fed to the observability probe
 	"internal/transport/options.go":   true, // backoff sleep between retries
 	"internal/transport/transport.go": true, // call latency measurement
 }

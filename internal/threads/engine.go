@@ -80,6 +80,38 @@ type Hooks struct {
 	OnThreadRun func(node, tid int)
 }
 
+// Observer receives fine-grained engine events for the observability
+// layer (internal/obs implements it). Unlike Hooks, which exist for
+// protocol layers that steer execution (trackers, placement), an
+// Observer is instrumentation only: it must not call back into the
+// engine or charge virtual time. All methods run on the engine
+// goroutine with all threads parked or mid-switch, so implementations
+// need no internal ordering beyond their own.
+//
+// The interface is structural so that internal/obs can implement it
+// without this package importing it (threads must stay importable from
+// obs's dependency set).
+type Observer interface {
+	// SliceEnd reports the virtual-time charges one thread accumulated
+	// in a single run slice (from being scheduled to yielding at a sync
+	// point), including the thread-switch overhead that scheduled it.
+	// Zero-delta slices are not reported.
+	SliceEnd(node, tid, epoch int, ti sim.ThreadInterval)
+	// LockStall reports the wire stall a thread paid acquiring a lock,
+	// for stall decomposition (the charge is already inside the slice's
+	// Stall; this call attributes it).
+	LockStall(node, tid int, lock int32, stall sim.Time)
+	// EpochEnd reports one node's barrier-episode summary: the clock at
+	// episode start, the folded thread time, the node's barrier-protocol
+	// and prefetch-round costs, and the rendezvous wait that pads it to
+	// the global release time. start+folded+barrier+prefetch+wait equals
+	// the node clock at release, so spans tile the timeline exactly.
+	EpochEnd(node, epoch int, start, folded, barrier, prefetch, wait sim.Time)
+	// Migrated reports a thread migration with the source clock at
+	// departure and the stack-transfer cost charged to both endpoints.
+	Migrated(tid, from, to int, at, cost sim.Time)
+}
+
 // Config configures an engine.
 type Config struct {
 	// Threads is the application thread count.
@@ -114,7 +146,10 @@ type Engine struct {
 	nodeOf  []int
 	clocks  []*sim.Clock
 	hooks   Hooks
+	obs     Observer
 	rng     *sim.RNG
+	// epoch counts completed barrier episodes, for Observer labelling.
+	epoch int
 
 	schedOn   bool
 	iter      int
@@ -208,6 +243,10 @@ func BlockPlacement(threads, nodes int) []int {
 // SetHooks installs engine hooks.
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
+// SetObserver installs the instrumentation observer (nil detaches).
+// Install before Run; installation is not synchronized with execution.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
 // SetSchedulerEnabled toggles the latency-toleration time model; the
 // active tracker turns it off for tracked iterations (paper §4.2).
 func (e *Engine) SetSchedulerEnabled(on bool) { e.schedOn = on }
@@ -254,9 +293,13 @@ func (e *Engine) Migrate(tid, node int) error {
 		return nil
 	}
 	cost := e.costs.FetchCost(64, e.cfg.MigrationStackBytes)
+	at := e.clocks[from].Now()
 	e.clocks[from].Advance(cost)
 	e.clocks[node].Advance(cost)
 	e.nodeOf[tid] = node
+	if e.obs != nil {
+		e.obs.Migrated(tid, from, node, at, cost)
+	}
 	return nil
 }
 
@@ -336,11 +379,22 @@ func (e *Engine) loop() error {
 				if e.hooks.OnThreadRun != nil {
 					e.hooks.OnThreadRun(node, tid)
 				}
+				before := t.cur
 				if e.lastRun[node] != tid && e.lastRun[node] >= 0 {
 					t.cur.Overhead += e.costs.SwitchCost
 				}
 				e.lastRun[node] = tid
 				ev := e.runSlice(t)
+				if e.obs != nil {
+					d := sim.ThreadInterval{
+						Compute:  t.cur.Compute - before.Compute,
+						Stall:    t.cur.Stall - before.Stall,
+						Overhead: t.cur.Overhead - before.Overhead,
+					}
+					if d != (sim.ThreadInterval{}) {
+						e.obs.SliceEnd(node, tid, e.epoch, d)
+					}
+				}
 				switch ev.kind {
 				case evDone:
 					t.state = stateDone
@@ -372,7 +426,21 @@ func (e *Engine) loop() error {
 		}
 	}
 	// Fold any residual post-final-barrier work into the node clocks.
-	e.foldIntervals()
+	if e.obs != nil {
+		start := make([]sim.Time, len(e.clocks))
+		for n, c := range e.clocks {
+			start[n] = c.Now()
+		}
+		e.foldIntervals()
+		for n, c := range e.clocks {
+			if folded := c.Now() - start[n]; folded > 0 {
+				e.obs.EpochEnd(n, e.epoch, start[n], folded, 0, 0, 0)
+			}
+		}
+		e.epoch++
+	} else {
+		e.foldIntervals()
+	}
 	return nil
 }
 
@@ -451,7 +519,21 @@ func (e *Engine) barrierReady(live int) bool {
 // completeBarrier advances virtual time, runs the DSM barrier protocol,
 // fires hooks, and releases the threads.
 func (e *Engine) completeBarrier() error {
+	var start []sim.Time
+	if e.obs != nil {
+		start = make([]sim.Time, len(e.clocks))
+		for n, c := range e.clocks {
+			start[n] = c.Now()
+		}
+	}
 	e.foldIntervals()
+	var folded []sim.Time
+	if e.obs != nil {
+		folded = make([]sim.Time, len(e.clocks))
+		for n, c := range e.clocks {
+			folded[n] = c.Now() - start[n]
+		}
+	}
 	costs, err := e.cluster.Barrier()
 	if err != nil {
 		return err
@@ -473,6 +555,19 @@ func (e *Engine) completeBarrier() error {
 	}
 	// Global rendezvous: everyone leaves at the latest clock.
 	maxT := sim.MaxClock(e.clocks)
+	if e.obs != nil {
+		for n, c := range e.clocks {
+			var bc, pc sim.Time
+			if n < len(costs) {
+				bc = costs[n]
+			}
+			if n < len(pcosts) {
+				pc = pcosts[n]
+			}
+			e.obs.EpochEnd(n, e.epoch, start[n], folded[n], bc, pc, maxT-c.Now())
+		}
+		e.epoch++
+	}
 	for _, c := range e.clocks {
 		c.SyncTo(maxT)
 	}
@@ -546,6 +641,9 @@ func (e *Engine) acquireLock(t *thread, lock int32) error {
 		return err
 	}
 	t.cur.Stall += cost
+	if e.obs != nil && cost > 0 {
+		e.obs.LockStall(e.nodeOf[t.id], t.id, lock, cost)
+	}
 	return nil
 }
 

@@ -170,3 +170,6 @@ func (c *Chaos) fault(from, to int, payload []byte, call int64) Fault {
 
 // Close implements Transport.
 func (c *Chaos) Close() error { return c.inner.Close() }
+
+// Unwrap returns the wrapped transport (see Base).
+func (c *Chaos) Unwrap() Transport { return c.inner }

@@ -1,0 +1,56 @@
+package transport
+
+import "time"
+
+// CallObserver receives one callback per completed logical Call — after
+// any retry wrapper has given up or succeeded — with the wall-clock
+// duration of the whole call and the final outcome. payload and reply
+// are the request and response frames (reply is nil on error); observers
+// must not retain or mutate them. Observers run on the caller's
+// goroutine and must be cheap and non-blocking.
+type CallObserver func(from, to int, payload, reply []byte, d time.Duration, err error)
+
+// WithCallObserver wraps inner so that fn observes every Call. Unlike
+// WithRetry it always wraps (there is no configuration under which it
+// becomes a no-op), which makes it the natural outermost layer: placed
+// above WithRetry it times the full logical call including backoff
+// sleeps. A nil fn returns inner unchanged.
+func WithCallObserver(inner Transport, fn CallObserver) Transport {
+	if fn == nil {
+		return inner
+	}
+	return &observed{inner: inner, fn: fn}
+}
+
+// observed is the WithCallObserver implementation.
+type observed struct {
+	inner Transport
+	fn    CallObserver
+}
+
+// Call implements Transport.
+func (o *observed) Call(from, to int, payload []byte) ([]byte, error) {
+	start := time.Now()
+	reply, err := o.inner.Call(from, to, payload)
+	o.fn(from, to, payload, reply, time.Since(start), err)
+	return reply, err
+}
+
+// Close implements Transport.
+func (o *observed) Close() error { return o.inner.Close() }
+
+// Unwrap returns the wrapped transport.
+func (o *observed) Unwrap() Transport { return o.inner }
+
+// Base strips every wrapper (observer, retry, chaos) and returns the
+// underlying concrete transport. Tests use it to reach fault-injection
+// knobs on Local regardless of how a cluster layered its wrappers.
+func Base(tr Transport) Transport {
+	for {
+		u, ok := tr.(interface{ Unwrap() Transport })
+		if !ok {
+			return tr
+		}
+		tr = u.Unwrap()
+	}
+}

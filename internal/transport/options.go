@@ -110,3 +110,6 @@ func (r *retrier) jitter(d time.Duration) time.Duration {
 
 // Close implements Transport.
 func (r *retrier) Close() error { return r.inner.Close() }
+
+// Unwrap returns the wrapped transport (see Base).
+func (r *retrier) Unwrap() Transport { return r.inner }

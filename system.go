@@ -7,8 +7,14 @@ import (
 	"actdsm/internal/core"
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
+	"actdsm/internal/obs"
 	"actdsm/internal/threads"
 )
+
+// The observability recorder plugs into the engine through the
+// structural threads.Observer interface; pin the contract here so a
+// drift in either signature set fails the build at the wiring site.
+var _ threads.Observer = (*obs.Recorder)(nil)
 
 // System bundles an application with a DSM cluster and thread engine,
 // giving interactive control (hooks, tracking, migration) that the
@@ -27,13 +33,14 @@ import (
 //
 // Run itself returns ErrAlreadyRan on a second call.
 type System struct {
-	app     App
-	cluster *dsm.Cluster
-	engine  *threads.Engine
-	layout  *memlayout.Layout
-	tracker *core.ActiveTracker
-	hooks   Hooks
-	ran     bool
+	app      App
+	cluster  *dsm.Cluster
+	engine   *threads.Engine
+	layout   *memlayout.Layout
+	tracker  *core.ActiveTracker
+	recorder *obs.Recorder
+	hooks    Hooks
+	ran      bool
 }
 
 // ErrAlreadyRan reports a configuration call (SetHooks, TrackIteration)
@@ -59,6 +66,12 @@ type SystemConfig struct {
 	// NodeSpeeds scales each node's CPU speed (1.0 = baseline) for
 	// heterogeneous clusters.
 	NodeSpeeds []float64
+	// Obs configures the observability layer (off by default). When
+	// enabled, NewSystem attaches an event recorder to the engine and
+	// the cluster's protocol probe; retrieve it with System.Recorder
+	// after the run to export a Perfetto trace (WriteTrace), a metrics
+	// dump (WriteMetrics), or a per-epoch breakdown (Breakdown).
+	Obs ObsConfig
 }
 
 // SystemOption customizes NewSystem by mutating a SystemConfig.
@@ -147,6 +160,22 @@ func WithNodeSpeeds(speeds []float64) SystemOption {
 	return func(c *SystemConfig) { c.NodeSpeeds = append([]float64(nil), speeds...) }
 }
 
+// WithObservability enables the event recorder with the default ring
+// capacity: per-slice and per-epoch timeline events, remote-fetch and
+// lock instants, and transport call latencies, exportable as a Perfetto
+// trace, a Prometheus-style metrics dump, or a per-epoch breakdown (see
+// System.Recorder). Overhead when enabled is one ring write per event;
+// when absent the probe path stays nil checks only.
+func WithObservability() SystemOption {
+	return func(c *SystemConfig) { c.Obs.Enabled = true }
+}
+
+// WithObsConfig sets the full observability configuration (ring
+// capacity, enablement).
+func WithObsConfig(o ObsConfig) SystemOption {
+	return func(c *SystemConfig) { c.Obs = o }
+}
+
 // NewSystem builds a cluster sized for the application's shared segment
 // and an engine hosting its threads.
 func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
@@ -176,7 +205,13 @@ func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
 		_ = cluster.Close()
 		return nil, err
 	}
-	return &System{app: app, cluster: cluster, engine: engine, layout: layout}, nil
+	sys := &System{app: app, cluster: cluster, engine: engine, layout: layout}
+	sys.recorder = obs.NewRecorder(cfg.Obs)
+	if sys.recorder.Enabled() {
+		cluster.SetProbe(sys.recorder.Probe())
+		engine.SetObserver(sys.recorder)
+	}
+	return sys, nil
 }
 
 // App returns the system's application.
@@ -190,6 +225,11 @@ func (s *System) Engine() *Engine { return s.engine }
 
 // Layout returns the application's shared-segment layout.
 func (s *System) Layout() *Layout { return s.layout }
+
+// Recorder returns the observability recorder. It is never nil; when
+// observability is off (the default) the recorder is disabled — its
+// Enabled method reports false and exports are empty.
+func (s *System) Recorder() *ObsRecorder { return s.recorder }
 
 // SetHooks installs engine hooks; it must be called before Run and
 // returns ErrAlreadyRan afterwards (hooks installed on a running or
