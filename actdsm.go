@@ -240,6 +240,8 @@ type (
 	PrefetchRow = experiments.PrefetchRow
 	// PrefetchReport is the BENCH_prefetch.json schema.
 	PrefetchReport = experiments.PrefetchReport
+	// HotpathReport is the BENCH_hotpath.json schema.
+	HotpathReport = experiments.HotpathReport
 )
 
 // Summarize computes a MapSummary for a correlation matrix.
@@ -264,6 +266,11 @@ var (
 	PrefetchReportJSON       = experiments.PrefetchReportJSON
 	ComparePrefetchReports   = experiments.ComparePrefetchReports
 	FormatPrefetchComparison = experiments.FormatPrefetchComparison
+
+	HotpathComparison     = experiments.HotpathComparison
+	HotpathReportJSON     = experiments.HotpathReportJSON
+	CompareHotpathReports = experiments.CompareHotpathReports
+	FormatHotpathReport   = experiments.FormatHotpathReport
 
 	AblationHeuristics = experiments.AblationHeuristics
 	AblationScaling    = experiments.AblationScaling

@@ -54,11 +54,13 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, check, transport, sor)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
 		prefBase  = flag.String("prefetch-baseline", "", "compare the prefetch report against this committed baseline; fail on >5% demand-call regression")
+		hotJSON   = flag.String("hotpath-json", "", "write the hot-path locking comparison report as JSON to this file")
+		hotBase   = flag.String("hotpath-baseline", "", "compare the hot-path report against this committed baseline; fail when the sharded speedup or encode allocation floor regresses")
 		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -266,6 +268,46 @@ func run() error {
 			if baseline != nil {
 				cmp, err := actdsm.ComparePrefetchReports(baseline, report, 0.05)
 				out += "\n-- vs baseline " + *prefBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("hotpath") {
+		if err := section("Hotpath: sharded vs single-mutex service throughput", func() (string, error) {
+			rep, err := actdsm.HotpathComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatHotpathReport(rep)
+			report, err := actdsm.HotpathReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_hotpath.json.
+			var baseline []byte
+			if *hotBase != "" {
+				baseline, err = os.ReadFile(*hotBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *hotJSON != "" {
+				if err := os.WriteFile(*hotJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *hotJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.CompareHotpathReports(baseline, report)
+				out += "\n-- vs baseline " + *hotBase + " --\n" + cmp
 				if err != nil {
 					fmt.Print(out)
 					return "", err

@@ -1,0 +1,124 @@
+package actdsm_test
+
+// Markdown link checker for the top-level documentation set. The docs
+// cross-reference each other heavily (README → ARCHITECTURE → DESIGN →
+// EXPERIMENTS), and a renamed heading or file silently breaks those
+// links; this test fails the lint gate instead. It checks every inline
+// [text](target) link whose target is relative: the file must exist,
+// and an #anchor must match a heading slug (GitHub's slugging rules) in
+// the target file. External http(s)/mailto links are not fetched.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// checkedDocs is the documentation set under link checking.
+var checkedDocs = []string{
+	"README.md",
+	"DESIGN.md",
+	"ARCHITECTURE.md",
+	"EXPERIMENTS.md",
+}
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// stripFences removes fenced code blocks so links and headings inside
+// example output are not parsed.
+func stripFences(lines []string) []string {
+	var out []string
+	inFence := false
+	for _, ln := range lines {
+		if strings.HasPrefix(strings.TrimSpace(ln), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// slugify reproduces GitHub's heading-anchor slugs: lowercase, spaces to
+// hyphens, everything else non-alphanumeric (except hyphen/underscore)
+// dropped.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf collects the heading slugs of a markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	anchors := map[string]bool{}
+	for _, ln := range stripFences(strings.Split(string(data), "\n")) {
+		trimmed := strings.TrimLeft(ln, " ")
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(trimmed, "#")
+		if heading == trimmed { // no # prefix consumed
+			continue
+		}
+		anchors[slugify(heading)] = true
+	}
+	return anchors
+}
+
+func TestDocLinks(t *testing.T) {
+	anchorCache := map[string]map[string]bool{}
+	for _, doc := range checkedDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("documentation file missing: %v", err)
+		}
+		body := strings.Join(stripFences(strings.Split(string(data), "\n")), "\n")
+		for _, m := range linkRE.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, anchor, _ := strings.Cut(target, "#")
+			// Resolve the file part. An empty file part is a same-file
+			// anchor.
+			resolved := doc
+			if file != "" {
+				resolved = filepath.Clean(filepath.Join(filepath.Dir(doc), file))
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, target, err)
+					continue
+				}
+			}
+			if anchor == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // anchors into non-markdown files are not checked
+			}
+			if anchorCache[resolved] == nil {
+				anchorCache[resolved] = anchorsOf(t, resolved)
+			}
+			if !anchorCache[resolved][anchor] {
+				t.Errorf("%s: link %q: no heading with anchor #%s in %s",
+					doc, target, anchor, resolved)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package core implements the paper's primary contribution: thread
+// correlation tracking. It provides the correlation matrix and cut-cost
+// abstractions (paper §2), correlation maps (§3), and the active and
+// passive correlation-tracking mechanisms (§4) layered over the DSM and
+// thread engine.
+//
+// Active tracking (active.go) periodically disables the scheduler,
+// resets page protections, and samples the vm access bitmaps to build a
+// complete correlation matrix at a bounded, measured cost (the paper's
+// Table 5). Passive tracking (passive.go) harvests the fault stream the
+// protocol generates anyway — free but incomplete (Figure 2). The
+// density analysis (density.go) separates page-count correlation from
+// access-density correlation (§1), and corrmap.go renders the matrices
+// as the paper's correlation maps. internal/placement consumes the
+// resulting matrices; ARCHITECTURE.md maps the full pipeline.
+package core

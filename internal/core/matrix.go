@@ -1,8 +1,3 @@
-// Package core implements the paper's primary contribution: thread
-// correlation tracking. It provides the correlation matrix and cut-cost
-// abstractions (paper §2), correlation maps (§3), and the active and
-// passive correlation-tracking mechanisms (§4) layered over the DSM and
-// thread engine.
 package core
 
 import (

@@ -1,20 +1,3 @@
-// Package dsm implements a CVM-like page-based software distributed
-// shared memory with lazy release consistency and a multi-writer
-// protocol: intervals, Lamport-stamped write notices, twins and
-// word-granularity diffs, centralized barrier and lock managers that
-// piggyback consistency information, and periodic diff garbage
-// collection.
-//
-// The paper's mechanisms (active and passive correlation tracking, thread
-// placement) are layered on top in internal/core and internal/placement;
-// this package provides the substrate they instrument.
-//
-// Known simplifications relative to CVM, documented in DESIGN.md:
-// diffs are created eagerly at interval end rather than lazily on request,
-// and lock grants carry per-lock notice histories (plus the releaser's
-// full program-order history since the last barrier) rather than full
-// transitive causal histories. Both preserve the behaviour of the
-// barrier- and lock-structured applications the paper studies.
 package dsm
 
 import (
@@ -50,6 +33,15 @@ type Config struct {
 	// Protocol selects the coherence protocol; zero value selects
 	// MultiWriter.
 	Protocol Protocol
+	// ServiceShards is the number of per-node page-state shards the
+	// protocol service path locks at page granularity, so independent
+	// remote requests (diff fetches, page fetches, notice deliveries,
+	// prefetch fills) service in parallel. 0 selects a default (16);
+	// other values round up to the next power of two. 1 degenerates to
+	// a single node-wide page lock — the pre-sharding behaviour, kept
+	// as the baseline the hotpath benchmark compares against.
+	// Negative is invalid.
+	ServiceShards int
 	// Transport tunes call resilience: a per-attempt deadline
 	// (CallTimeout, TCP only) and bounded retry with exponential
 	// backoff and jitter (MaxAttempts > 1). The zero value keeps the
@@ -104,11 +96,12 @@ const defaultGCThreshold = 64 << 20
 
 // Cluster is a running DSM cluster.
 type Cluster struct {
-	cfg   Config
-	costs sim.Costs
-	nodes []*node
-	tr    transport.Transport
-	stats Stats
+	cfg        Config
+	costs      sim.Costs
+	shardCount int
+	nodes      []*node
+	tr         transport.Transport
+	stats      Stats
 
 	episode int32
 	// barrier accumulates BarrierEnter state at the barrier manager
@@ -127,6 +120,16 @@ type Cluster struct {
 	// probe, when non-nil, receives protocol events for the coherence
 	// model checker (see Probe).
 	probe *Probe
+
+	// serviceHold, when non-zero, makes the page-serve paths hold the
+	// page's shard lock for this extra duration per request. Set only by
+	// the hotpath benchmark harness (hotbench.go) to model the per-request
+	// protocol work (mprotect, page copies) a serve performs on real
+	// hardware, so the benchmark measures how much of the service schedule
+	// the locking scheme lets overlap, independently of the host's core
+	// count. Always zero in production; the cost is one predictable branch
+	// per serve.
+	serviceHold time.Duration
 }
 
 // barrierState accumulates one barrier episode at the manager. entered
@@ -153,6 +156,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Pages <= 0 {
 		return nil, errors.New("dsm: Pages must be positive")
 	}
+	if cfg.ServiceShards < 0 {
+		return nil, errors.New("dsm: ServiceShards must be non-negative")
+	}
 	if cfg.Costs == (sim.Costs{}) {
 		cfg.Costs = sim.DefaultCosts()
 	}
@@ -165,7 +171,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Protocol == SingleWriter && (cfg.PrefetchBudget != 0 || cfg.BatchDiffs) {
 		return nil, errors.New("dsm: prefetch and diff batching require the multi-writer protocol")
 	}
-	c := &Cluster{cfg: cfg, costs: cfg.Costs}
+	c := &Cluster{cfg: cfg, costs: cfg.Costs, shardCount: normalizeShards(cfg.ServiceShards)}
 	c.nodes = make([]*node, cfg.Nodes)
 	for i := range c.nodes {
 		c.nodes[i] = newNode(i, c, cfg.Pages)
@@ -182,7 +188,13 @@ func New(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			return msg.Encode(reply), nil
+			// Encode into a pooled buffer (the requester recycles it
+			// after decoding — see Cluster.call) and hand the reply's
+			// page image back to the page pool: the encode copied it to
+			// the wire, so the message object is dead.
+			out := msg.EncodeTo(msg.GetBuf(), reply)
+			recycleReply(reply)
+			return out, nil
 		}
 	}
 	var tr transport.Transport
@@ -235,6 +247,10 @@ func (c *Cluster) NumNodes() int { return c.cfg.Nodes }
 // NumPages returns the shared segment size in pages.
 func (c *Cluster) NumPages() int { return c.cfg.Pages }
 
+// NumShards returns the per-node page-state shard count in effect (the
+// normalized Config.ServiceShards).
+func (c *Cluster) NumShards() int { return c.shardCount }
+
 // Costs returns the cluster's cost model.
 func (c *Cluster) Costs() sim.Costs { return c.costs }
 
@@ -270,25 +286,32 @@ func (c *Cluster) manager(p vm.PageID) int { return int(p) % c.cfg.Nodes }
 
 // call sends m and returns the decoded reply plus the requester-side wire
 // cost. All protocol traffic is accounted here, including the per-kind
-// call counters and latency histograms.
+// call counters and latency histograms. Request and reply buffers are
+// pooled: the request is encoded into a msg.GetBuf buffer recycled once
+// the transport returns, and the reply buffer is recycled after Decode
+// (Decode copies every byte payload, so nothing aliases it).
 func (c *Cluster) call(from, to int, m msg.Message) (msg.Message, sim.Time, error) {
-	b := msg.Encode(m)
+	b := msg.EncodeTo(msg.GetBuf(), m)
 	kind := m.Kind()
+	reqLen := len(b)
 	start := time.Now()
 	rb, err := c.tr.Call(from, to, b)
+	msg.PutBuf(b)
 	if err != nil {
-		c.stats.recordCall(kind, len(b), time.Since(start), true)
+		c.stats.recordCall(kind, reqLen, time.Since(start), true)
 		return nil, 0, err
 	}
 	reply, err := msg.Decode(rb)
+	repLen := len(rb)
+	msg.PutBuf(rb)
 	if err != nil {
-		c.stats.recordCall(kind, len(b)+len(rb), time.Since(start), true)
+		c.stats.recordCall(kind, reqLen+repLen, time.Since(start), true)
 		return nil, 0, fmt.Errorf("dsm: decode reply: %w", err)
 	}
-	c.stats.recordCall(kind, len(b)+len(rb), time.Since(start), false)
+	c.stats.recordCall(kind, reqLen+repLen, time.Since(start), false)
 	c.stats.Messages.Add(2)
-	c.stats.BytesTotal.Add(int64(len(b) + len(rb)))
-	return reply, c.costs.FetchCost(len(b), len(rb)), nil
+	c.stats.BytesTotal.Add(int64(reqLen + repLen))
+	return reply, c.costs.FetchCost(reqLen, repLen), nil
 }
 
 // fanOut runs f(0..n-1) concurrently and returns the lowest-index error
@@ -360,28 +383,36 @@ func (c *Cluster) Span(node, tid, off, size int, a vm.Access) ([]byte, sim.Threa
 	n := c.nodes[node]
 	first := vm.PageID(off / memlayout.PageSize)
 	last := vm.PageID((off + size - 1) / memlayout.PageSize)
+	n.setCharge(&ti, tid)
 	// Memory-barrier handshake: server goroutines mutate protocol state
-	// under n.mu; taking it once orders their writes before this span's
-	// unlocked protection checks. The engine guarantees no server-side
-	// mutation overlaps the span itself. The same critical section settles
-	// prefetch accounting: the first touch of a page brought current by a
-	// prefetch round is a hit — a demand miss that did not happen — and
-	// feeds the fault-window predictor so a usefully prefetched page stays
-	// in next round's prediction.
-	n.mu.Lock()
-	n.charge = &ti
-	n.curTID = tid
+	// under the page shard locks; taking each page's shard lock once
+	// orders their writes before this span's unlocked protection checks.
+	// The engine guarantees no server-side mutation overlaps the span
+	// itself. The same critical section settles prefetch accounting: the
+	// first touch of a page brought current by a prefetch round is a hit
+	// — a demand miss that did not happen — and feeds the fault-window
+	// predictor so a usefully prefetched page stays in next round's
+	// prediction.
+	var hits []vm.PageID
 	for p := first; p <= last; p++ {
+		sh := n.lockShard(p)
 		st := &n.pages[p]
 		if st.prefetched {
 			st.prefetched = false
 			c.stats.PrefetchHits.Add(1)
-			if n.faultWin != nil {
-				n.faultWin.Set(p)
+			if n.prefetchOn {
+				hits = append(hits, p)
 			}
 		}
+		sh.mu.Unlock()
 	}
-	n.mu.Unlock()
+	if len(hits) > 0 {
+		n.lockSync()
+		for _, p := range hits {
+			n.faultWin.Set(p)
+		}
+		n.mu.Unlock()
+	}
 	for p := first; p <= last; p++ {
 		trackF, _, err := n.as.Touch(tid, p, a)
 		if trackF {
@@ -389,14 +420,14 @@ func (c *Cluster) Span(node, tid, off, size int, a vm.Access) ([]byte, sim.Threa
 			ti.Overhead += c.costs.TrackFault
 		}
 		if err != nil {
-			n.charge = nil
+			n.setCharge(nil, 0)
 			return nil, ti, err
 		}
 		for _, hook := range c.onAccess {
 			hook(node, tid, p, a)
 		}
 	}
-	n.charge = nil
+	n.setCharge(nil, 0)
 	return n.seg[off : off+size], ti, nil
 }
 
@@ -464,23 +495,23 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	for i := 0; i < nnodes; i++ {
 		n := c.nodes[i]
 		// The predictor may consult the placement engine; compute it
-		// before taking the node lock to keep lock order one-way.
+		// before touching node state to keep lock order one-way.
 		var pred *vm.Bitmap
 		if pushEnabled && c.prefetchPredict != nil {
 			pred = c.prefetchPredict(i)
 		}
-		n.mu.Lock()
-		_, diffCost := n.closeIntervalLocked()
+		_, diffCost := n.closeInterval()
+		n.lockSync()
 		enters[i] = &msg.BarrierEnter{
 			Node:    int32(i),
 			Episode: episode,
-			Lam:     n.lamport,
+			Lam:     n.lamport.Load(),
 			Notices: append([]msg.Notice(nil), n.fresh...),
 		}
 		n.mu.Unlock()
 		costs[i] += diffCost
 		if pushEnabled {
-			// After closeIntervalLocked the node's own dirty pages are
+			// After closeInterval the node's own dirty pages are
 			// clean again, so its prediction covers them too.
 			enters[i].Hot = n.hotPages(pred)
 		}
@@ -573,7 +604,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		// Applying pushed diffs happened inside serveBarrierRelease;
 		// charge each node's accumulated apply cost to this episode.
 		for i, n := range c.nodes {
-			n.mu.Lock()
+			n.lockSync()
 			costs[i] += n.pushCost
 			n.pushCost = 0
 			n.mu.Unlock()
@@ -585,7 +616,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	// The episode is fully delivered: every node's notices are now
 	// everywhere, so pending flush state and causal histories restart.
 	for _, n := range c.nodes {
-		n.mu.Lock()
+		n.lockSync()
 		n.fresh = nil
 		n.known = nil
 		n.knownHave = make(map[[3]int32]bool)
@@ -602,9 +633,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	if c.cfg.GCThresholdBytes >= 0 {
 		var total int64
 		for _, n := range c.nodes {
-			n.mu.Lock()
-			total += n.diffBytes
-			n.mu.Unlock()
+			total += n.diffBytes.Load()
 		}
 		if total > int64(c.cfg.GCThresholdBytes) {
 			if err := c.collectGarbage(costs); err != nil {
@@ -623,11 +652,14 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 	c.stats.GCRounds.Add(1)
 	pageSet := make(map[vm.PageID]bool)
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		for p := range n.diffs {
-			pageSet[p] = true
+		for s := range n.shards {
+			sh := &n.shards[s]
+			sh.mu.RLock()
+			for p := range sh.diffs {
+				pageSet[p] = true
+			}
+			sh.mu.RUnlock()
 		}
-		n.mu.Unlock()
 	}
 	pages := make([]vm.PageID, 0, len(pageSet))
 	for p := range pageSet {
@@ -637,26 +669,26 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 
 	for _, p := range pages {
 		mgr := c.nodes[c.manager(p)]
-		mgr.mu.Lock()
+		sh := mgr.rlockShard(p)
 		pending := append([]msg.Notice(nil), mgr.pages[p].pending...)
+		sh.runlock()
 		var ti sim.ThreadInterval
-		mgr.charge = &ti
-		mgr.mu.Unlock()
+		mgr.setCharge(&ti, -1)
 		if len(pending) > 0 {
 			ok, err := mgr.fetchAndApplyDiffs(-1, p, pending, ApplyServer)
 			if err != nil {
+				mgr.setCharge(nil, 0)
 				return fmt.Errorf("dsm: gc consolidate page %d: %w", p, err)
 			}
 			if !ok {
+				mgr.setCharge(nil, 0)
 				return fmt.Errorf("dsm: gc consolidate page %d: diffs already gone", p)
 			}
-			mgr.mu.Lock()
+			sh = mgr.lockShard(p)
 			mgr.as.SetProt(p, vm.ProtRead)
-			mgr.mu.Unlock()
+			sh.mu.Unlock()
 		}
-		mgr.mu.Lock()
-		mgr.charge = nil
-		mgr.mu.Unlock()
+		mgr.setCharge(nil, 0)
 		costs[mgr.id] += ti.Stall + ti.Overhead
 
 		// Parallel collect broadcast. serveGCCollect is idempotent
@@ -693,7 +725,7 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	n := c.nodes[node]
 	mgr := c.lockManager(lock)
-	n.mu.Lock()
+	n.lockSync()
 	req := &msg.LockAcquire{
 		Node: int32(node),
 		Lock: lock,
@@ -717,12 +749,12 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	if !ok {
 		return 0, fmt.Errorf("dsm: node %d acquire lock %d: unexpected reply %T", node, lock, grantMsg)
 	}
-	n.mu.Lock()
 	c.probeNoticesDelivered(node, ViaLockGrant, grant.Notices)
-	n.bumpLamportLocked(grant.Lam)
+	n.bumpLamport(grant.Lam)
 	for _, nt := range grant.Notices {
-		n.addPendingLocked(nt)
+		n.addPending(nt)
 	}
+	n.lockSync()
 	// Received notices join the causal history our own future releases
 	// must propagate (transitivity).
 	n.addKnownLocked(grant.Notices)
@@ -742,8 +774,8 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	n := c.nodes[node]
 	mgr := c.lockManager(lock)
-	n.mu.Lock()
-	_, diffCost := n.closeIntervalLocked()
+	_, diffCost := n.closeInterval()
+	n.lockSync()
 	// Ship the suffix of the known set — own notices plus everything
 	// received since the last barrier — that this manager has not yet
 	// been sent, so the next acquirer inherits transitive causal
@@ -765,7 +797,7 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	rel := &msg.LockRelease{
 		Node:    int32(node),
 		Lock:    lock,
-		Lam:     n.lamport,
+		Lam:     n.lamport.Load(),
 		Notices: append([]msg.Notice(nil), shipped...),
 	}
 	n.sentKnown[mgr] = len(n.known)
@@ -800,9 +832,7 @@ func (c *Cluster) lockManager(lock int32) int {
 func (c *Cluster) StoredDiffBytes() int64 {
 	var total int64
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		total += n.diffBytes
-		n.mu.Unlock()
+		total += n.diffBytes.Load()
 	}
 	return total
 }
@@ -822,14 +852,14 @@ func (c *Cluster) CheckCoherence() error {
 		var ref []byte
 		refNode := -1
 		for _, n := range c.nodes {
-			n.mu.Lock()
+			sh := n.rlockShard(vm.PageID(p))
 			st := &n.pages[p]
 			ok := st.hasCopy && len(st.pending) == 0
 			var data []byte
 			if ok {
 				data = append([]byte(nil), n.pageData(vm.PageID(p))...)
 			}
-			n.mu.Unlock()
+			sh.runlock()
 			if !ok {
 				continue
 			}

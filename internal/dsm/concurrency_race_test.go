@@ -1,0 +1,218 @@
+package dsm
+
+// Concurrency regression suite for the sharded service path. These tests
+// exist to run under the race detector (`make race`, CI's
+// `go test -race ./internal/dsm/...`): they drive the request mixes the
+// per-shard locking allows to overlap — diff serves, page copies, batch
+// fetches, GC collects, lock-manager traffic, and stats snapshots — from
+// many goroutines against one node at once, with no synchronization
+// beyond what the node itself provides. Any serve path that touches
+// shared state outside its shard (or outside the sync/lock-manager
+// mutexes) shows up as a race report here long before it corrupts a
+// full protocol run.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"actdsm/internal/msg"
+)
+
+// raceOpts is the shared workload shape: small enough that the full mix
+// finishes quickly under -race, large enough that goroutines genuinely
+// overlap inside the serve paths.
+func raceOpts(shards int) HotpathOptions {
+	return HotpathOptions{
+		Nodes:         4,
+		Pages:         64,
+		Peers:         4,
+		Ops:           600,
+		ServiceShards: shards,
+	}
+}
+
+// TestRaceServiceHammer hammers node 0 from concurrent peers with the
+// full read-side service mix — DiffRequest, PageRequest, and
+// DiffBatchRequest — while a GC goroutine concurrently collects a
+// disjoint stripe of pages (dropping their stored diffs under the write
+// lock) and a stats goroutine snapshots the counters. Runs under both
+// the sharded default and the exclusive single-shard baseline, so both
+// locking modes stay race-clean.
+func TestRaceServiceHammer(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			o := raceOpts(shards)
+			c, err := newHotpathCluster(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = c.Close() }()
+
+			var (
+				wg   sync.WaitGroup
+				stop atomic.Bool
+				fail atomic.Pointer[error]
+			)
+			report := func(err error) {
+				if err != nil {
+					fail.CompareAndSwap(nil, &err)
+					stop.Store(true)
+				}
+			}
+
+			// Peer hammer goroutines: rotate over the read-side mix.
+			// Pages [0, 48) so the GC stripe below stays disjoint; the
+			// serve paths themselves tolerate collected pages (nil diff
+			// entries), but keeping the ranges apart means every diff
+			// request is also checked for a non-nil hit.
+			const diffPages = 48
+			for w := 0; w < o.Peers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					from := 1 + w%(o.Nodes-1)
+					for i := 0; i < o.Ops && !stop.Load(); i++ {
+						p := int32((w*31 + i) % diffPages)
+						switch i % 3 {
+						case 0:
+							rep, _, err := c.call(from, 0, &msg.DiffRequest{
+								From: int32(from), Page: p, Intervals: []int32{1}})
+							if err == nil {
+								if dr := rep.(*msg.DiffReply); dr.Diffs[0] == nil {
+									err = fmt.Errorf("page %d: seeded diff missing", p)
+								}
+							}
+							report(err)
+						case 1:
+							// Manager-0 pages only: multiples of Nodes.
+							pp := int32(o.Nodes * (i % (diffPages / o.Nodes)))
+							_, _, err := c.call(from, 0, &msg.PageRequest{
+								From: int32(from), Page: pp})
+							report(err)
+						default:
+							_, _, err := c.call(from, 0, &msg.DiffBatchRequest{
+								From: int32(from),
+								Pages: []msg.PageIntervals{
+									{Page: p, Intervals: []int32{1}},
+									{Page: (p + 7) % diffPages, Intervals: []int32{1}},
+								}})
+							report(err)
+						}
+					}
+				}(w)
+			}
+
+			// GC goroutine: collect the high stripe [48, Pages) on node 0
+			// over and over. The first collect drops the seeded diff under
+			// the shard write lock; repeats exercise the already-empty
+			// path concurrently with the readers above.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < o.Ops/2 && !stop.Load(); i++ {
+					p := int32(diffPages + i%(o.Pages-diffPages))
+					_, _, err := c.call(1, 0, &msg.GCCollect{Page: p})
+					report(err)
+				}
+			}()
+
+			// Stats goroutine: concurrent snapshots exercise every atomic
+			// counter the serve paths bump.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < o.Ops && !stop.Load(); i++ {
+					snap := c.Stats().Snapshot()
+					for _, cs := range snap.Calls {
+						if cs.Count < 0 {
+							report(fmt.Errorf("impossible call count for %s", cs.Kind))
+						}
+					}
+				}
+			}()
+
+			wg.Wait()
+			if ep := fail.Load(); ep != nil {
+				t.Fatal(*ep)
+			}
+		})
+	}
+}
+
+// TestRaceLockTrafficDuringServes overlays lock-manager traffic on the
+// diff-serve hammer: each peer node runs acquire/release cycles on its
+// own lock (so mutual exclusion — normally the engine's job — is not
+// needed) while every node's serve path is kept busy by diff requests.
+// Lock releases close the releaser's interval, so this exercises
+// closeInterval's strided shard scan concurrently with remote serves of
+// the same node — the cross-concern interleaving the per-concern
+// mutexes (mu, lockMgrMu, shard locks) must keep independent.
+func TestRaceLockTrafficDuringServes(t *testing.T) {
+	o := raceOpts(0)
+	c, err := newHotpathCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+		fail atomic.Pointer[error]
+	)
+	report := func(err error) {
+		if err != nil {
+			fail.CompareAndSwap(nil, &err)
+			stop.Store(true)
+		}
+	}
+
+	// One lock goroutine per node: node i cycles lock i, whose manager is
+	// node i%Nodes = i itself for i < Nodes, plus lock i+Nodes managed by
+	// the same node — and lock i+1 managed by a different node, forcing
+	// remote acquire traffic too.
+	for node := 0; node < o.Nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			locks := []int32{int32(node), int32((node+1)%o.Nodes + o.Nodes)}
+			for i := 0; i < o.Ops/4 && !stop.Load(); i++ {
+				lk := locks[i%len(locks)]
+				if _, err := c.AcquireLock(node, 0, lk); err != nil {
+					report(err)
+					return
+				}
+				if _, err := c.ReleaseLock(node, 0, lk); err != nil {
+					report(err)
+					return
+				}
+			}
+		}(node)
+	}
+
+	// Diff hammer against every node at once: requester w targets server
+	// (w+1)%Nodes, so each node is simultaneously a lock client, a lock
+	// manager, and a diff server. Only node 0's diff store is seeded, so
+	// check hits only there.
+	for w := 0; w < o.Peers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			to := (w + 1) % o.Nodes
+			from := (to + 1) % o.Nodes
+			for i := 0; i < o.Ops && !stop.Load(); i++ {
+				p := int32((w*17 + i) % o.Pages)
+				_, _, err := c.call(from, to, &msg.DiffRequest{
+					From: int32(from), Page: p, Intervals: []int32{1}})
+				report(err)
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	if ep := fail.Load(); ep != nil {
+		t.Fatal(*ep)
+	}
+}

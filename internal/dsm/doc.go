@@ -1,0 +1,52 @@
+// Package dsm implements a CVM-like page-based software distributed
+// shared memory with lazy release consistency and a multi-writer
+// protocol: intervals, Lamport-stamped write notices, twins and
+// word-granularity diffs, centralized barrier and lock managers that
+// piggyback consistency information, and periodic diff garbage
+// collection.
+//
+// The paper's mechanisms (active and passive correlation tracking, thread
+// placement) are layered on top in internal/core and internal/placement;
+// this package provides the substrate they instrument.
+//
+// Known simplifications relative to CVM, documented in DESIGN.md:
+// diffs are created eagerly at interval end rather than lazily on request,
+// and lock grants carry per-lock notice histories (plus the releaser's
+// full program-order history since the last barrier) rather than full
+// transitive causal histories. Both preserve the behaviour of the
+// barrier- and lock-structured applications the paper studies.
+//
+// # Locking model
+//
+// The paper's argument is that online tracking is cheap; that only holds
+// if the protocol substrate underneath is itself low-overhead. The node
+// therefore uses per-concern locking instead of one node-wide mutex
+// (ARCHITECTURE.md has the full map):
+//
+//   - Per-page protocol state (page table entries, protections, segment
+//     data, stored diffs) is striped across Config.ServiceShards
+//     RWMutex-guarded shards; page p belongs to shard p mod nshards.
+//     Independent remote requests — diff fetches, page fetches, notice
+//     deliveries, prefetch fills — service in parallel when they touch
+//     different shards, and read-only diff serves share a shard's read
+//     lock. ServiceShards: 1 restores the old one-big-lock behaviour and
+//     is the baseline the hotpath benchmark compares against.
+//   - Synchronization-side state (interval counter, seen vector, notice
+//     histories, prefetch windows) lives under a small per-node mutex.
+//   - The lock-manager log, single-writer ownership table, and
+//     virtual-time charge plumbing each have their own leaf mutex, and
+//     the Lamport clock and diff-volume gauge are atomics.
+//
+// No code path holds two of these locks across each other or holds any
+// of them across a transport call, so the scheme is deadlock-free by
+// construction. Contended acquisitions are counted in
+// Stats.ShardContention and Stats.SyncContention (visible through the
+// obs metrics endpoint) so shard sizing is observable in production.
+//
+// The serve path is also allocation-lean: protocol encode/decode uses
+// pooled buffers (msg.GetBuf/msg.EncodeTo), page-sized twin and reply
+// images come from a page-buffer pool (shard.go), and diff replies alias
+// the immutable stored diffs. Steady-state barrier epochs run at ~zero
+// allocations per message on the service path; BenchmarkNodeService and
+// BENCH_hotpath.json pin the resulting throughput.
+package dsm

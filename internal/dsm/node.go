@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"actdsm/internal/memlayout"
 	"actdsm/internal/msg"
@@ -11,7 +12,8 @@ import (
 	"actdsm/internal/vm"
 )
 
-// pageState is one node's view of one shared page.
+// pageState is one node's view of one shared page. Guarded by the page's
+// shard lock (see shard.go).
 type pageState struct {
 	// hasCopy is true when the node holds page data (possibly stale —
 	// staleness is recorded in pending).
@@ -105,25 +107,55 @@ func (ml *mgrLog) reset() {
 // node is one DSM node: a private copy of the shared segment plus the
 // protocol state that keeps it consistent.
 //
-// Locking discipline: mu guards all mutable fields. It is held only for
-// local state manipulation, never across a transport call; the helper
-// methods with a Locked suffix require it held.
+// Locking discipline (per-concern, see doc.go for the full model):
+//
+//   - Per-page protocol state — the pages entries, the page's protection,
+//     its segment window, and its stored diffs — is guarded by the page's
+//     shard lock (shards/shardMask, shard.go). Independent requests on
+//     pages in different shards service in parallel; read-only serves
+//     share a shard's read lock.
+//   - mu guards the synchronization-side state: interval counter, seen
+//     vector, the fresh/known notice histories with their high-water
+//     marks, and the prefetch windows (faultWin, late, pushedEpoch,
+//     pushCost). Helper methods with a Locked suffix require it held.
+//   - lockMgrMu guards the manager-side shared notice log (locks).
+//   - swMu guards the single-writer ownership table (sw).
+//   - chargeMu guards the virtual-time charge plumbing (charge, curTID).
+//   - lamport and diffBytes are atomics: folded and read lock-free.
+//
+// Lock order: mu and the leaf mutexes are never held across a shard
+// lock acquisition or a transport call, and no operation holds two shard
+// locks at once, so the scheme is deadlock-free by construction.
 type node struct {
 	id int
 	c  *Cluster
 
+	// Immutable after newNode.
+	seg   []byte
+	as    *vm.AddressSpace
+	pages []pageState
+	// shards stripe the per-page state; page p belongs to
+	// shards[p & shardMask].
+	shards    []pageShard
+	shardMask uint32
+	// prefetchOn is true when Config.PrefetchBudget enabled the fault
+	// window; it gates the fault path's prefetch accounting so the
+	// common no-prefetch configuration never touches mu on a fault.
+	prefetchOn bool
+
+	// diffBytes tracks the node's stored diff volume (the GC trigger).
+	diffBytes atomic.Int64
+	// lamport is the node's Lamport clock: incremented when an interval
+	// closes, max-folded when a stamped message arrives.
+	lamport atomic.Int32
+
+	// mu guards the synchronization-side state below (never held across
+	// a shard lock or a transport call).
 	mu       sync.Mutex
-	seg      []byte
-	as       *vm.AddressSpace
-	pages    []pageState
 	interval int32 // index the next closed interval will get (starts at 1)
-	lamport  int32
 	// seen[w] is the contiguous prefix of w's intervals whose notices
 	// this node is guaranteed to have received (advanced at barriers).
 	seen []int32
-	// diffs stores this node's own diffs: page → interval → diff.
-	diffs     map[vm.PageID]map[int32][]byte
-	diffBytes int64
 	// fresh accumulates notices created by this node since the last
 	// barrier; the barrier flushes it.
 	fresh []msg.Notice
@@ -136,8 +168,6 @@ type node struct {
 	// order and apply an older value over a newer one (lost update).
 	known     []msg.Notice
 	knownHave map[[3]int32]bool
-	// locks is the shared notice log for locks this node manages.
-	locks *mgrLog
 	// sentKnown[mgr] is the prefix of known already shipped to manager
 	// node mgr by this node's lock releases (reset at barriers).
 	sentKnown []int
@@ -146,16 +176,6 @@ type node struct {
 	// after a grant is applied and is echoed in the next acquire, keeping
 	// grant delivery incremental yet retry-safe (reset at barriers).
 	lockPos []int32
-	// sw is manager-side single-writer ownership state (nil under the
-	// multi-writer protocol).
-	sw []swState
-
-	// charge, when non-nil, receives virtual-time charges from the
-	// engine-side access path (set by Cluster.Span for the duration of
-	// one access). curTID is the thread being charged.
-	charge *sim.ThreadInterval
-	curTID int
-
 	// faultWin records the pages that missed remotely — or hit a
 	// prefetched copy — since the last prefetch round. It is the
 	// fallback predictor when no tracker-driven predictor is installed:
@@ -172,6 +192,24 @@ type node struct {
 	// pushCost accumulates the virtual-time cost of applying pushed
 	// diffs; Cluster.Barrier drains it into the node's episode cost.
 	pushCost sim.Time
+
+	// lockMgrMu guards locks, the shared notice log for locks this node
+	// manages.
+	lockMgrMu sync.Mutex
+	locks     *mgrLog
+
+	// swMu guards sw, the manager-side single-writer ownership state
+	// (nil under the multi-writer protocol).
+	swMu sync.Mutex
+	sw   []swState
+
+	// chargeMu guards charge and curTID. charge, when non-nil, receives
+	// virtual-time charges from the engine-side access path (set by
+	// Cluster.Span for the duration of one access); curTID is the
+	// thread being charged.
+	chargeMu sync.Mutex
+	charge   *sim.ThreadInterval
+	curTID   int
 }
 
 func newNode(id int, c *Cluster, npages int) *node {
@@ -180,16 +218,24 @@ func newNode(id int, c *Cluster, npages int) *node {
 		c:         c,
 		seg:       make([]byte, npages*memlayout.PageSize),
 		pages:     make([]pageState, npages),
+		shards:    make([]pageShard, c.shardCount),
+		shardMask: uint32(c.shardCount - 1),
 		seen:      make([]int32, c.cfg.Nodes),
-		diffs:     make(map[vm.PageID]map[int32][]byte),
 		locks:     newMgrLog(),
 		sentKnown: make([]int, c.cfg.Nodes),
 		lockPos:   make([]int32, c.cfg.Nodes),
 		knownHave: make(map[[3]int32]bool),
 	}
+	for i := range n.shards {
+		n.shards[i].diffs = make(map[vm.PageID]map[int32][]byte)
+		// A single shard reproduces the pre-sharding one-big-mutex
+		// behaviour exactly: reads do not share (see pageShard).
+		n.shards[i].exclusive = c.shardCount == 1
+	}
 	n.as = vm.NewAddressSpace(npages, n.resolveFault)
 	n.interval = 1
 	if c.cfg.PrefetchBudget != 0 {
+		n.prefetchOn = true
 		n.faultWin = vm.NewBitmap(npages)
 		n.late = make(map[vm.PageID]bool)
 	}
@@ -206,28 +252,56 @@ func newNode(id int, c *Cluster, npages int) *node {
 }
 
 // pageData returns the byte window of page p in the node's segment.
+// Guarded by the page's shard lock whenever another goroutine could be
+// active on the node.
 func (n *node) pageData(p vm.PageID) []byte {
 	off := int(p) * memlayout.PageSize
 	return n.seg[off : off+memlayout.PageSize]
 }
 
 func (n *node) addCharge(ti sim.ThreadInterval) {
+	n.chargeMu.Lock()
 	if n.charge != nil {
 		n.charge.Add(ti)
 	}
+	n.chargeMu.Unlock()
 }
 
-// bumpLamport folds a received Lamport clock into the node's.
-func (n *node) bumpLamportLocked(lam int32) {
-	if lam > n.lamport {
-		n.lamport = lam
+// setCharge installs (or, with nil, clears) the virtual-time charge sink
+// for the node's current engine-side access.
+func (n *node) setCharge(ti *sim.ThreadInterval, tid int) {
+	n.chargeMu.Lock()
+	n.charge = ti
+	n.curTID = tid
+	n.chargeMu.Unlock()
+}
+
+// bumpLamport folds a received Lamport clock into the node's (max).
+func (n *node) bumpLamport(lam int32) {
+	for {
+		cur := n.lamport.Load()
+		if lam <= cur || n.lamport.CompareAndSwap(cur, lam) {
+			return
+		}
 	}
 }
 
-// addPendingLocked queues a write notice, invalidating the page.
-func (n *node) addPendingLocked(nt msg.Notice) {
+// addPending queues a write notice, invalidating the page. Self-locking
+// (takes the page's shard lock).
+func (n *node) addPending(nt msg.Notice) {
 	if int(nt.Writer) == n.id {
 		return // own writes are already in the local copy
+	}
+	sh := n.lockShard(vm.PageID(nt.Page))
+	n.addPendingShardLocked(nt)
+	sh.mu.Unlock()
+}
+
+// addPendingShardLocked is addPending with the page's shard lock already
+// held.
+func (n *node) addPendingShardLocked(nt msg.Notice) {
+	if int(nt.Writer) == n.id {
+		return
 	}
 	st := &n.pages[nt.Page]
 	// MutationNoNoticeDedup (test-only) disables the stale/duplicate
@@ -246,55 +320,80 @@ func (n *node) addPendingLocked(nt msg.Notice) {
 	}
 }
 
-// closeIntervalLocked ends the node's current interval: every dirty page
-// is diffed against its twin, the diff is stored locally, and a write
+// closeInterval ends the node's current interval: every dirty page is
+// diffed against its twin, the diff is stored locally, and a write
 // notice is produced. Returns the notices and the CPU cost of diffing.
-func (n *node) closeIntervalLocked() ([]msg.Notice, sim.Time) {
-	var notices []msg.Notice
-	var cost sim.Time
+// Self-locking: scans shard by shard, then diffs each dirty page under
+// its shard lock, so concurrent serves of unrelated pages proceed.
+func (n *node) closeInterval() ([]msg.Notice, sim.Time) {
+	// Collect the dirty set with a strided per-shard scan, then sort:
+	// notices must be produced in ascending page order (the order the
+	// old full-scan produced), which downstream determinism relies on.
 	var dirtyPages []vm.PageID
-	for p := range n.pages {
-		if n.pages[p].dirty {
-			dirtyPages = append(dirtyPages, vm.PageID(p))
+	nshards := len(n.shards)
+	for s := 0; s < nshards; s++ {
+		sh := &n.shards[s]
+		if !sh.mu.TryRLock() {
+			n.c.stats.ShardContention.Add(1)
+			sh.mu.RLock()
 		}
+		for p := s; p < len(n.pages); p += nshards {
+			if n.pages[p].dirty {
+				dirtyPages = append(dirtyPages, vm.PageID(p))
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	if len(dirtyPages) == 0 {
 		return nil, 0
 	}
-	n.lamport++
+	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i] < dirtyPages[j] })
+
+	lam := n.lamport.Add(1)
+	n.lockSync()
 	iv := n.interval
 	n.interval++
+	n.mu.Unlock()
+
+	var notices []msg.Notice
+	var cost sim.Time
 	for _, p := range dirtyPages {
+		sh := n.lockShard(p)
 		st := &n.pages[p]
 		diff := MakeDiff(st.twin, n.pageData(p))
 		cost += sim.Time(memlayout.PageSize) * n.c.costs.DiffPerByte
+		putPageBuf(st.twin)
 		st.twin = nil
 		st.dirty = false
 		n.as.SetProt(p, vm.ProtRead) // next write re-twins in the new interval
 		if len(diff) == 0 {
+			sh.mu.Unlock()
 			continue // silent store: wrote the same values
 		}
-		m, ok := n.diffs[p]
+		m, ok := sh.diffs[p]
 		if !ok {
 			m = make(map[int32][]byte)
-			n.diffs[p] = m
+			sh.diffs[p] = m
 		}
 		m[iv] = diff
-		n.diffBytes += int64(len(diff))
+		n.diffBytes.Add(int64(len(diff)))
 		n.c.stats.DiffsCreated.Add(1)
 		st.noteApplied(n.c.cfg.Nodes, int32(n.id), iv)
+		sh.mu.Unlock()
 		notices = append(notices, msg.Notice{
-			Page: int32(p), Writer: int32(n.id), Interval: iv, Lam: n.lamport,
+			Page: int32(p), Writer: int32(n.id), Interval: iv, Lam: lam,
 		})
 	}
+	n.lockSync()
 	n.fresh = append(n.fresh, notices...)
 	n.addKnownLocked(notices)
+	n.mu.Unlock()
 	n.c.probeIntervalClosed(n.id, notices)
 	return notices, cost
 }
 
 // addKnownLocked records notices in the node's since-last-barrier causal
-// history (deduplicated).
+// history (deduplicated). Requires mu.
 func (n *node) addKnownLocked(ns []msg.Notice) {
 	for _, nt := range ns {
 		k := [3]int32{nt.Page, nt.Writer, nt.Interval}
@@ -307,9 +406,9 @@ func (n *node) addKnownLocked(ns []msg.Notice) {
 }
 
 // resolveFault is the vm fault handler for engine-side accesses: it
-// implements the coherence protocol's fault path. Called without mu held;
-// it acquires and releases mu around state manipulation and never holds it
-// across a transport call.
+// implements the coherence protocol's fault path. Called without any
+// lock held; it takes the page's shard lock around state manipulation
+// and never holds a lock across a transport call.
 func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	c := n.c
 	if c.cfg.Protocol == SingleWriter {
@@ -318,14 +417,14 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	c.stats.CoherenceFaults.Add(1)
 	n.addCharge(sim.ThreadInterval{Overhead: c.costs.SoftFault})
 
-	n.mu.Lock()
+	sh := n.rlockShard(p)
 	st := &n.pages[p]
 	needFull := !st.hasCopy
 	var pending []msg.Notice
 	if !needFull && len(st.pending) > 0 {
 		pending = append(pending, st.pending...)
 	}
-	n.mu.Unlock()
+	sh.runlock()
 
 	remote := false
 	switch {
@@ -349,12 +448,12 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 		remote = true
 	}
 
-	n.mu.Lock()
+	sh = n.lockShard(p)
 	st = &n.pages[p]
 	n.as.SetProt(p, vm.ProtRead)
 	if a == vm.Write {
 		if st.twin == nil {
-			st.twin = make([]byte, memlayout.PageSize)
+			st.twin = getPageBuf()
 			copy(st.twin, n.pageData(p))
 			c.stats.TwinsCreated.Add(1)
 			n.addCharge(sim.ThreadInterval{Overhead: c.costs.TwinCopy})
@@ -362,18 +461,18 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 		st.dirty = true
 		n.as.SetProt(p, vm.ProtReadWrite)
 	}
-	if remote {
-		if n.faultWin != nil {
-			n.faultWin.Set(p)
-		}
-		if n.late[p] {
-			delete(n.late, p)
-			c.stats.PrefetchLate.Add(1)
-		}
-	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
 
 	if remote {
+		if n.prefetchOn {
+			n.lockSync()
+			n.faultWin.Set(p)
+			if n.late[p] {
+				delete(n.late, p)
+				c.stats.PrefetchLate.Add(1)
+			}
+			n.mu.Unlock()
+		}
 		c.stats.RemoteMisses.Add(1)
 		c.notifyRemoteFault(n.id, tid, p)
 	}
@@ -386,10 +485,10 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 	c := n.c
 	mgr := c.manager(p)
-	n.mu.Lock()
+	sh := n.rlockShard(p)
 	req := &msg.PageRequest{From: int32(n.id), Page: int32(p)}
 	req.Pending = append(req.Pending, n.pages[p].pending...)
-	n.mu.Unlock()
+	sh.runlock()
 
 	reply, wire, err := c.call(n.id, mgr, req)
 	if err != nil {
@@ -403,8 +502,7 @@ func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 	n.addCharge(sim.ThreadInterval{Stall: wire})
 	c.probeRemoteFetch(n.id, tid, FetchPage, p, wire)
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh = n.lockShard(p)
 	st := &n.pages[p]
 	copy(n.pageData(p), pr.Data)
 	st.hasCopy = true
@@ -417,7 +515,12 @@ func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 			st.appliedVT[w] = v
 		}
 	}
-	n.c.probePageFetched(n.id, p, append([]int32(nil), st.appliedVT...))
+	vt := append([]int32(nil), st.appliedVT...)
+	sh.mu.Unlock()
+	// The decoded page image has been copied into the segment; its
+	// buffer can back a future twin or serve.
+	putPageBuf(pr.Data)
+	n.c.probePageFetched(n.id, p, vt)
 	return nil
 }
 
@@ -497,8 +600,8 @@ func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, sr
 		}
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh := n.lockShard(p)
+	defer sh.mu.Unlock()
 	st := &n.pages[p]
 	var applyCost sim.Time
 	applied := make([]fetched, 0, len(pending))
@@ -512,12 +615,12 @@ func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, sr
 		}
 		applyCost += sim.Time(len(f.diff)) * c.costs.DiffPerByte
 		st.noteApplied(c.cfg.Nodes, f.notice.Writer, f.notice.Interval)
-		n.bumpLamportLocked(f.notice.Lam)
+		n.bumpLamport(f.notice.Lam)
 		c.probeDiffApplied(n.id, src, f.notice)
 	}
 	n.addCharge(sim.ThreadInterval{Overhead: applyCost})
 	// Remove exactly the notices we applied; concurrent server-side
-	// additions (none today, but cheap to be precise) survive.
+	// additions (queued while the fetch was in flight) survive.
 	keep := st.pending[:0]
 	for _, nt := range st.pending {
 		if _, ok := got[[2]int32{nt.Writer, nt.Interval}]; !ok {
@@ -529,7 +632,9 @@ func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, sr
 }
 
 // serve dispatches an incoming protocol message. It is the transport
-// handler body and may run on a server goroutine in TCP mode.
+// handler body and may run on a server goroutine in TCP mode — or, since
+// the sharded locking scheme, concurrently with other serves and with
+// the node's own application threads.
 func (n *node) serve(from int, m msg.Message) (msg.Message, error) {
 	switch req := m.(type) {
 	case *msg.PageRequest:
@@ -565,15 +670,16 @@ func (n *node) serve(from int, m msg.Message) (msg.Message, error) {
 
 // servePageRequest brings the manager's own copy of the page current
 // (merging the requester's pending notices with its own) and replies with
-// the full page image.
+// the full page image. The reply's page buffer is pooled; the transport
+// handler recycles it after encoding.
 func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	p := vm.PageID(req.Page)
 	if n.c.manager(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
 	}
-	n.mu.Lock()
-	st := &n.pages[p]
 	n.c.probeNoticesDelivered(n.id, ViaPageRequest, req.Pending)
+	sh := n.lockShard(p)
+	st := &n.pages[p]
 	for _, nt := range req.Pending {
 		if int(nt.Writer) != n.id &&
 			(n.c.cfg.Mutation == MutationNoNoticeDedup || !st.staleOrDup(nt)) {
@@ -582,7 +688,7 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 		}
 	}
 	pending := append([]msg.Notice(nil), st.pending...)
-	n.mu.Unlock()
+	sh.mu.Unlock()
 
 	if len(pending) > 0 {
 		ok, err := n.fetchAndApplyDiffs(-1, p, pending, ApplyServer)
@@ -595,33 +701,39 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 			// dropping diffs; report loudly if it ever does.
 			return nil, fmt.Errorf("dsm: manager %d lost diffs for page %d", n.id, p)
 		}
-		n.mu.Lock()
+		sh = n.lockShard(p)
 		n.as.SetProt(p, vm.ProtRead)
-		n.mu.Unlock()
+		sh.mu.Unlock()
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh = n.rlockShard(p)
 	st = &n.pages[p]
-	data := make([]byte, memlayout.PageSize)
+	data := getPageBuf()
 	copy(data, n.pageData(p))
 	vt := make([]int32, n.c.cfg.Nodes)
 	copy(vt, st.appliedVT)
+	n.holdForBench()
+	sh.runlock()
 	return &msg.PageReply{Page: req.Page, Data: data, AppliedVT: vt}, nil
 }
 
 // serveDiffRequest returns this node's stored diffs for the requested
-// intervals of a page; nil entries mark garbage-collected diffs.
+// intervals of a page; nil entries mark garbage-collected diffs. A pure
+// read under the shard's read lock, so any number of peers can fetch
+// diffs from this node concurrently. The reply aliases the stored diffs
+// (immutable once created), so no copy is made.
 func (n *node) serveDiffRequest(req *msg.DiffRequest) (msg.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	p := vm.PageID(req.Page)
 	out := &msg.DiffReply{Page: req.Page, Diffs: make([][]byte, len(req.Intervals))}
-	store := n.diffs[vm.PageID(req.Page)]
+	sh := n.rlockShard(p)
+	store := sh.diffs[p]
 	for i, iv := range req.Intervals {
 		if store != nil {
 			out.Diffs[i] = store[iv]
 		}
 	}
+	n.holdForBench()
+	sh.runlock()
 	return out, nil
 }
 
@@ -666,32 +778,43 @@ func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 }
 
 func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.c.probeBarrierReleased(n.id, req.Episode)
 	n.c.probeNoticesDelivered(n.id, ViaBarrier, req.Notices)
-	n.bumpLamportLocked(req.Lam)
+	n.bumpLamport(req.Lam)
 	for _, nt := range req.Notices {
-		n.addPendingLocked(nt)
+		n.addPending(nt)
+	}
+	n.lockSync()
+	for _, nt := range req.Notices {
 		if nt.Interval > n.seen[nt.Writer] {
 			n.seen[nt.Writer] = nt.Interval
 		}
 	}
+	n.mu.Unlock()
 	if len(req.Push) > 0 {
-		if err := n.applyPushLocked(req.Push); err != nil {
+		cost, pushed, err := n.applyPush(req.Push)
+		if err != nil {
 			return nil, err
 		}
+		n.lockSync()
+		n.pushCost += cost
+		n.pushedEpoch += pushed
+		n.mu.Unlock()
 	}
 	// The barrier flushed all pre-barrier notices cluster-wide, so the
 	// managed lock log, the per-manager release high-water marks, and the
 	// confirmed grant-log positions restart together.
+	n.lockMgrMu.Lock()
 	n.locks.reset()
+	n.lockMgrMu.Unlock()
+	n.lockSync()
 	for i := range n.sentKnown {
 		n.sentKnown[i] = 0
 	}
 	for i := range n.lockPos {
 		n.lockPos[i] = 0
 	}
+	n.mu.Unlock()
 	return &msg.Ack{}, nil
 }
 
@@ -701,8 +824,8 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 // so a retried acquire — e.g. after a dropped grant reply — is re-served
 // the identical suffix, and the requester's notice application dedups.
 func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockMgrMu.Lock()
+	defer n.lockMgrMu.Unlock()
 	ml := n.locks
 	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Pos: int32(len(ml.log))}
 	start := int(req.Pos)
@@ -725,8 +848,8 @@ func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
 }
 
 func (n *node) serveLockRelease(req *msg.LockRelease) (msg.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockMgrMu.Lock()
+	defer n.lockMgrMu.Unlock()
 	ml := n.locks
 	ml.add(req.Notices)
 	ml.lockLam[req.Lock] = maxI32(ml.lockLam[req.Lock], req.Lam)
@@ -738,13 +861,15 @@ func (n *node) serveLockRelease(req *msg.LockRelease) (msg.Message, error) {
 // invalidated rather than updated — paper §2).
 func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if store, ok := n.diffs[p]; ok {
+	sh := n.lockShard(p)
+	defer sh.mu.Unlock()
+	if store, ok := sh.diffs[p]; ok {
+		var dropped int64
 		for _, df := range store {
-			n.diffBytes -= int64(len(df))
+			dropped += int64(len(df))
 		}
-		delete(n.diffs, p)
+		n.diffBytes.Add(-dropped)
+		delete(sh.diffs, p)
 	}
 	if n.c.manager(p) != n.id {
 		st := &n.pages[p]

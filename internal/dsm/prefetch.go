@@ -72,12 +72,12 @@ func (c *Cluster) PrefetchRound() ([]sim.Time, error) {
 // no pre-existing pending backlog — the push carries only the closing
 // epoch's diffs, and a page with older pendings could not be completed).
 // pred is the installed predictor's bitmap, computed by the caller
-// outside the node lock; nil falls back to the fault window.
+// outside the node's locks; nil falls back to the fault window.
 func (n *node) hotPages(pred *vm.Bitmap) []int32 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if pred == nil {
+		n.lockSync()
 		pred = n.faultWin
+		n.mu.Unlock()
 	}
 	if pred == nil {
 		return nil
@@ -87,29 +87,34 @@ func (n *node) hotPages(pred *vm.Bitmap) []int32 {
 		if int(p) >= len(n.pages) {
 			return
 		}
+		sh := n.rlockShard(p)
 		st := &n.pages[p]
-		if !st.hasCopy || st.dirty || len(st.pending) > 0 {
-			return
+		ok := st.hasCopy && !st.dirty && len(st.pending) == 0
+		sh.runlock()
+		if ok {
+			hot = append(hot, int32(p))
 		}
-		hot = append(hot, int32(p))
 	})
 	return hot
 }
 
-// applyPushLocked applies the diffs piggybacked on a barrier release,
-// after the release's notices have been queued. A page is applied only
-// when the push covers its entire pending set (same no-partial-apply rule
-// as the pull path); anything else is left for demand or pull. Applying
-// is idempotent across re-deliveries: a retried release finds the pending
-// set empty (the notices dedup through staleOrDup) and skips.
-func (n *node) applyPushLocked(push []msg.PushedDiff) error {
+// applyPush applies the diffs piggybacked on a barrier release, after
+// the release's notices have been queued. A page is applied only when
+// the push covers its entire pending set (same no-partial-apply rule as
+// the pull path); anything else is left for demand or pull. Applying is
+// idempotent across re-deliveries: a retried release finds the pending
+// set empty (the notices dedup through staleOrDup) and skips. It locks
+// each page's shard in turn and returns the accumulated apply cost and
+// the number of pages brought current; the caller folds those into the
+// sync-state pushCost/pushedEpoch accounting.
+func (n *node) applyPush(push []msg.PushedDiff) (sim.Time, int, error) {
 	c := n.c
 	diffs := make(map[[3]int32][]byte, len(push))
 	var pages []vm.PageID
 	seen := make(map[vm.PageID]bool)
 	for _, pd := range push {
 		if int(pd.Page) < 0 || int(pd.Page) >= len(n.pages) {
-			return fmt.Errorf("dsm: node %d pushed diff for page %d out of range", n.id, pd.Page)
+			return 0, 0, fmt.Errorf("dsm: node %d pushed diff for page %d out of range", n.id, pd.Page)
 		}
 		diffs[[3]int32{pd.Page, pd.Writer, pd.Interval}] = pd.Diff
 		if p := vm.PageID(pd.Page); !seen[p] {
@@ -117,9 +122,13 @@ func (n *node) applyPushLocked(push []msg.PushedDiff) error {
 			pages = append(pages, p)
 		}
 	}
+	var cost sim.Time
+	pushed := 0
 	for _, p := range pages {
+		sh := n.lockShard(p)
 		st := &n.pages[p]
 		if !st.hasCopy || len(st.pending) == 0 {
+			sh.mu.Unlock()
 			continue
 		}
 		complete := true
@@ -133,6 +142,7 @@ func (n *node) applyPushLocked(push []msg.PushedDiff) error {
 		// rule: the page is applied anyway and the uncovered updates are
 		// silently dropped below (lost update).
 		if !complete && c.cfg.Mutation != MutationPushPartialApply {
+			sh.mu.Unlock()
 			continue
 		}
 		ordered := append([]msg.Notice(nil), st.pending...)
@@ -152,20 +162,22 @@ func (n *node) applyPushLocked(push []msg.PushedDiff) error {
 				continue // only reachable under MutationPushPartialApply
 			}
 			if err := ApplyDiff(n.pageData(p), df); err != nil {
-				return fmt.Errorf("dsm: node %d apply pushed diff page %d: %w", n.id, p, err)
+				sh.mu.Unlock()
+				return 0, 0, fmt.Errorf("dsm: node %d apply pushed diff page %d: %w", n.id, p, err)
 			}
-			n.pushCost += sim.Time(len(df)) * c.costs.DiffPerByte
+			cost += sim.Time(len(df)) * c.costs.DiffPerByte
 			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
-			n.bumpLamportLocked(nt.Lam)
+			n.bumpLamport(nt.Lam)
 			c.probeDiffApplied(n.id, ApplyPush, nt)
 		}
 		st.pending = st.pending[:0]
 		n.as.SetProt(p, vm.ProtRead)
 		st.prefetched = true
-		n.pushedEpoch++
+		pushed++
+		sh.mu.Unlock()
 		c.stats.PrefetchedPages.Add(1)
 	}
-	return nil
+	return cost, pushed, nil
 }
 
 // collectPushDiffs runs at the barrier manager between the enter fan-in
@@ -264,12 +276,13 @@ func (c *Cluster) collectPushDiffs(hot map[int32][]int32, notices []msg.Notice) 
 }
 
 // prefetch runs one node's prefetch round: predict, select candidates
-// under the budget, batch-fetch per writer, apply. Called with mu NOT
-// held; no application thread is active on the node. It is the pull
-// backstop behind the barrier-piggybacked push: pages the push already
-// served have empty pending sets and are skipped, and the pages the push
-// served this epoch are charged against the budget. It returns the number
-// of pages brought current and the round's virtual-time cost.
+// under the budget, batch-fetch per writer, apply. Called between
+// barrier release and thread resumption; no application thread is active
+// on the node. It is the pull backstop behind the barrier-piggybacked
+// push: pages the push already served have empty pending sets and are
+// skipped, and the pages the push served this epoch are charged against
+// the budget. It returns the number of pages brought current and the
+// round's virtual-time cost.
 func (n *node) prefetch(budget int) (int, sim.Time, error) {
 	c := n.c
 	var pred *vm.Bitmap
@@ -277,50 +290,63 @@ func (n *node) prefetch(budget int) (int, sim.Time, error) {
 		pred = c.prefetchPredict(n.id)
 	}
 
-	type candidate struct {
-		p    vm.PageID
-		pend []msg.Notice
-	}
-	var cands []candidate
-	n.mu.Lock()
+	// Window turnover under the sync mutex: charge this epoch's push
+	// against the budget and start a fresh fault window and late set for
+	// the coming epoch.
+	n.lockSync()
 	if pred == nil {
 		pred = n.faultWin
 	}
-	// Pages already pushed this epoch consume budget; a capped round
-	// marks every remaining candidate late.
 	remaining := budget
 	if budget > 0 {
 		remaining = budget - n.pushedEpoch
 	}
 	n.pushedEpoch = 0
-	// Start a fresh fault window and late set for the coming epoch.
 	n.faultWin = vm.NewBitmap(c.cfg.Pages)
 	n.late = make(map[vm.PageID]bool)
+	n.mu.Unlock()
+
+	type candidate struct {
+		p    vm.PageID
+		pend []msg.Notice
+	}
+	var cands []candidate
+	var lateList []vm.PageID
 	if pred != nil {
 		pred.ForEach(func(p vm.PageID) {
 			if int(p) >= len(n.pages) {
 				return
 			}
+			sh := n.rlockShard(p)
 			st := &n.pages[p]
 			// Only pages a diff fetch can help: a held copy invalidated
 			// by pending notices. Pages without a copy would cost the
 			// same full-page round trip now as on demand.
 			if !st.hasCopy || len(st.pending) == 0 || st.dirty {
+				sh.runlock()
 				return
 			}
 			if budget > 0 && len(cands) >= remaining {
 				// Predicted but over budget: a demand miss on this page
 				// in the coming epoch counts as PrefetchLate.
-				n.late[p] = true
+				lateList = append(lateList, p)
+				sh.runlock()
 				return
 			}
 			cands = append(cands, candidate{
 				p:    p,
 				pend: append([]msg.Notice(nil), st.pending...),
 			})
+			sh.runlock()
 		})
 	}
-	n.mu.Unlock()
+	if len(lateList) > 0 {
+		n.lockSync()
+		for _, p := range lateList {
+			n.late[p] = true
+		}
+		n.mu.Unlock()
+	}
 	if len(cands) == 0 {
 		return 0, 0, nil
 	}
@@ -337,11 +363,10 @@ func (n *node) prefetch(budget int) (int, sim.Time, error) {
 		return 0, 0, err
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	var applyCost sim.Time
 	applied := 0
 	for _, cd := range cands {
+		sh := n.lockShard(cd.p)
 		st := &n.pages[cd.p]
 		// Never apply a partial set: if any of the page's diffs was
 		// garbage-collected, leave the page untouched — its pending set
@@ -354,6 +379,7 @@ func (n *node) prefetch(budget int) (int, sim.Time, error) {
 			}
 		}
 		if !complete {
+			sh.mu.Unlock()
 			continue
 		}
 		// Same causal application order as the demand path.
@@ -371,11 +397,12 @@ func (n *node) prefetch(budget int) (int, sim.Time, error) {
 		for _, nt := range ordered {
 			df := got[[3]int32{nt.Page, nt.Writer, nt.Interval}]
 			if err := ApplyDiff(n.pageData(cd.p), df); err != nil {
+				sh.mu.Unlock()
 				return 0, 0, fmt.Errorf("dsm: node %d prefetch apply diff page %d: %w", n.id, cd.p, err)
 			}
 			applyCost += sim.Time(len(df)) * c.costs.DiffPerByte
 			st.noteApplied(c.cfg.Nodes, nt.Writer, nt.Interval)
-			n.bumpLamportLocked(nt.Lam)
+			n.bumpLamport(nt.Lam)
 			c.probeDiffApplied(n.id, ApplyPrefetch, nt)
 		}
 		// Drop exactly the applied notices.
@@ -392,6 +419,7 @@ func (n *node) prefetch(budget int) (int, sim.Time, error) {
 			applied++
 			c.stats.PrefetchedPages.Add(1)
 		}
+		sh.mu.Unlock()
 	}
 	return applied, wire + applyCost, nil
 }
@@ -496,11 +524,12 @@ func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][
 }
 
 // serveDiffBatchRequest answers a batched diff fetch: a pure read of this
-// node's diff store, grouped per page. nil entries mark garbage-collected
-// diffs, exactly as in DiffReply.
+// node's diff store, grouped per page, taking each page's shard read lock
+// in turn so concurrent batch serves for disjoint shards (and concurrent
+// read-only serves within a shard) proceed in parallel. nil entries mark
+// garbage-collected diffs, exactly as in DiffReply. Replies alias the
+// immutable stored diffs.
 func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := &msg.DiffBatchReply{Pages: make([]msg.PageDiffs, len(req.Pages))}
 	for i, pi := range req.Pages {
 		out.Pages[i].Page = pi.Page
@@ -508,12 +537,15 @@ func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, er
 		if int(pi.Page) < 0 || int(pi.Page) >= len(n.pages) {
 			continue
 		}
-		store := n.diffs[vm.PageID(pi.Page)]
+		p := vm.PageID(pi.Page)
+		sh := n.rlockShard(p)
+		store := sh.diffs[p]
 		for j, iv := range pi.Intervals {
 			if store != nil {
 				out.Pages[i].Diffs[j] = store[iv]
 			}
 		}
+		sh.runlock()
 	}
 	return out, nil
 }

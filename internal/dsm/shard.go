@@ -1,0 +1,167 @@
+package dsm
+
+// Sharded page-state locking and pooled page buffers: the node-local
+// concurrency substrate. See doc.go for the full locking model.
+//
+// Before sharding, every protocol operation — faults, diff serves,
+// barrier bookkeeping, prefetch fills — serialized on one node-wide
+// mutex, so a node could not serve a DiffRequest from one peer while
+// applying diffs for another. Page state is now striped across
+// ServiceShards independent RWMutex-guarded shards (page p belongs to
+// shard p mod nshards), so operations on pages in different shards
+// proceed in parallel and read-only serves (diff fetches) share a shard
+// concurrently. Sync-side state that is not per-page (interval counters,
+// notice histories, lock-manager logs, charge plumbing) lives under
+// separate small mutexes.
+
+import (
+	"sync"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
+	"actdsm/internal/vm"
+)
+
+// defaultServiceShards is the per-node shard count when
+// Config.ServiceShards is 0. Sixteen shards keep the page-to-shard
+// mapping a single AND while comfortably exceeding the request
+// parallelism a node sees from its peers in the paper's 8-node
+// configurations.
+const defaultServiceShards = 16
+
+// normalizeShards rounds a configured shard count to a usable one: 0
+// selects the default and any other positive value rounds up to the next
+// power of two (so shard selection is a mask, not a modulo). 1 is
+// honoured exactly: a single shard restores the pre-sharding
+// one-big-lock behaviour and serves as the benchmark baseline.
+func normalizeShards(v int) int {
+	if v == 0 {
+		v = defaultServiceShards
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// pageShard guards a stripe of a node's per-page protocol state: for
+// every page p with p mod nshards == this shard's index, the shard's
+// lock covers pages[p] (copy/twin/pending/appliedVT/prefetched), the
+// page's protection entry in the address space, the page's window of the
+// data segment, and the page's stored diffs.
+//
+// Reads that do not mutate (diff serves, pending snapshots, coherence
+// checks) take the read side, so concurrent diff fetches from many peers
+// proceed in parallel even within one shard — except in the
+// single-shard configuration (exclusive == true), where every
+// acquisition is exclusive to reproduce the pre-sharding one-big-mutex
+// behaviour exactly (the old node.mu was a plain Mutex; readers did not
+// share). That keeps ServiceShards: 1 an honest baseline for the
+// hotpath benchmark.
+type pageShard struct {
+	mu sync.RWMutex
+	// exclusive makes rlockShard take the write side; set only when
+	// the node runs with a single shard (see above).
+	exclusive bool
+	// diffs stores the node's own diffs for this shard's pages:
+	// page → interval → diff. Stored diff values are immutable; replies
+	// alias them (never copied, never recycled).
+	diffs map[vm.PageID]map[int32][]byte
+}
+
+// runlock releases a shard acquired with rlockShard.
+func (sh *pageShard) runlock() {
+	if sh.exclusive {
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.RUnlock()
+}
+
+// shard maps a page to its shard. The shard count is a power of two, so
+// this is a single mask.
+func (n *node) shard(p vm.PageID) *pageShard {
+	return &n.shards[uint32(p)&n.shardMask]
+}
+
+// lockShard write-locks page p's shard, counting contention: a failed
+// TryLock means another request held the shard, which is exactly the
+// serialization the sharding exists to shrink. The counter feeds
+// Stats.ShardContention (surfaced by the obs metrics endpoint) so a
+// deployment can see whether the shard count is sized right.
+func (n *node) lockShard(p vm.PageID) *pageShard {
+	sh := n.shard(p)
+	if !sh.mu.TryLock() {
+		n.c.stats.ShardContention.Add(1)
+		sh.mu.Lock()
+	}
+	return sh
+}
+
+// rlockShard read-locks page p's shard, counting contention (a failed
+// TryRLock means a writer held or was waiting on the shard). Release
+// with sh.runlock(): in the single-shard baseline configuration the
+// acquisition is exclusive (see pageShard).
+func (n *node) rlockShard(p vm.PageID) *pageShard {
+	sh := n.shard(p)
+	if sh.exclusive {
+		return n.lockShard(p)
+	}
+	if !sh.mu.TryRLock() {
+		n.c.stats.ShardContention.Add(1)
+		sh.mu.RLock()
+	}
+	return sh
+}
+
+// lockSync locks the node's sync-state mutex (interval counters, notice
+// histories, prefetch windows), counting contention into
+// Stats.SyncContention.
+func (n *node) lockSync() {
+	if !n.mu.TryLock() {
+		n.c.stats.SyncContention.Add(1)
+		n.mu.Lock()
+	}
+}
+
+// pageBufPool recycles page-sized buffers for the two hot allocation
+// sites that create one per remote page movement: twin creation on the
+// first write fault of an interval, and full-page reply images on the
+// serve path. Entries are *[]byte so Put does not allocate an interface
+// box (staticcheck SA6002); every entry has exactly PageSize usable
+// capacity.
+var pageBufPool = sync.Pool{New: func() any {
+	b := make([]byte, memlayout.PageSize)
+	return &b
+}}
+
+// getPageBuf returns a page-sized buffer (len == PageSize). Contents are
+// arbitrary; callers overwrite it fully.
+func getPageBuf() []byte {
+	return (*pageBufPool.Get().(*[]byte))[:memlayout.PageSize]
+}
+
+// putPageBuf recycles a page-sized buffer. Buffers of any other capacity
+// (nil PageReply data, truncated images) are left for the GC, so callers
+// can hand over whatever they hold without checking provenance.
+func putPageBuf(b []byte) {
+	if cap(b) < memlayout.PageSize {
+		return
+	}
+	b = b[:memlayout.PageSize]
+	pageBufPool.Put(&b)
+}
+
+// recycleReply returns a served reply's page buffer to the pool. Called
+// by the transport handler after the reply has been encoded to the wire:
+// at that point the message object is dead (Decode on the requester side
+// copies), so its page image can back the next serve. Only PageReply
+// carries a pooled buffer — diff replies alias the immutable stored
+// diffs and must never be recycled.
+func recycleReply(m msg.Message) {
+	if pr, ok := m.(*msg.PageReply); ok {
+		putPageBuf(pr.Data)
+		pr.Data = nil
+	}
+}

@@ -3,7 +3,6 @@ package dsm
 import (
 	"fmt"
 
-	"actdsm/internal/memlayout"
 	"actdsm/internal/msg"
 	"actdsm/internal/sim"
 	"actdsm/internal/vm"
@@ -24,6 +23,13 @@ import (
 // cover the requester's round trip (manager-side fan-out latency is
 // reflected in message counts but not charged — a documented
 // simplification).
+//
+// Locking: the manager-side ownership table (n.sw) lives under its own
+// leaf mutex (n.swMu); page data, protections, and hasCopy live under
+// the page's shard lock, exactly as in the multi-writer protocol. No
+// path holds both at once, and neither is held across a transport call.
+// Serve-side full-page images come from the page-buffer pool and are
+// recycled by the transport handler after encoding (recycleReply).
 
 // Protocol selects the coherence protocol.
 type Protocol uint8
@@ -53,6 +59,14 @@ func (n *node) initSingleWriter() {
 			n.sw[p] = swState{owner: int32(n.id), copyset: 1 << uint(n.id)}
 		}
 	}
+}
+
+// swGet reads one page's ownership record under the ownership mutex.
+func (n *node) swGet(p vm.PageID) swState {
+	n.swMu.Lock()
+	st := n.sw[p]
+	n.swMu.Unlock()
+	return st
 }
 
 // resolveFaultSW is the single-writer fault path.
@@ -100,8 +114,7 @@ func (n *node) swRemoteFault(mgr int, p vm.PageID, a vm.Access) (bool, error) {
 	c.stats.PageFetches.Add(1)
 	n.addCharge(sim.ThreadInterval{Stall: wire})
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh := n.lockShard(p)
 	st := &n.pages[p]
 	if len(pr.Data) > 0 {
 		copy(n.pageData(p), pr.Data)
@@ -112,15 +125,16 @@ func (n *node) swRemoteFault(mgr int, p vm.PageID, a vm.Access) (bool, error) {
 	} else {
 		n.as.SetProt(p, vm.ProtRead)
 	}
+	sh.mu.Unlock()
+	putPageBuf(pr.Data)
+	pr.Data = nil
 	return true, nil
 }
 
 // swManagerLocalFault handles the manager's own access to a page it
 // manages.
 func (n *node) swManagerLocalFault(p vm.PageID, a vm.Access) (bool, error) {
-	n.mu.Lock()
-	st := n.sw[p]
-	n.mu.Unlock()
+	st := n.swGet(p)
 	remote := false
 
 	if int(st.owner) != n.id {
@@ -141,10 +155,12 @@ func (n *node) swManagerLocalFault(p vm.PageID, a vm.Access) (bool, error) {
 		}
 		n.c.stats.PageFetches.Add(1)
 		n.addCharge(sim.ThreadInterval{Stall: wire})
-		n.mu.Lock()
+		sh := n.lockShard(p)
 		copy(n.pageData(p), pr.Data)
 		n.pages[p].hasCopy = true
-		n.mu.Unlock()
+		sh.mu.Unlock()
+		putPageBuf(pr.Data)
+		pr.Data = nil
 		remote = true
 	}
 
@@ -154,19 +170,23 @@ func (n *node) swManagerLocalFault(p vm.PageID, a vm.Access) (bool, error) {
 		} else if rem {
 			remote = true
 		}
-		n.mu.Lock()
+		n.swMu.Lock()
 		n.sw[p] = swState{owner: int32(n.id), copyset: 1 << uint(n.id)}
+		n.swMu.Unlock()
+		sh := n.lockShard(p)
 		n.as.SetProt(p, vm.ProtReadWrite)
-		n.mu.Unlock()
+		sh.mu.Unlock()
 	} else {
-		n.mu.Lock()
+		n.swMu.Lock()
 		n.sw[p].copyset |= 1 << uint(n.id)
 		if int(n.sw[p].owner) != n.id {
 			// The old owner keeps a read replica after downgrade.
 			n.sw[p].copyset |= 1 << uint(st.owner)
 		}
+		n.swMu.Unlock()
+		sh := n.lockShard(p)
 		n.as.SetProt(p, vm.ProtRead)
-		n.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return remote, nil
 }
@@ -174,9 +194,7 @@ func (n *node) swManagerLocalFault(p vm.PageID, a vm.Access) (bool, error) {
 // swInvalidateOthers drops every replica except keep1/keep2; returns
 // whether any remote message was sent.
 func (n *node) swInvalidateOthers(p vm.PageID, keep1, keep2 int) (bool, error) {
-	n.mu.Lock()
-	cs := n.sw[p].copyset
-	n.mu.Unlock()
+	cs := n.swGet(p).copyset
 	sent := false
 	for node := 0; node < n.c.cfg.Nodes; node++ {
 		if cs&(1<<uint(node)) == 0 || node == keep1 || node == keep2 {
@@ -195,10 +213,10 @@ func (n *node) swInvalidateOthers(p vm.PageID, keep1, keep2 int) (bool, error) {
 }
 
 func (n *node) swDropLocal(p vm.PageID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh := n.lockShard(p)
 	n.pages[p].hasCopy = false
 	n.as.SetProt(p, vm.ProtNone)
+	sh.mu.Unlock()
 }
 
 // serveSWRead runs at the manager: join the copyset and return current
@@ -208,19 +226,18 @@ func (n *node) serveSWRead(req *msg.SWRead) (msg.Message, error) {
 	if n.c.manager(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
 	}
-	n.mu.Lock()
-	st := n.sw[p]
-	n.mu.Unlock()
+	st := n.swGet(p)
 
 	var data []byte
 	switch int(st.owner) {
 	case n.id:
-		n.mu.Lock()
-		data = append(data, n.pageData(p)...)
+		sh := n.lockShard(p)
+		data = getPageBuf()
+		copy(data, n.pageData(p))
 		if n.as.Prot(p) == vm.ProtReadWrite {
 			n.as.SetProt(p, vm.ProtRead)
 		}
-		n.mu.Unlock()
+		sh.mu.Unlock()
 	case int(req.From):
 		// Requester is the owner asking to read — should not fault,
 		// but answer benignly with no data.
@@ -235,9 +252,9 @@ func (n *node) serveSWRead(req *msg.SWRead) (msg.Message, error) {
 		}
 		data = pr.Data
 	}
-	n.mu.Lock()
+	n.swMu.Lock()
 	n.sw[p].copyset |= 1 << uint(req.From)
-	n.mu.Unlock()
+	n.swMu.Unlock()
 	return &msg.PageReply{Page: req.Page, Data: data}, nil
 }
 
@@ -248,18 +265,17 @@ func (n *node) serveSWWrite(req *msg.SWWrite) (msg.Message, error) {
 	if n.c.manager(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
 	}
-	n.mu.Lock()
-	st := n.sw[p]
-	n.mu.Unlock()
+	st := n.swGet(p)
 
 	var data []byte
 	switch int(st.owner) {
 	case int(req.From):
 		// Ownership upgrade: requester already has current data.
 	case n.id:
-		n.mu.Lock()
-		data = append(data, n.pageData(p)...)
-		n.mu.Unlock()
+		sh := n.lockShard(p)
+		data = getPageBuf()
+		copy(data, n.pageData(p))
+		sh.mu.Unlock()
 		n.swDropLocal(p)
 	default:
 		reply, _, err := n.c.call(n.id, int(st.owner), &msg.SWFlush{Page: req.Page})
@@ -277,9 +293,9 @@ func (n *node) serveSWWrite(req *msg.SWWrite) (msg.Message, error) {
 	}
 	// The old owner surrendered its copy above (flush); ensure it is
 	// not left in the copyset.
-	n.mu.Lock()
+	n.swMu.Lock()
 	n.sw[p] = swState{owner: req.From, copyset: 1 << uint(req.From)}
-	n.mu.Unlock()
+	n.swMu.Unlock()
 	return &msg.PageReply{Page: req.Page, Data: data}, nil
 }
 
@@ -287,25 +303,25 @@ func (n *node) serveSWWrite(req *msg.SWWrite) (msg.Message, error) {
 // the data.
 func (n *node) serveSWDowngrade(req *msg.SWDowngrade) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	data := make([]byte, memlayout.PageSize)
+	sh := n.lockShard(p)
+	data := getPageBuf()
 	copy(data, n.pageData(p))
 	if n.as.Prot(p) == vm.ProtReadWrite {
 		n.as.SetProt(p, vm.ProtRead)
 	}
+	sh.mu.Unlock()
 	return &msg.PageReply{Page: req.Page, Data: data}, nil
 }
 
 // serveSWFlush runs at the owner: surrender the page entirely.
 func (n *node) serveSWFlush(req *msg.SWFlush) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	data := make([]byte, memlayout.PageSize)
+	sh := n.lockShard(p)
+	data := getPageBuf()
 	copy(data, n.pageData(p))
 	n.pages[p].hasCopy = false
 	n.as.SetProt(p, vm.ProtNone)
+	sh.mu.Unlock()
 	return &msg.PageReply{Page: req.Page, Data: data}, nil
 }
 

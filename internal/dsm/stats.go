@@ -139,6 +139,15 @@ type Stats struct {
 	// PrefetchLate counts demand misses on pages the predictor selected
 	// but the prefetch budget excluded in the preceding round.
 	PrefetchLate atomic.Int64
+	// ShardContention counts contended page-shard lock acquisitions:
+	// each increment means a service-path operation found its page's
+	// shard held by another request and had to wait. A high rate
+	// relative to Messages suggests raising Config.ServiceShards.
+	ShardContention atomic.Int64
+	// SyncContention counts contended acquisitions of the per-node
+	// sync-state mutex (interval counters, notice histories, prefetch
+	// windows).
+	SyncContention atomic.Int64
 	// BatchSizeHist is the histogram of diffs requested per
 	// DiffBatchRequest, in power-of-two buckets.
 	BatchSizeHist [BatchSizeBuckets]atomic.Int64
@@ -226,6 +235,12 @@ type Snapshot struct {
 	PrefetchHits     int64
 	PrefetchWasted   int64
 	PrefetchLate     int64
+	// ShardContention and SyncContention count contended lock
+	// acquisitions on the service path (see Stats). They measure
+	// wall-clock interleaving, not protocol behaviour, so they are
+	// excluded from the determinism-compared Counters subset.
+	ShardContention int64
+	SyncContention  int64
 	// BatchSizeHist is the diffs-per-batched-fetch histogram
 	// (power-of-two buckets; see BatchSizeBound).
 	BatchSizeHist [BatchSizeBuckets]int64
@@ -260,6 +275,8 @@ func (s *Stats) Snapshot() Snapshot {
 		PrefetchHits:     s.PrefetchHits.Load(),
 		PrefetchWasted:   s.PrefetchWasted.Load(),
 		PrefetchLate:     s.PrefetchLate.Load(),
+		ShardContention:  s.ShardContention.Load(),
+		SyncContention:   s.SyncContention.Load(),
 	}
 	for b := range s.BatchSizeHist {
 		out.BatchSizeHist[b] = s.BatchSizeHist[b].Load()
@@ -371,6 +388,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PrefetchHits:     s.PrefetchHits - o.PrefetchHits,
 		PrefetchWasted:   s.PrefetchWasted - o.PrefetchWasted,
 		PrefetchLate:     s.PrefetchLate - o.PrefetchLate,
+		ShardContention:  s.ShardContention - o.ShardContention,
+		SyncContention:   s.SyncContention - o.SyncContention,
 	}
 	for b := range d.BatchSizeHist {
 		d.BatchSizeHist[b] = s.BatchSizeHist[b] - o.BatchSizeHist[b]

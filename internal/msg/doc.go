@@ -1,0 +1,19 @@
+// Package msg defines the DSM's wire protocol: the messages exchanged
+// between nodes for page fetches, diff fetches, barriers, locks, and diff
+// garbage collection, together with a compact binary encoding.
+//
+// Both transports (in-process and TCP) carry the encoded form, so the byte
+// counts the experiments report ("Total Mbytes", "Diff Mbytes" in the
+// paper's Table 6) are the real sizes of real messages.
+//
+// # Encoding and the hot path
+//
+// Encode allocates exactly once: Size computes every message's wire size
+// directly (no trial encode), so the output buffer is sized before the
+// first byte is written. For the protocol service path, EncodeTo appends
+// to a caller-provided buffer and GetBuf/PutBuf expose a sync.Pool of
+// reusable buffers, so steady-state encodes perform zero allocations.
+// Decode always copies byte payloads out of the input buffer, which is
+// what makes recycling encode buffers safe: no decoded message aliases a
+// pooled buffer.
+package msg

@@ -1,15 +1,9 @@
-// Package msg defines the DSM's wire protocol: the messages exchanged
-// between nodes for page fetches, diff fetches, barriers, locks, and diff
-// garbage collection, together with a compact binary encoding.
-//
-// Both transports (in-process and TCP) carry the encoded form, so the byte
-// counts the experiments report ("Total Mbytes", "Diff Mbytes" in the
-// paper's Table 6) are the real sizes of real messages.
 package msg
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind discriminates message types on the wire.
@@ -109,6 +103,10 @@ type Message interface {
 	Kind() Kind
 	encodeBody(e *encoder)
 	decodeBody(d *decoder) error
+	// sizeBody returns the encoded body size in bytes, computed
+	// directly from the message fields (no trial encode). Size and
+	// Encode rely on it; TestSizeMatchesEncode pins the equivalence.
+	sizeBody() int
 }
 
 // Compile-time interface checks.
@@ -367,12 +365,56 @@ type DiffBatchReply struct {
 // Kind implements Message.
 func (*DiffBatchReply) Kind() Kind { return KindDiffBatchReply }
 
-// Encode serializes m (kind byte + body).
+// encoderPool recycles encoder headers so EncodeTo performs no
+// allocations of its own: calling m.encodeBody through the Message
+// interface makes a stack-local encoder escape, so a fresh &encoder{}
+// per call would cost one allocation even when the destination buffer
+// has capacity. Pooling the header removes it.
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// Encode serializes m (kind byte + body) into a freshly allocated,
+// exactly-sized buffer (a single allocation — Size presizes it).
 func Encode(m Message) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	return EncodeTo(make([]byte, 0, Size(m)), m)
+}
+
+// EncodeTo serializes m (kind byte + body), appending to buf, and
+// returns the extended slice — the append-style API the service hot
+// path uses with pooled buffers (GetBuf/PutBuf) so steady-state
+// encodes allocate nothing. buf may be nil.
+func EncodeTo(buf []byte, m Message) []byte {
+	e := encoderPool.Get().(*encoder)
+	e.buf = buf
 	e.u8(uint8(m.Kind()))
 	m.encodeBody(e)
-	return e.buf
+	out := e.buf
+	e.buf = nil
+	encoderPool.Put(e)
+	return out
+}
+
+// bufPool backs GetBuf/PutBuf. Entries are *[]byte (not []byte) so
+// Put does not allocate a fresh interface box per call (staticcheck
+// SA6002); capacity starts at 512 and grows to whatever the workload
+// re-Puts, so steady state converges on right-sized buffers.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuf returns a pooled, zero-length byte buffer for use with
+// EncodeTo. Return it with PutBuf when the encoded bytes are no longer
+// referenced (the transports never retain a payload past Call, and
+// Decode copies, so "after the Call returns" is the usual point).
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any buffer the
+// caller owns outright — e.g. a reply buffer a transport allocated and
+// will not touch again). The caller must not reference b afterwards.
+func PutBuf(b []byte) {
+	bufPool.Put(&b)
 }
 
 // Decode parses a message produced by Encode.
@@ -432,8 +474,91 @@ func Decode(b []byte) (Message, error) {
 	return m, nil
 }
 
-// Size returns the encoded size of m in bytes.
-func Size(m Message) int { return len(Encode(m)) }
+// Size returns the encoded size of m in bytes. It is computed directly
+// from the message fields — previously this round-tripped a full Encode
+// just to take len, allocating an entire throwaway buffer per call on
+// the transport accounting path. TestSizeMatchesEncode pins the
+// equivalence with len(Encode(m)) for every message kind.
+func Size(m Message) int { return 1 + m.sizeBody() }
+
+// Size helpers mirroring the encoder's field layouts.
+
+// i32sSize is the wire size of a counted []int32.
+func i32sSize(n int) int { return 4 + 4*n }
+
+// bytesSize is the wire size of a counted byte field (nil encodes the
+// same as empty here; fields using the -1 nil marker cost 4 either way).
+func bytesSize(b []byte) int { return 4 + len(b) }
+
+// noticesSize is the wire size of a counted []Notice.
+func noticesSize(ns []Notice) int { return 4 + noticeWire*len(ns) }
+
+func (m *PageRequest) sizeBody() int { return 8 + noticesSize(m.Pending) }
+
+func (m *PageReply) sizeBody() int {
+	return 4 + bytesSize(m.Data) + i32sSize(len(m.AppliedVT))
+}
+
+func (m *DiffRequest) sizeBody() int { return 8 + i32sSize(len(m.Intervals)) }
+
+func (m *DiffReply) sizeBody() int {
+	n := 4 + 4
+	for _, df := range m.Diffs {
+		n += bytesSize(df) // nil → 4 (the -1 marker), same as empty
+	}
+	return n
+}
+
+func (m *BarrierEnter) sizeBody() int {
+	return 12 + noticesSize(m.Notices) + i32sSize(len(m.Hot))
+}
+
+func (m *BarrierRelease) sizeBody() int {
+	n := 8 + noticesSize(m.Notices) + 4
+	for _, pd := range m.Push {
+		n += 12 + bytesSize(pd.Diff)
+	}
+	return n
+}
+
+func (m *LockAcquire) sizeBody() int { return 12 + i32sSize(len(m.Seen)) }
+
+func (m *LockGrant) sizeBody() int { return 12 + noticesSize(m.Notices) }
+
+func (m *LockRelease) sizeBody() int { return 12 + noticesSize(m.Notices) }
+
+func (m *GCCollect) sizeBody() int { return 4 }
+
+func (*Ack) sizeBody() int { return 0 }
+
+func (m *SWRead) sizeBody() int { return 8 }
+
+func (m *SWWrite) sizeBody() int { return 8 }
+
+func (m *SWDowngrade) sizeBody() int { return 4 }
+
+func (m *SWFlush) sizeBody() int { return 4 }
+
+func (m *SWInvalidate) sizeBody() int { return 4 }
+
+func (m *DiffBatchRequest) sizeBody() int {
+	n := 4 + 4
+	for _, pi := range m.Pages {
+		n += 4 + i32sSize(len(pi.Intervals))
+	}
+	return n
+}
+
+func (m *DiffBatchReply) sizeBody() int {
+	n := 4
+	for _, pd := range m.Pages {
+		n += 4 + 4
+		for _, df := range pd.Diffs {
+			n += bytesSize(df) // nil → 4 (the -1 marker)
+		}
+	}
+	return n
+}
 
 func (m *PageRequest) encodeBody(e *encoder) {
 	e.i32(m.From)

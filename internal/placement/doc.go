@@ -1,0 +1,15 @@
+// Package placement implements the paper's thread-to-node mapping
+// heuristics (§5.1): stretch (contiguous blocks in thread order),
+// min-cost (cluster analysis plus pairwise refinement), random
+// assignments, and an exact optimal solver for small instances used to
+// validate the heuristics. All heuristics produce balanced placements —
+// a constant and equal number of threads per node, as the paper
+// restricts the problem. anneal.go adds a simulated-annealing refiner
+// used by the heuristic-quality ablation.
+//
+// Inputs are the correlation matrices internal/core produces; outputs
+// are placements the thread engine (internal/threads) realizes by
+// migrating threads. Cut cost — the sum of correlations across node
+// boundaries — is the objective throughout, per the paper's §2 argument
+// that cut cost predicts remote misses (validated by Table 2).
+package placement

@@ -1,9 +1,3 @@
-// Package placement implements the paper's thread-to-node mapping
-// heuristics (§5.1): stretch (contiguous blocks in thread order), min-cost
-// (cluster analysis plus pairwise refinement), random assignments, and an
-// exact optimal solver for small instances used to validate the
-// heuristics. All heuristics produce balanced placements — a constant and
-// equal number of threads per node, as the paper restricts the problem.
 package placement
 
 import (

@@ -42,6 +42,8 @@ var wallClockAllowed = map[string]bool{
 	"cmd/actbench/main.go":            true, // section elapsed-time banner
 	"internal/check/explore.go":       true, // TrialResult.Elapsed / SweepResult.Elapsed
 	"internal/dsm/cluster.go":         true, // per-message latency quantiles
+	"internal/dsm/hotbench.go":        true, // wall-clock benchmark harness: elapsed timing + injected service hold; only ever run by benchmarks, never by protocol runs (Cluster.serviceHold is zero outside the harness)
+	"internal/experiments/hotpath.go": true, // BENCH_hotpath.json generator: encode-loop timing; measurement only
 	"internal/obs/obs.go":             true, // recorder start anchor + transport-span end stamps; export-only, never protocol input
 	"internal/transport/chaos.go":     true, // injected FaultDelay sleeps
 	"internal/transport/observer.go":  true, // per-call wall latency fed to the observability probe

@@ -1,0 +1,22 @@
+// Package threads is the per-node user-level thread substrate: a
+// cooperative scheduler multiplexing many application threads over the DSM
+// cluster's nodes, with barrier and lock synchronization, thread
+// migration, and the scheduler-disable mode active correlation tracking
+// requires.
+//
+// The original system used the QuickThreads user-level threads package
+// with stack copying for migration. Here each application thread is a
+// goroutine, but exactly one runs at any moment: the engine hands control
+// to a thread and waits for it to yield at a synchronization point, which
+// makes the simulation deterministic and lets virtual time be accounted
+// analytically (see sim.NodeIntervalTime). Threads never preempt: they run
+// from one synchronization point to the next, which matches the paper's
+// tracked execution model.
+//
+// This global single-threading of application code is also a concurrency
+// invariant the DSM's locking model relies on: local protocol work
+// (interval closes, fault handling) never overlaps other local protocol
+// work on any node, so only remote serve paths run concurrently — see
+// the locking model in internal/dsm's package documentation and
+// ARCHITECTURE.md.
+package threads

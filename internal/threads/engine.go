@@ -1,17 +1,3 @@
-// Package threads is the per-node user-level thread substrate: a
-// cooperative scheduler multiplexing many application threads over the DSM
-// cluster's nodes, with barrier and lock synchronization, thread
-// migration, and the scheduler-disable mode active correlation tracking
-// requires.
-//
-// The original system used the QuickThreads user-level threads package
-// with stack copying for migration. Here each application thread is a
-// goroutine, but exactly one runs at any moment: the engine hands control
-// to a thread and waits for it to yield at a synchronization point, which
-// makes the simulation deterministic and lets virtual time be accounted
-// analytically (see sim.NodeIntervalTime). Threads never preempt: they run
-// from one synchronization point to the next, which matches the paper's
-// tracked execution model.
 package threads
 
 import (

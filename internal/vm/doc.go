@@ -1,0 +1,19 @@
+// Package vm is the software MMU substrate for the DSM.
+//
+// The original CVM system uses hardware page protection (mprotect) and a
+// SIGSEGV handler to intercept the first access to a page in each
+// protection epoch. The Go runtime owns signal handling, so this package
+// reproduces the same observable behaviour in software: shared memory is
+// touched through page-granularity operations that consult a per-node page
+// table and call registered fault handlers on protection violations. The
+// fault stream (first touch per page per protection epoch) is identical to
+// what the hardware mechanism generates, which is all the paper's
+// mechanisms observe.
+//
+// The package also provides the per-thread access bitmaps (bitmap.go)
+// that active correlation tracking samples: one bit per (thread, page)
+// pair, set on first touch, cleared when a tracking epoch resets
+// protections. internal/core builds its correlation matrices from these
+// bitmaps; ARCHITECTURE.md §"Paper-to-package map" places this layer in
+// the request lifecycle.
+package vm
