@@ -54,16 +54,25 @@ bench:
 ## bench-compare: the benchmark regression gate. Reruns the
 ## demand-vs-prefetch comparison (SOR and Ocean, 8 nodes, test scale),
 ## rewrites BENCH_prefetch.json, and fails on a >5% demand-call
-## regression against the committed baseline; then reruns the hot-path
-## locking comparison and fails if the sharded speedup falls below the
-## floor or the steady-state message encode starts allocating. The
-## hotpath run is compare-only (no -hotpath-json rewrite): its numbers
-## are wall-clock and vary between machines, so the committed
-## BENCH_hotpath.json only changes deliberately via 'make bench-hotpath'.
+## regression against the committed baseline; reruns the
+## decentralized-manager comparison (flat vs tree barrier at 64 nodes,
+## centralized vs sharded locks), rewrites BENCH_managers.json, and
+## fails if the tree-barrier depth exceeds 2*ceil(log2 n) or the
+## sharded lock spread re-concentrates on node 0; then reruns the
+## hot-path locking comparison and fails if the sharded speedup falls
+## below the floor or the steady-state message encode starts
+## allocating. The prefetch and managers runs are deterministic, so
+## regenerate-and-compare is stable; the hotpath run is compare-only
+## (no -hotpath-json rewrite): its numbers are wall-clock and vary
+## between machines, so the committed BENCH_hotpath.json only changes
+## deliberately via 'make bench-hotpath'.
 bench-compare:
 	$(GO) run ./cmd/actbench -only prefetch \
 		-prefetch-json BENCH_prefetch.json \
 		-prefetch-baseline BENCH_prefetch.json
+	$(GO) run ./cmd/actbench -only managers \
+		-managers-json BENCH_managers.json \
+		-managers-baseline BENCH_managers.json
 	$(GO) run ./cmd/actbench -only hotpath \
 		-hotpath-baseline BENCH_hotpath.json
 

@@ -242,6 +242,8 @@ type (
 	PrefetchReport = experiments.PrefetchReport
 	// HotpathReport is the BENCH_hotpath.json schema.
 	HotpathReport = experiments.HotpathReport
+	// ManagersReport is the BENCH_managers.json schema.
+	ManagersReport = experiments.ManagersReport
 )
 
 // Summarize computes a MapSummary for a correlation matrix.
@@ -271,6 +273,11 @@ var (
 	HotpathReportJSON     = experiments.HotpathReportJSON
 	CompareHotpathReports = experiments.CompareHotpathReports
 	FormatHotpathReport   = experiments.FormatHotpathReport
+
+	ManagersComparison     = experiments.ManagersComparison
+	ManagersReportJSON     = experiments.ManagersReportJSON
+	CompareManagersReports = experiments.CompareManagersReports
+	FormatManagersReport   = experiments.FormatManagersReport
 
 	AblationHeuristics = experiments.AblationHeuristics
 	AblationScaling    = experiments.AblationScaling

@@ -15,7 +15,11 @@
 // SOR and Ocean; -prefetch-json writes the comparison to a file
 // (BENCH_prefetch.json in CI) and -prefetch-baseline fails the run when
 // the prefetch configuration's demand calls regress more than 5% against
-// a committed baseline.
+// a committed baseline. The "managers" section compares the flat
+// single-manager barrier against the tree topology and centralized
+// against sharded lock management (DESIGN.md §10); -managers-json and
+// -managers-baseline drive the deterministic BENCH_managers.json gate
+// the same way.
 //
 // The "sor" section runs one observed SOR workload and prints its
 // per-epoch time breakdown (DESIGN.md §9). With -trace-out it writes a
@@ -54,13 +58,15 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, check, transport, sor)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
 		prefBase  = flag.String("prefetch-baseline", "", "compare the prefetch report against this committed baseline; fail on >5% demand-call regression")
 		hotJSON   = flag.String("hotpath-json", "", "write the hot-path locking comparison report as JSON to this file")
 		hotBase   = flag.String("hotpath-baseline", "", "compare the hot-path report against this committed baseline; fail when the sharded speedup or encode allocation floor regresses")
+		mgrJSON   = flag.String("managers-json", "", "write the decentralized-manager comparison report as JSON to this file")
+		mgrBase   = flag.String("managers-baseline", "", "compare the managers report against this committed baseline; fail when the tree-barrier depth or the sharded lock spread regresses")
 		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -308,6 +314,46 @@ func run() error {
 			if baseline != nil {
 				cmp, err := actdsm.CompareHotpathReports(baseline, report)
 				out += "\n-- vs baseline " + *hotBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("managers") {
+		if err := section("Managers: flat vs tree barrier, centralized vs sharded locks", func() (string, error) {
+			rep, err := actdsm.ManagersComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatManagersReport(rep)
+			report, err := actdsm.ManagersReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_managers.json.
+			var baseline []byte
+			if *mgrBase != "" {
+				baseline, err = os.ReadFile(*mgrBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *mgrJSON != "" {
+				if err := os.WriteFile(*mgrJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *mgrJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.CompareManagersReports(baseline, report)
+				out += "\n-- vs baseline " + *mgrBase + " --\n" + cmp
 				if err != nil {
 					fmt.Print(out)
 					return "", err

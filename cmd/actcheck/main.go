@@ -6,7 +6,7 @@
 // Usage:
 //
 //	actcheck [-seeds N] [-scenarios a,b,c] [-mutation NAME]
-//	         [-max-faults N] [-workers N] [-list] [-q]
+//	         [-max-faults N] [-workers N] [-list] [-q] [-big-tree]
 //
 // A clean sweep exits 0. A failure is greedily shrunk (chaos events
 // removed one at a time while the violation persists) and printed as a
@@ -43,12 +43,13 @@ func run() error {
 		list      = flag.Bool("list", false, "list scenarios and exit")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		expect    = flag.Bool("expect-failure", false, "invert the exit status: fail if the sweep is clean (mutation validation)")
+		big       = flag.Bool("big-tree", false, "sweep the large simulated-cluster set (64-node tree barriers) instead of the default scenarios")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, sc := range check.Scenarios() {
-			fmt.Printf("%-12s %s x%d, %d threads on %d nodes\n",
+		for _, sc := range append(check.Scenarios(), check.BigTreeScenarios()...) {
+			fmt.Printf("%-14s %s x%d, %d threads on %d nodes\n",
 				sc.Name, sc.App, sc.Iterations, sc.Threads, sc.Nodes)
 		}
 		return nil
@@ -59,7 +60,11 @@ func run() error {
 		return err
 	}
 	var scenarios []check.Scenario
+	if *big {
+		scenarios = check.BigTreeScenarios()
+	}
 	if *scens != "" {
+		scenarios = nil
 		for _, name := range strings.Split(*scens, ",") {
 			sc, err := check.ScenarioByName(strings.TrimSpace(name))
 			if err != nil {

@@ -44,6 +44,14 @@ type Scenario struct {
 	// pull-prefetch, push, and batched-diff paths.
 	PrefetchBudget int
 	BatchDiffs     bool
+	// LockShards, BarrierArity, and HomeMigration forward to
+	// dsm.Config, covering the decentralized managers: sharded lock
+	// management, the tree barrier, and migrating page homes with
+	// grant forwarding. The oracle's lock model follows the same
+	// configuration.
+	LockShards    int
+	BarrierArity  int
+	HomeMigration bool
 }
 
 // Scenarios returns the default sweep set: the paper's regular
@@ -57,12 +65,36 @@ func Scenarios() []Scenario {
 		{Name: "Ocean4", App: "Ocean", Threads: 4, Nodes: 4, Iterations: 3, PrefetchBudget: -1},
 		{Name: "LU4", App: "LU1k", Threads: 4, Nodes: 4, Iterations: 4, BatchDiffs: true},
 		{Name: "LockChain4", App: "LockChain", Threads: 4, Nodes: 4, Iterations: 5, BatchDiffs: true},
+		// Decentralized managers: tree barriers, migrating homes, and
+		// sharded/forwarded locks, at the paper's scale and beyond (the
+		// 32-node tree exercises a 5-level fan-in).
+		{Name: "SOR8tree", App: "SOR", Threads: 8, Nodes: 8, Iterations: 3,
+			BatchDiffs: true, BarrierArity: 2, HomeMigration: true},
+		{Name: "Ocean4mig", App: "Ocean", Threads: 4, Nodes: 4, Iterations: 3,
+			PrefetchBudget: -1, BarrierArity: 3, HomeMigration: true},
+		{Name: "LockChain4fwd", App: "LockChain", Threads: 4, Nodes: 4, Iterations: 5,
+			BatchDiffs: true, HomeMigration: true, LockShards: 2},
+		{Name: "SOR32tree", App: "SOR", Threads: 32, Nodes: 32, Iterations: 2,
+			BarrierArity: 2, HomeMigration: true},
 	}
 }
 
-// ScenarioByName returns the named default scenario.
+// BigTreeScenarios returns the large simulated-cluster configurations
+// for the distributed-manager sweep leg (64 simulated nodes; slower, so
+// not part of the default set).
+func BigTreeScenarios() []Scenario {
+	return []Scenario{
+		{Name: "SOR64tree", App: "SOR", Threads: 64, Nodes: 64, Iterations: 2,
+			BarrierArity: 2, HomeMigration: true},
+		{Name: "LockChain32fwd", App: "LockChain", Threads: 32, Nodes: 32, Iterations: 3,
+			HomeMigration: true},
+	}
+}
+
+// ScenarioByName returns the named scenario from the default or
+// big-tree sets.
 func ScenarioByName(name string) (Scenario, error) {
-	for _, sc := range Scenarios() {
+	for _, sc := range append(Scenarios(), BigTreeScenarios()...) {
 		if sc.Name == name {
 			return sc, nil
 		}
@@ -231,6 +263,9 @@ func RunTrial(tr Trial) TrialResult {
 		Mutation:       tr.Mutation,
 		BatchDiffs:     tr.Scenario.BatchDiffs,
 		PrefetchBudget: tr.Scenario.PrefetchBudget,
+		LockShards:     tr.Scenario.LockShards,
+		BarrierArity:   tr.Scenario.BarrierArity,
+		HomeMigration:  tr.Scenario.HomeMigration,
 		// Tight retry budget: enough attempts that a single injected
 		// fault per call number always recovers (a retried call gets a
 		// fresh call number), with microsecond backoff so thousand-trial
@@ -248,7 +283,11 @@ func RunTrial(tr Trial) TrialResult {
 	}
 	defer func() { _ = cl.Close() }()
 
-	oracle := NewOracle(tr.Scenario.Nodes)
+	oracle := NewOracleWithConfig(OracleConfig{
+		Nodes:          tr.Scenario.Nodes,
+		LockShards:     tr.Scenario.LockShards,
+		LockForwarding: tr.Scenario.HomeMigration,
+	})
 	oracle.Attach(cl)
 
 	eng, err := threads.NewEngine(cl, threads.Config{

@@ -97,12 +97,39 @@ type pageView struct {
 	prefIdx map[int32]int
 }
 
-// Oracle is the online LRC reference model. Create with NewOracle,
+// OracleConfig mirrors the cluster-side knobs the reference model must
+// agree with: the lock-to-manager mapping and the grant-forwarding
+// release semantics. Zero values reproduce NewOracle's behaviour.
+type OracleConfig struct {
+	// Nodes is the cluster size. Required.
+	Nodes int
+	// LockShards mirrors dsm.Config.LockShards: the lock id space is
+	// folded onto this many shards before mapping shards onto nodes.
+	// 0 means one shard per node.
+	LockShards int
+	// LockForwarding mirrors dsm.Config.HomeMigration's lock side:
+	// releases ship no notices to the shard manager; the next acquirer
+	// pulls the lock's history from the previous holder. The oracle
+	// then models a per-lock front (the chain of holder release
+	// fronts) instead of a per-manager shared log.
+	LockForwarding bool
+}
+
+// Oracle is the online LRC reference model. Create with NewOracle (or
+// NewOracleWithConfig when the cluster runs decentralized managers),
 // attach with Attach, drive traffic, then call Finish with the run's
 // stats snapshot. Violations accumulates everything detected.
+//
+// Migrated page homes (dsm.Config.HomeMigration) need no oracle state:
+// the model tracks causal fronts and per-replica applied sets, which
+// are independent of which node serves a page. The serve-path
+// consolidation exemption ("apply-beyond-front") already names the
+// ApplySource rather than a fixed manager node, so it covers whichever
+// node currently owns the page.
 type Oracle struct {
 	mu    sync.Mutex
 	nodes int
+	cfg   OracleConfig
 
 	// reg maps (page, writer) to the ordered list of registered closes.
 	reg map[[2]int32][]regEntry
@@ -119,6 +146,14 @@ type Oracle struct {
 	// lock's chain), so the front a requester inherits is keyed by the
 	// manager, exactly like the protocol's mgrLog.
 	mgrVC [][]int32
+	// lockVC[lock] is the forwarding-mode model: the join of every
+	// holder's front at its release of this lock. A pull serves the
+	// holder's whole known prefix at release time, so the front an
+	// acquirer inherits is the chain of release fronts — per lock, not
+	// per manager. Entries are dropped at barriers (the protocol
+	// clears its release marks; a post-barrier pull is empty because
+	// the barrier already delivered everything).
+	lockVC map[int32][]int32
 
 	pages map[[2]int32]*pageView // (node, page)
 
@@ -131,15 +166,25 @@ type Oracle struct {
 	violations []Violation
 }
 
-// NewOracle builds an oracle for an n-node cluster.
+// NewOracle builds an oracle for an n-node cluster with centralized
+// defaults (one lock shard per node, no grant forwarding).
 func NewOracle(n int) *Oracle {
+	return NewOracleWithConfig(OracleConfig{Nodes: n})
+}
+
+// NewOracleWithConfig builds an oracle whose lock model mirrors the
+// given decentralized-manager configuration.
+func NewOracleWithConfig(cfg OracleConfig) *Oracle {
+	n := cfg.Nodes
 	o := &Oracle{
 		nodes:   n,
+		cfg:     cfg,
 		reg:     make(map[[2]int32][]regEntry),
 		lastIv:  make([]int32, n),
 		lastLam: make([]int32, n),
 		nodeVC:  make([][]int32, n),
 		mgrVC:   make([][]int32, n),
+		lockVC:  make(map[int32][]int32),
 		pages:   make(map[[2]int32]*pageView),
 	}
 	for i := range o.nodeVC {
@@ -399,22 +444,42 @@ func (o *Oracle) pageInvalidated(node int, p vm.PageID) {
 func (o *Oracle) lockAcquired(node int, lock int32) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.cfg.LockForwarding {
+		if vc, ok := o.lockVC[lock]; ok {
+			join(o.nodeVC[node], vc)
+		}
+		return
+	}
 	join(o.nodeVC[node], o.mgrVC[o.lockManager(lock)])
 }
 
 func (o *Oracle) lockReleased(node int, lock int32) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.cfg.LockForwarding {
+		vc, ok := o.lockVC[lock]
+		if !ok {
+			vc = make([]int32, o.nodes)
+			o.lockVC[lock] = vc
+		}
+		join(vc, o.nodeVC[node])
+		return
+	}
 	join(o.mgrVC[o.lockManager(lock)], o.nodeVC[node])
 }
 
-// lockManager mirrors the cluster's lock-to-manager mapping.
+// lockManager mirrors the cluster's lock-to-manager mapping: the lock
+// id folds onto a shard, the shard onto a node (see dsm nodeForID).
 func (o *Oracle) lockManager(lock int32) int {
-	m := int(lock) % o.nodes
-	if m < 0 {
-		m += o.nodes
+	shards := o.cfg.LockShards
+	if shards <= 0 {
+		shards = o.nodes
 	}
-	return m
+	s := int(int64(lock) % int64(shards))
+	if s < 0 {
+		s += shards
+	}
+	return s % o.nodes
 }
 
 func (o *Oracle) barrierReleased(node int, episode int32) {
@@ -430,6 +495,11 @@ func (o *Oracle) barrierReleased(node int, episode int32) {
 	// cluster-wide front at this point, so "reset" is assignment.
 	for m := range o.mgrVC {
 		copy(o.mgrVC[m], o.lastIv)
+	}
+	// Forwarding mode: the protocol clears every holder's release mark,
+	// so post-barrier pulls serve nothing; the per-lock fronts restart.
+	for lk := range o.lockVC {
+		delete(o.lockVC, lk)
 	}
 }
 

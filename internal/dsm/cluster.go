@@ -86,6 +86,30 @@ type Config struct {
 	// prefetched per node per round; < 0 is unlimited. Multi-writer
 	// protocol only.
 	PrefetchBudget int
+	// LockShards is the number of lock-manager shards locks hash into;
+	// shard s is managed by node s mod Nodes. 0 selects one shard per
+	// node (the default distribution, equivalent to the historical
+	// lock mod Nodes placement); 1 centralizes every lock on node 0 —
+	// the pre-decentralization baseline the managers benchmark
+	// compares against. Negative is invalid.
+	LockShards int
+	// BarrierArity selects the barrier topology. 0 keeps the flat
+	// single-manager fan-in/fan-out (every node exchanges directly
+	// with node 0). k >= 2 arranges the nodes as a k-ary tree rooted
+	// at node 0 (children of i are k*i+1 .. k*i+k): enters aggregate
+	// up the tree and releases relay down it, so no node sends or
+	// receives more than k+1 barrier messages per phase and the
+	// barrier's critical-path depth is O(log_k n) instead of O(n) at
+	// the root. 1 and negative values are invalid.
+	BarrierArity int
+	// HomeMigration enables the distributed-ownership extensions:
+	// page homes migrate to each page's last writer at every barrier
+	// (the decisions ride the release fan-out), and lock grants
+	// forward — the manager names the lock's last releaser and the
+	// acquirer pulls causal history from it directly, so releases stop
+	// shipping notices through the manager. Multi-writer protocol
+	// only.
+	HomeMigration bool
 }
 
 // defaultGCThreshold reflects CVM's memory budget (194 MB nodes): diffs
@@ -104,11 +128,13 @@ type Cluster struct {
 	stats      Stats
 
 	episode int32
-	// barrier accumulates BarrierEnter state at the barrier manager
-	// (node 0); guarded by barrierMu because enters may arrive on
-	// transport server goroutines.
+	// barriers accumulates BarrierEnter state, one slot per node (the
+	// flat topology only ever uses slot 0; the tree topology folds
+	// subtree aggregates at every interior node). All slots are
+	// guarded by barrierMu because enters may arrive on transport
+	// server goroutines.
 	barrierMu sync.Mutex
-	barrier   barrierState
+	barriers  []barrierState
 
 	onRemoteFault func(node, tid int, p vm.PageID)
 	onAccess      []func(node, tid int, p vm.PageID, a vm.Access)
@@ -146,6 +172,10 @@ type barrierState struct {
 	// BarrierEnter.Hot field), consumed by collectPushDiffs to piggyback
 	// the predicted diffs on the release fan-out.
 	hot map[int32][]int32
+	// rel is the release this node received for the episode; the tree
+	// fan-out builds the releases relayed to the node's children from
+	// it. Nil until the node has been released.
+	rel *msg.BarrierRelease
 }
 
 // New builds and starts a cluster.
@@ -159,6 +189,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ServiceShards < 0 {
 		return nil, errors.New("dsm: ServiceShards must be non-negative")
 	}
+	if cfg.LockShards < 0 {
+		return nil, errors.New("dsm: LockShards must be non-negative")
+	}
+	if cfg.BarrierArity < 0 || cfg.BarrierArity == 1 {
+		return nil, errors.New("dsm: BarrierArity must be 0 (flat) or at least 2")
+	}
 	if cfg.Costs == (sim.Costs{}) {
 		cfg.Costs = sim.DefaultCosts()
 	}
@@ -171,7 +207,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Protocol == SingleWriter && (cfg.PrefetchBudget != 0 || cfg.BatchDiffs) {
 		return nil, errors.New("dsm: prefetch and diff batching require the multi-writer protocol")
 	}
+	if cfg.Protocol == SingleWriter && cfg.HomeMigration {
+		return nil, errors.New("dsm: home migration requires the multi-writer protocol")
+	}
 	c := &Cluster{cfg: cfg, costs: cfg.Costs, shardCount: normalizeShards(cfg.ServiceShards)}
+	c.barriers = make([]barrierState, cfg.Nodes)
 	c.nodes = make([]*node, cfg.Nodes)
 	for i := range c.nodes {
 		c.nodes[i] = newNode(i, c, cfg.Pages)
@@ -184,15 +224,19 @@ func New(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			reply, err := n.serve(from, m)
+			reply, release, err := n.serve(from, m)
 			if err != nil {
 				return nil, err
 			}
 			// Encode into a pooled buffer (the requester recycles it
-			// after decoding — see Cluster.call) and hand the reply's
-			// page image back to the page pool: the encode copied it to
-			// the wire, so the message object is dead.
+			// after decoding — see Cluster.call), then drop whatever
+			// the reply pinned: retained diff references (the encode
+			// copied their bytes to the wire) and the reply's pooled
+			// page image.
 			out := msg.EncodeTo(msg.GetBuf(), reply)
+			if release != nil {
+				release()
+			}
 			recycleReply(reply)
 			return out, nil
 		}
@@ -281,8 +325,43 @@ func (c *Cluster) AddAccessHook(f func(node, tid int, p vm.PageID, a vm.Access))
 	c.onAccess = append(c.onAccess, f)
 }
 
-// manager returns the page's manager node (round-robin distribution).
-func (c *Cluster) manager(p vm.PageID) int { return int(p) % c.cfg.Nodes }
+// nodeForID maps a protocol identifier (page id, lock id, or lock-shard
+// number) onto a node index in [0, n). It is the one checked mapping
+// shared by diff/home placement and lock sharding: the modulo runs in
+// 64-bit space before narrowing, so identifiers wider than int32 — e.g.
+// vm.PageID values at the word seam — cannot truncate into a negative
+// or out-of-range index the way the old int(p) % n did.
+func nodeForID(id int64, n int) int {
+	m := int(id % int64(n))
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// staticHome returns the page's initial home node (round-robin
+// distribution) — the placement every page starts at and, without
+// HomeMigration, keeps forever.
+func (c *Cluster) staticHome(p vm.PageID) int { return nodeForID(int64(p), c.cfg.Nodes) }
+
+// lockShards returns the effective lock-shard count (see
+// Config.LockShards).
+func (c *Cluster) lockShards() int {
+	if c.cfg.LockShards == 0 {
+		return c.cfg.Nodes
+	}
+	return c.cfg.LockShards
+}
+
+// lockManager returns the node managing a lock: locks hash onto
+// lockShards() shards and shard s lives on node s mod Nodes. With the
+// default one-shard-per-node configuration this is the historical
+// lock mod Nodes placement; LockShards 1 funnels every lock through
+// node 0.
+func (c *Cluster) lockManager(lock int32) int {
+	shard := nodeForID(int64(lock), c.lockShards())
+	return nodeForID(int64(shard), c.cfg.Nodes)
+}
 
 // call sends m and returns the decoded reply plus the requester-side wire
 // cost. All protocol traffic is accounted here, including the per-kind
@@ -464,24 +543,34 @@ func (c *Cluster) Tracking(node int) bool { return c.nodes[node].as.Tracking() }
 // for the episode.
 //
 // Both broadcast phases (enter fan-in and release fan-out) run their
-// transport calls in parallel across nodes. Each phase is retried up to
+// transport calls in parallel across nodes — directly against node 0 in
+// the flat topology, level by level along the tree's edges when
+// Config.BarrierArity selects a tree. Each phase is retried up to
 // Config.BarrierRetries additional times on failure: a retried phase
-// re-sends every notice, and receivers deduplicate (the manager by
-// (node) and (page, writer, interval); release receivers through the
+// re-sends every notice, and receivers deduplicate (the fold by node id
+// and (page, writer, interval); release receivers through the
 // pending-notice dedup), so counters are exactly-once per episode.
+// Phase retries always re-run the whole phase in the same deterministic
+// edge order — never a partial subtree — which keeps the global
+// transport-call numbering under SerialFanOut a pure function of the
+// attempt count (the contract chaos-plan replay depends on; see
+// transport.RecordingPlan).
 func (c *Cluster) Barrier() ([]sim.Time, error) {
 	nnodes := c.cfg.Nodes
 	costs := make([]sim.Time, nnodes)
 	episode := c.episode
 	c.episode++
 	const mgr = 0
+	tree := c.cfg.BarrierArity >= 2 && nnodes > 1
 
 	c.barrierMu.Lock()
-	c.barrier = barrierState{
-		episode: episode,
-		entered: make(map[int32]bool, nnodes),
-		have:    make(map[[3]int32]bool),
-		hot:     make(map[int32][]int32, nnodes),
+	for i := range c.barriers {
+		c.barriers[i] = barrierState{
+			episode: episode,
+			entered: make(map[int32]bool, nnodes),
+			have:    make(map[[3]int32]bool),
+			hot:     make(map[int32][]int32, nnodes),
+		}
 	}
 	c.barrierMu.Unlock()
 
@@ -517,33 +606,39 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 	}
 
-	// Phase 2: parallel enter fan-in to the manager.
-	err := c.broadcast(func() error {
-		return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
-			if i == mgr {
-				_, err := c.nodes[mgr].serveBarrierEnter(enters[mgr])
-				return err
-			}
-			_, wire, err := c.call(i, mgr, enters[i])
-			if err != nil {
-				return fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
-			}
-			costs[i] += wire
-			return nil
+	// Phase 2: enter fan-in — flat to the manager, or aggregated up the
+	// tree level by level.
+	var err error
+	if tree {
+		err = c.broadcast(func() error { return c.treeEnterPhase(episode, enters, costs) })
+	} else {
+		err = c.broadcast(func() error {
+			return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
+				if i == mgr {
+					_, err := c.nodes[mgr].serveBarrierEnter(enters[mgr])
+					return err
+				}
+				_, wire, err := c.call(i, mgr, enters[i])
+				if err != nil {
+					return fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
 		})
-	})
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	c.barrierMu.Lock()
-	if got := len(c.barrier.entered); got != nnodes {
+	if got := len(c.barriers[mgr].entered); got != nnodes {
 		c.barrierMu.Unlock()
 		return nil, fmt.Errorf("dsm: barrier episode %d: %d/%d entered", episode, got, nnodes)
 	}
-	notices := append([]msg.Notice(nil), c.barrier.notices...)
-	lam := c.barrier.lam
-	hot := c.barrier.hot
+	notices := append([]msg.Notice(nil), c.barriers[mgr].notices...)
+	lam := c.barriers[mgr].lam
+	hot := c.barriers[mgr].hot
 	c.barrierMu.Unlock()
 	// The parallel fan-in makes arrival order nondeterministic; sort the
 	// union so the release broadcast (and everything downstream of its
@@ -558,6 +653,13 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		return a.Page < b.Page
 	})
+	// Home migration: derive this episode's ownership moves from the
+	// sorted union; the decisions ride the release fan-out so every
+	// node applies them while its threads are still parked.
+	var homes []msg.PageHome
+	if c.cfg.HomeMigration {
+		homes = c.migrationDecisions(notices)
+	}
 	// Piggybacked push: the manager batch-fetches the diffs each node's
 	// prediction (BarrierEnter.Hot) will need — coalesced to at most one
 	// DiffBatchRequest per writer for the whole cluster — and rides them
@@ -572,31 +674,38 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		costs[mgr] += pcost
 	}
-	releases := make([]*msg.BarrierRelease, nnodes)
-	for i := 0; i < nnodes; i++ {
-		releases[i] = &msg.BarrierRelease{
-			Episode: episode, Lam: lam, Notices: notices, Push: push[int32(i)],
-		}
-	}
 
-	// Phase 3: parallel release fan-out. serveBarrierRelease is
-	// idempotent (pending-notice dedup, max-merge clocks, push skipped
+	// Phase 3: release fan-out. serveBarrierRelease is idempotent
+	// (pending-notice dedup, max-merge clocks, home stores, push skipped
 	// once a page's pending set is drained), so phase retries that
 	// re-deliver to some nodes are harmless.
-	err = c.broadcast(func() error {
-		return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
-			if i == mgr {
-				_, err := c.nodes[i].serveBarrierRelease(releases[i])
-				return err
-			}
-			_, wire, err := c.call(mgr, i, releases[i])
-			if err != nil {
-				return fmt.Errorf("dsm: barrier release node %d: %w", i, err)
-			}
-			costs[i] += wire
-			return nil
+	if tree {
+		err = c.broadcast(func() error {
+			return c.treeReleasePhase(episode, lam, notices, homes, push, costs)
 		})
-	})
+	} else {
+		releases := make([]*msg.BarrierRelease, nnodes)
+		for i := 0; i < nnodes; i++ {
+			releases[i] = &msg.BarrierRelease{
+				Episode: episode, Lam: lam, Notices: notices,
+				Push: push[int32(i)], Homes: homes,
+			}
+		}
+		err = c.broadcast(func() error {
+			return fanOut(nnodes, c.cfg.SerialFanOut, func(i int) error {
+				if i == mgr {
+					_, err := c.nodes[i].serveBarrierRelease(releases[i])
+					return err
+				}
+				_, wire, err := c.call(mgr, i, releases[i])
+				if err != nil {
+					return fmt.Errorf("dsm: barrier release node %d: %w", i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -626,6 +735,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		for i := range n.lockPos {
 			n.lockPos[i] = 0
 		}
+		n.lockMark = make(map[int32]int)
 		n.mu.Unlock()
 	}
 	c.stats.Barriers.Add(1)
@@ -644,10 +754,212 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	return costs, nil
 }
 
+// treeParent returns node i's parent in the k-ary barrier tree rooted
+// at node 0 (children of i are k*i+1 .. k*i+k).
+func treeParent(i, k int) int { return (i - 1) / k }
+
+// isDescendant reports whether node x lies in node of's subtree
+// (inclusive) of the k-ary barrier tree.
+func isDescendant(x, of, k int) bool {
+	for x > of {
+		x = (x - 1) / k
+	}
+	return x == of
+}
+
+// treeLevels partitions nodes 1..n-1 into tree levels, shallowest
+// first. Level d of the heap-numbered complete k-ary tree holds the
+// k^d consecutive indices starting at (k^d - 1) / (k - 1).
+func treeLevels(n, k int) [][]int {
+	var levels [][]int
+	lo, size := 1, k
+	for lo < n {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		lvl := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			lvl = append(lvl, i)
+		}
+		levels = append(levels, lvl)
+		lo, size = hi, size*k
+	}
+	return levels
+}
+
+// treeEnterPhase runs one attempt of the tree barrier's enter fan-in:
+// every node first folds its own enter locally, then each tree level
+// (deepest first, so subtree aggregates are complete before they move
+// up) forwards its aggregate one edge to its parent. Every edge runs
+// even after a failure — a retry then starts from maximal folded
+// progress — and the deepest failing level's lowest-index error wins,
+// keeping failure messages deterministic. The edge order (level, then
+// index) is fixed across attempts, so under SerialFanOut the
+// transport-call sequence of attempt k is identical for every run.
+func (c *Cluster) treeEnterPhase(episode int32, enters []*msg.BarrierEnter, costs []sim.Time) error {
+	nnodes := c.cfg.Nodes
+	k := c.cfg.BarrierArity
+	for i := 0; i < nnodes; i++ {
+		if _, err := c.nodes[i].serveBarrierEnter(enters[i]); err != nil {
+			return err
+		}
+	}
+	levels := treeLevels(nnodes, k)
+	var firstErr error
+	for li := len(levels) - 1; li >= 0; li-- {
+		lvl := levels[li]
+		err := fanOut(len(lvl), c.cfg.SerialFanOut, func(j int) error {
+			child := lvl[j]
+			agg := c.buildEnterAggregate(child, episode)
+			_, wire, err := c.call(child, treeParent(child, k), agg)
+			if err != nil {
+				return fmt.Errorf("dsm: barrier enter relay node %d: %w", child, err)
+			}
+			costs[child] += wire
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// buildEnterAggregate snapshots a node's folded barrier state as the
+// aggregate BarrierEnter it forwards to its tree parent: the subtree's
+// entered ids, deduplicated notice union, per-node hot predictions,
+// and max Lamport clock. Slices are sorted so the wire image — and the
+// order the parent folds it in — is deterministic.
+func (c *Cluster) buildEnterAggregate(node int, episode int32) *msg.BarrierEnter {
+	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
+	b := &c.barriers[node]
+	agg := &msg.BarrierEnter{
+		Node:    int32(node),
+		Episode: episode,
+		Lam:     b.lam,
+		Notices: append([]msg.Notice(nil), b.notices...),
+	}
+	for id := range b.entered {
+		agg.Entered = append(agg.Entered, id)
+	}
+	sort.Slice(agg.Entered, func(i, j int) bool { return agg.Entered[i] < agg.Entered[j] })
+	for id, pages := range b.hot {
+		agg.HotSets = append(agg.HotSets, msg.NodeHot{Node: id, Pages: pages})
+	}
+	sort.Slice(agg.HotSets, func(i, j int) bool { return agg.HotSets[i].Node < agg.HotSets[j].Node })
+	return agg
+}
+
+// treeReleasePhase runs one attempt of the tree barrier's release
+// fan-out: the root serves its own release — which carries the relay
+// payloads for every descendant with a push — then each level
+// (shallowest first, so every parent has stored its release before its
+// children ask for theirs) relays one edge down. A parent whose stored
+// release is missing or stale means its own inbound edge failed this
+// attempt; the error propagates and the whole phase retries.
+func (c *Cluster) treeReleasePhase(episode, lam int32, notices []msg.Notice, homes []msg.PageHome, push map[int32][]msg.PushedDiff, costs []sim.Time) error {
+	nnodes := c.cfg.Nodes
+	k := c.cfg.BarrierArity
+	rel0 := &msg.BarrierRelease{
+		Episode: episode, Lam: lam, Notices: notices,
+		Push: push[0], Homes: homes,
+	}
+	for i := 1; i < nnodes; i++ {
+		if len(push[int32(i)]) > 0 {
+			rel0.Relay = append(rel0.Relay, msg.NodePush{Node: int32(i), Push: push[int32(i)]})
+		}
+	}
+	if _, err := c.nodes[0].serveBarrierRelease(rel0); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, lvl := range treeLevels(nnodes, k) {
+		err := fanOut(len(lvl), c.cfg.SerialFanOut, func(j int) error {
+			child := lvl[j]
+			parent := treeParent(child, k)
+			rel, err := c.buildChildRelease(parent, child, episode, k)
+			if err != nil {
+				return err
+			}
+			_, wire, err := c.call(parent, child, rel)
+			if err != nil {
+				return fmt.Errorf("dsm: barrier release relay node %d: %w", child, err)
+			}
+			costs[child] += wire
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// buildChildRelease assembles the release a parent relays to one child:
+// the episode payload (notices, Lamport clock, home moves) from the
+// parent's stored release, the child's own push list lifted out of the
+// relay table, and the relay entries for the child's own subtree.
+func (c *Cluster) buildChildRelease(parent, child int, episode int32, k int) (*msg.BarrierRelease, error) {
+	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
+	src := c.barriers[parent].rel
+	if src == nil || src.Episode != episode {
+		return nil, fmt.Errorf("dsm: barrier release relay: node %d holds no release for episode %d", parent, episode)
+	}
+	rel := &msg.BarrierRelease{
+		Episode: episode, Lam: src.Lam, Notices: src.Notices, Homes: src.Homes,
+	}
+	for _, np := range src.Relay {
+		switch {
+		case int(np.Node) == child:
+			rel.Push = np.Push
+		case isDescendant(int(np.Node), child, k):
+			rel.Relay = append(rel.Relay, np)
+		}
+	}
+	return rel, nil
+}
+
+// migrationDecisions derives the episode's home migrations from the
+// sorted notice union: each written page's home moves to its last
+// writer — the writer of the page's causally latest notice (max
+// Lamport clock, then interval; the lowest writer id breaks exact
+// ties) — so a node that keeps writing a page stops round-tripping its
+// readers through a fixed third-party home. The last writer closed the
+// interval that produced the notice, so it necessarily holds a current
+// copy of its own writes; any other writers' diffs it pulls on demand
+// when first serving the page, exactly as the static manager would.
+func (c *Cluster) migrationDecisions(notices []msg.Notice) []msg.PageHome {
+	last := make(map[int32]msg.Notice)
+	for _, nt := range notices {
+		cur, ok := last[nt.Page]
+		if !ok || nt.Lam > cur.Lam ||
+			(nt.Lam == cur.Lam && nt.Interval > cur.Interval) ||
+			(nt.Lam == cur.Lam && nt.Interval == cur.Interval && nt.Writer < cur.Writer) {
+			last[nt.Page] = nt
+		}
+	}
+	var homes []msg.PageHome
+	root := c.nodes[0]
+	for p, nt := range last {
+		if int(p) < 0 || int(p) >= c.cfg.Pages {
+			continue
+		}
+		if root.home(vm.PageID(p)) != int(nt.Writer) {
+			homes = append(homes, msg.PageHome{Page: p, Home: nt.Writer})
+		}
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i].Page < homes[j].Page })
+	c.stats.HomeMigrations.Add(int64(len(homes)))
+	return homes
+}
+
 // collectGarbage consolidates every page that has stored diffs at its
-// manager, then broadcasts GCCollect: all nodes drop the page's diffs and
-// non-manager replicas are invalidated (causing the extra remote faults
-// the paper attributes to GC).
+// current home, then broadcasts GCCollect: all nodes drop the page's
+// diffs and non-home replicas are invalidated (causing the extra remote
+// faults the paper attributes to GC).
 func (c *Cluster) collectGarbage(costs []sim.Time) error {
 	c.stats.GCRounds.Add(1)
 	pageSet := make(map[vm.PageID]bool)
@@ -668,7 +980,7 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 
 	for _, p := range pages {
-		mgr := c.nodes[c.manager(p)]
+		mgr := c.nodes[c.nodes[0].home(p)]
 		sh := mgr.rlockShard(p)
 		pending := append([]msg.Notice(nil), mgr.pages[p].pending...)
 		sh.runlock()
@@ -763,8 +1075,54 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	// keeps a retried acquire safe — a lost grant reply is re-served.
 	n.lockPos[mgr] = grant.Pos
 	n.mu.Unlock()
+	if c.cfg.HomeMigration && grant.Holder >= 0 && int(grant.Holder) != node {
+		// Forwarding mode: the shard manager granted the lock but holds
+		// no notices — the previous holder kept them. Pull the lock's
+		// causal history directly from that holder.
+		pwire, err := c.pullLockHistory(node, lock, int(grant.Holder), req.Seen)
+		if err != nil {
+			return 0, err
+		}
+		wire += pwire
+	}
 	c.probeLockAcquired(node, lock)
 	c.stats.LockAcquires.Add(1)
+	return wire, nil
+}
+
+// pullLockHistory fetches the write notices protected by a lock from
+// its previous holder, after the lock's shard manager redirected the
+// acquire there (grant forwarding). The holder replies with the prefix
+// of its known set that existed when it released the lock, filtered by
+// the requester's Seen snapshot; the requester applies it exactly as it
+// would a manager-served grant.
+func (c *Cluster) pullLockHistory(node int, lock int32, holder int, seen []int32) (sim.Time, error) {
+	n := c.nodes[node]
+	pull := &msg.LockPull{Node: int32(node), Lock: lock, Seen: seen}
+	var replyMsg msg.Message
+	var wire sim.Time
+	var err error
+	if holder == node {
+		replyMsg, err = n.serveLockPull(pull)
+	} else {
+		replyMsg, wire, err = c.call(node, holder, pull)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dsm: node %d pull lock %d from holder %d: %w", node, lock, holder, err)
+	}
+	g, ok := replyMsg.(*msg.LockGrant)
+	if !ok {
+		return 0, fmt.Errorf("dsm: node %d pull lock %d: unexpected reply %T", node, lock, replyMsg)
+	}
+	c.probeNoticesDelivered(node, ViaLockGrant, g.Notices)
+	n.bumpLamport(g.Lam)
+	for _, nt := range g.Notices {
+		n.addPending(nt)
+	}
+	n.lockSync()
+	n.addKnownLocked(g.Notices)
+	n.mu.Unlock()
+	c.stats.LockForwards.Add(1)
 	return wire, nil
 }
 
@@ -776,31 +1134,47 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	mgr := c.lockManager(lock)
 	_, diffCost := n.closeInterval()
 	n.lockSync()
-	// Ship the suffix of the known set — own notices plus everything
-	// received since the last barrier — that this manager has not yet
-	// been sent, so the next acquirer inherits transitive causal
-	// history without re-transmitting delivered prefixes.
-	start := n.sentKnown[mgr]
-	shipped := n.known[start:]
-	if c.cfg.Mutation == MutationNoTransitivity {
-		// Test-only bug: ship only the releaser's own notices, dropping
-		// the received history a correct release must forward. A third
-		// node can then miss a causally-ordered update (lost update).
-		var own []msg.Notice
-		for _, nt := range shipped {
-			if int(nt.Writer) == node {
-				own = append(own, nt)
-			}
+	var rel *msg.LockRelease
+	if c.cfg.HomeMigration {
+		// Grant forwarding: the release ships no notices — the manager
+		// only learns who holds the history. The releaser marks how much
+		// of its known set existed at release time; a later LockPull from
+		// the next acquirer is served from that prefix. (The
+		// MutationNoTransitivity filter moves to serveLockPull, where the
+		// shipped set is actually assembled.)
+		n.lockMark[lock] = len(n.known)
+		rel = &msg.LockRelease{
+			Node: int32(node),
+			Lock: lock,
+			Lam:  n.lamport.Load(),
 		}
-		shipped = own
+	} else {
+		// Ship the suffix of the known set — own notices plus everything
+		// received since the last barrier — that this manager has not yet
+		// been sent, so the next acquirer inherits transitive causal
+		// history without re-transmitting delivered prefixes.
+		start := n.sentKnown[mgr]
+		shipped := n.known[start:]
+		if c.cfg.Mutation == MutationNoTransitivity {
+			// Test-only bug: ship only the releaser's own notices, dropping
+			// the received history a correct release must forward. A third
+			// node can then miss a causally-ordered update (lost update).
+			var own []msg.Notice
+			for _, nt := range shipped {
+				if int(nt.Writer) == node {
+					own = append(own, nt)
+				}
+			}
+			shipped = own
+		}
+		rel = &msg.LockRelease{
+			Node:    int32(node),
+			Lock:    lock,
+			Lam:     n.lamport.Load(),
+			Notices: append([]msg.Notice(nil), shipped...),
+		}
+		n.sentKnown[mgr] = len(n.known)
 	}
-	rel := &msg.LockRelease{
-		Node:    int32(node),
-		Lock:    lock,
-		Lam:     n.lamport.Load(),
-		Notices: append([]msg.Notice(nil), shipped...),
-	}
-	n.sentKnown[mgr] = len(n.known)
 	n.mu.Unlock()
 
 	cost := diffCost
@@ -817,15 +1191,6 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	}
 	c.probeLockReleased(node, lock)
 	return cost, nil
-}
-
-// lockManager returns the node managing a lock.
-func (c *Cluster) lockManager(lock int32) int {
-	m := int(lock) % c.cfg.Nodes
-	if m < 0 {
-		m += c.cfg.Nodes
-	}
-	return m
 }
 
 // StoredDiffBytes returns the cluster-wide volume of stored diffs.

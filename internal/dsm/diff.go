@@ -28,7 +28,20 @@ var ErrBadDiff = errors.New("dsm: malformed diff")
 // Both must be memlayout.PageSize bytes. The result is nil when the page
 // is unchanged.
 func MakeDiff(twin, cur []byte) []byte {
-	var out []byte
+	out := AppendDiff(nil, twin, cur)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AppendDiff appends the encoded differences between twin and cur to dst
+// and returns the extended slice (len(dst) unchanged when the page is
+// unchanged). The append form lets callers reuse pooled buffers — the
+// diff store encodes into recycled buffers so a collected diff's bytes
+// can back a future one.
+func AppendDiff(dst, twin, cur []byte) []byte {
+	out := dst
 	i := 0
 	for i < memlayout.PageSize {
 		// Skip equal words.

@@ -124,7 +124,7 @@ func newHotpathCluster(o HotpathOptions) (*Cluster, error) {
 	n := c.nodes[0]
 	for p := 0; p < o.Pages; p++ {
 		sh := n.shard(vm.PageID(p))
-		sh.diffs[vm.PageID(p)] = map[int32][]byte{1: df}
+		sh.diffs[vm.PageID(p)] = map[int32]*diffRef{1: newDiffRef(append([]byte(nil), df...))}
 	}
 	return c, nil
 }

@@ -1,0 +1,264 @@
+package dsm
+
+// Manager-decentralization benchmark harness: deterministic
+// message-structure measurements for the BENCH_managers.json gate
+// (internal/experiments/managers.go). Unlike the hot-path harness this
+// measures protocol shape, not wall clock — how deep the barrier's
+// critical path is and where lock-manager traffic lands — so the
+// committed numbers are exact and machine-independent.
+//
+// Both measurements observe the real protocol through a Probe: every
+// logical transport call reports its endpoints and message kind, and
+// the harness reconstructs the barrier tree (or the flat star) from the
+// recorded edges rather than trusting the topology code it is meant to
+// gate.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"actdsm/internal/msg"
+)
+
+// BarrierShapeOptions configures one BarrierShapeBench run.
+type BarrierShapeOptions struct {
+	// Nodes is the cluster size (default 64).
+	Nodes int
+	// Arity is passed through to Config.BarrierArity: 0 is the flat
+	// single-manager barrier, k >= 2 the k-ary tree.
+	Arity int
+}
+
+// BarrierShapeResult is one measured barrier episode. Depths are
+// critical-path lengths in units of serialized messages: calls to the
+// same destination serialize, and an interior tree node cannot forward
+// its aggregate before its whole subtree has reported, so the enter
+// depth of a topology is
+//
+//	depth(v) = fan-in(v) + max over children c of depth(c)
+//
+// evaluated at the root. A flat 64-node barrier scores 63 (every enter
+// serializes at node 0); an arity-2 tree scores at most
+// 2*ceil(log2 64) = 12. The release phase is measured the same way on
+// the fan-out edges.
+type BarrierShapeResult struct {
+	Nodes int `json:"nodes"`
+	// Arity echoes the configured topology (0 = flat).
+	Arity int `json:"arity"`
+	// EnterDepth and ReleaseDepth are the measured critical-path
+	// depths of the two fan phases.
+	EnterDepth   int `json:"enter_depth"`
+	ReleaseDepth int `json:"release_depth"`
+	// EnterCalls and ReleaseCalls are the transport-call counts of the
+	// phases (both topologies send n-1 messages per phase; only the
+	// arrangement differs).
+	EnterCalls   int `json:"enter_calls"`
+	ReleaseCalls int `json:"release_calls"`
+	// MaxInDegree is the most barrier-enter messages any single node
+	// received: n-1 at the flat manager, at most Arity in the tree.
+	MaxInDegree int `json:"max_in_degree"`
+}
+
+func (o BarrierShapeOptions) withDefaults() BarrierShapeOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 64
+	}
+	return o
+}
+
+// BarrierShapeBench runs one barrier episode on an idle cluster and
+// reports the topology the messages actually formed. SerialFanOut keeps
+// the run deterministic; the payload (no writes, no notices) does not
+// affect the shape.
+func BarrierShapeBench(o BarrierShapeOptions) (BarrierShapeResult, error) {
+	o = o.withDefaults()
+	if o.Nodes < 2 {
+		return BarrierShapeResult{}, fmt.Errorf("dsm: barrier shape needs at least 2 nodes, got %d", o.Nodes)
+	}
+	c, err := New(Config{
+		Nodes:            o.Nodes,
+		Pages:            o.Nodes,
+		BarrierArity:     o.Arity,
+		SerialFanOut:     true,
+		GCThresholdBytes: -1,
+	})
+	if err != nil {
+		return BarrierShapeResult{}, err
+	}
+	defer func() { _ = c.Close() }()
+
+	var (
+		mu      sync.Mutex
+		enter   [][2]int // child -> parent
+		release [][2]int // parent -> child
+	)
+	c.SetProbe(&Probe{
+		TransportCall: func(from, to int, kind msg.Kind, bytes int, wall time.Duration, failed bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch kind {
+			case msg.KindBarrierEnter:
+				enter = append(enter, [2]int{from, to})
+			case msg.KindBarrierRelease:
+				release = append(release, [2]int{from, to})
+			}
+		},
+	})
+	if _, err := c.Barrier(); err != nil {
+		return BarrierShapeResult{}, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	enterChildren := map[int][]int{}
+	inDegree := map[int]int{}
+	for _, e := range enter {
+		enterChildren[e[1]] = append(enterChildren[e[1]], e[0])
+		inDegree[e[1]]++
+	}
+	releaseChildren := map[int][]int{}
+	for _, e := range release {
+		releaseChildren[e[0]] = append(releaseChildren[e[0]], e[1])
+	}
+	maxIn := 0
+	for _, d := range inDegree {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	return BarrierShapeResult{
+		Nodes:        o.Nodes,
+		Arity:        o.Arity,
+		EnterDepth:   fanDepth(enterChildren, 0),
+		ReleaseDepth: fanDepth(releaseChildren, 0),
+		EnterCalls:   len(enter),
+		ReleaseCalls: len(release),
+		MaxInDegree:  maxIn,
+	}, nil
+}
+
+// fanDepth computes the serialized-message critical path of a fan
+// rooted at root: a node's own fan (its direct edges serialize) plus
+// the deepest child subtree. Works for both directions — children maps
+// aggregation sources for the enter phase and relay targets for the
+// release phase.
+func fanDepth(children map[int][]int, root int) int {
+	deepest := 0
+	for _, c := range children[root] {
+		if d := fanDepth(children, c); d > deepest {
+			deepest = d
+		}
+	}
+	return len(children[root]) + deepest
+}
+
+// LockSpreadOptions configures one LockSpreadBench run.
+type LockSpreadOptions struct {
+	// Nodes is the cluster size (default 8).
+	Nodes int
+	// Locks is the number of distinct locks the chain rotates over
+	// (default 16).
+	Locks int
+	// Rounds is the number of hand-off rounds (default 8).
+	Rounds int
+	// LockShards is passed through to Config.LockShards: 1 is the
+	// centralized node-0 baseline, 0 the sharded default.
+	LockShards int
+}
+
+// LockSpreadResult reports where one LockChain-style workload's
+// manager-bound lock messages (acquires, releases, and forwarded-grant
+// pulls) landed. The counts are deterministic: the workload is serial
+// and local self-serves never touch the wire.
+type LockSpreadResult struct {
+	// Shards is the effective shard count.
+	Shards int `json:"shards"`
+	// Calls is the total manager-bound lock messages on the wire.
+	Calls int `json:"calls"`
+	// PerNode is the per-destination breakdown, indexed by node id.
+	PerNode []int `json:"per_node"`
+	// Node0Share is PerNode[0] / Calls — 1.0 when every lock is
+	// centralized on node 0, and bounded well below that once locks
+	// shard across the cluster.
+	Node0Share float64 `json:"node0_share"`
+}
+
+func (o LockSpreadOptions) withDefaults() LockSpreadOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Locks == 0 {
+		o.Locks = 16
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 8
+	}
+	return o
+}
+
+// LockSpreadBench runs a synthetic LockChain workload — every round,
+// lock l is acquired and released by node (l+round) mod Nodes, so each
+// lock's ownership walks the cluster — and counts which node served
+// each wire-bound lock message.
+func LockSpreadBench(o LockSpreadOptions) (LockSpreadResult, error) {
+	o = o.withDefaults()
+	if o.Nodes < 2 {
+		return LockSpreadResult{}, fmt.Errorf("dsm: lock spread needs at least 2 nodes, got %d", o.Nodes)
+	}
+	c, err := New(Config{
+		Nodes:            o.Nodes,
+		Pages:            o.Nodes,
+		LockShards:       o.LockShards,
+		SerialFanOut:     true,
+		GCThresholdBytes: -1,
+	})
+	if err != nil {
+		return LockSpreadResult{}, err
+	}
+	defer func() { _ = c.Close() }()
+
+	var mu sync.Mutex
+	perNode := make([]int, o.Nodes)
+	c.SetProbe(&Probe{
+		TransportCall: func(from, to int, kind msg.Kind, bytes int, wall time.Duration, failed bool) {
+			switch kind {
+			case msg.KindLockAcquire, msg.KindLockRelease, msg.KindLockPull:
+				mu.Lock()
+				perNode[to]++
+				mu.Unlock()
+			}
+		},
+	})
+
+	for r := 0; r < o.Rounds; r++ {
+		for l := 0; l < o.Locks; l++ {
+			node := (l + r) % o.Nodes
+			if _, err := c.AcquireLock(node, 0, int32(l)); err != nil {
+				return LockSpreadResult{}, err
+			}
+			if _, err := c.ReleaseLock(node, 0, int32(l)); err != nil {
+				return LockSpreadResult{}, err
+			}
+		}
+		// A barrier per round keeps the known sets (and thus release
+		// payloads) bounded, exactly like a real iteration loop.
+		if _, err := c.Barrier(); err != nil {
+			return LockSpreadResult{}, err
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	res := LockSpreadResult{
+		Shards:  c.lockShards(),
+		PerNode: append([]int(nil), perNode...),
+	}
+	for _, n := range perNode {
+		res.Calls += n
+	}
+	if res.Calls > 0 {
+		res.Node0Share = float64(perNode[0]) / float64(res.Calls)
+	}
+	return res, nil
+}

@@ -78,12 +78,18 @@ type mgrLog struct {
 	have map[[3]int32]bool // (page, writer, interval)
 	// lockLam[lock] is the Lamport clock of the lock's last release.
 	lockLam map[int32]int32
+	// holder[lock] is the node that last released the lock (grant
+	// forwarding: the manager names the holder instead of shipping
+	// history, and the acquirer pulls from it directly). Only
+	// maintained when Config.HomeMigration is on.
+	holder map[int32]int32
 }
 
 func newMgrLog() *mgrLog {
 	return &mgrLog{
 		have:    make(map[[3]int32]bool),
 		lockLam: make(map[int32]int32),
+		holder:  make(map[int32]int32),
 	}
 }
 
@@ -102,6 +108,7 @@ func (ml *mgrLog) reset() {
 	ml.log = nil
 	ml.have = make(map[[3]int32]bool)
 	ml.lockLam = make(map[int32]int32)
+	ml.holder = make(map[int32]int32)
 }
 
 // node is one DSM node: a private copy of the shared segment plus the
@@ -143,6 +150,12 @@ type node struct {
 	// common no-prefetch configuration never touches mu on a fault.
 	prefetchOn bool
 
+	// homes[p] is the page's current home node. Initialized to the
+	// static round-robin placement; rewritten only by HomeMigration
+	// decisions riding barrier releases. Atomic because demand serves
+	// read it while a barrier-release server goroutine updates it.
+	homes []atomic.Int32
+
 	// diffBytes tracks the node's stored diff volume (the GC trigger).
 	diffBytes atomic.Int64
 	// lamport is the node's Lamport clock: incremented when an interval
@@ -176,6 +189,11 @@ type node struct {
 	// after a grant is applied and is echoed in the next acquire, keeping
 	// grant delivery incremental yet retry-safe (reset at barriers).
 	lockPos []int32
+	// lockMark[lock] is the length of known snapshotted when this node
+	// last released the lock (grant forwarding): a later LockPull for
+	// the lock is served exactly that prefix, so notices created after
+	// the release never leak into an older grant. Reset at barriers.
+	lockMark map[int32]int
 	// faultWin records the pages that missed remotely — or hit a
 	// prefetched copy — since the last prefetch round. It is the
 	// fallback predictor when no tracker-driven predictor is installed:
@@ -224,10 +242,12 @@ func newNode(id int, c *Cluster, npages int) *node {
 		locks:     newMgrLog(),
 		sentKnown: make([]int, c.cfg.Nodes),
 		lockPos:   make([]int32, c.cfg.Nodes),
+		lockMark:  make(map[int32]int),
 		knownHave: make(map[[3]int32]bool),
+		homes:     make([]atomic.Int32, npages),
 	}
 	for i := range n.shards {
-		n.shards[i].diffs = make(map[vm.PageID]map[int32][]byte)
+		n.shards[i].diffs = make(map[vm.PageID]map[int32]*diffRef)
 		// A single shard reproduces the pre-sharding one-big-mutex
 		// behaviour exactly: reads do not share (see pageShard).
 		n.shards[i].exclusive = c.shardCount == 1
@@ -243,13 +263,19 @@ func newNode(id int, c *Cluster, npages int) *node {
 		n.initSingleWriter()
 	}
 	for p := range n.pages {
-		if c.manager(vm.PageID(p)) == id {
+		n.homes[p].Store(int32(c.staticHome(vm.PageID(p))))
+		if c.staticHome(vm.PageID(p)) == id {
 			n.pages[p].hasCopy = true
 			n.as.SetProt(vm.PageID(p), vm.ProtRead)
 		}
 	}
 	return n
 }
+
+// home returns the page's current home node: the static round-robin
+// placement until a HomeMigration decision moves it to the page's last
+// writer.
+func (n *node) home(p vm.PageID) int { return int(n.homes[p].Load()) }
 
 // pageData returns the byte window of page p in the node's segment.
 // Guarded by the page's shard lock whenever another goroutine could be
@@ -360,22 +386,23 @@ func (n *node) closeInterval() ([]msg.Notice, sim.Time) {
 	for _, p := range dirtyPages {
 		sh := n.lockShard(p)
 		st := &n.pages[p]
-		diff := MakeDiff(st.twin, n.pageData(p))
+		diff := AppendDiff(getDiffBuf(), st.twin, n.pageData(p))
 		cost += sim.Time(memlayout.PageSize) * n.c.costs.DiffPerByte
 		putPageBuf(st.twin)
 		st.twin = nil
 		st.dirty = false
 		n.as.SetProt(p, vm.ProtRead) // next write re-twins in the new interval
 		if len(diff) == 0 {
+			putDiffBuf(diff)
 			sh.mu.Unlock()
 			continue // silent store: wrote the same values
 		}
 		m, ok := sh.diffs[p]
 		if !ok {
-			m = make(map[int32][]byte)
+			m = make(map[int32]*diffRef)
 			sh.diffs[p] = m
 		}
-		m[iv] = diff
+		m[iv] = newDiffRef(diff)
 		n.diffBytes.Add(int64(len(diff)))
 		n.c.stats.DiffsCreated.Add(1)
 		st.noteApplied(n.c.cfg.Nodes, int32(n.id), iv)
@@ -479,12 +506,13 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	return nil
 }
 
-// fetchFullPage brings a page current via the page manager. tid is the
-// faulting thread (< 0 for server-side fetches), for the observability
-// probe's stall attribution.
+// fetchFullPage brings a page current via its current home (the static
+// manager until a migration moves it). tid is the faulting thread (< 0
+// for server-side fetches), for the observability probe's stall
+// attribution.
 func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 	c := n.c
-	mgr := c.manager(p)
+	mgr := n.home(p)
 	sh := n.rlockShard(p)
 	req := &msg.PageRequest{From: int32(n.id), Page: int32(p)}
 	req.Pending = append(req.Pending, n.pages[p].pending...)
@@ -634,48 +662,61 @@ func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, sr
 // serve dispatches an incoming protocol message. It is the transport
 // handler body and may run on a server goroutine in TCP mode — or, since
 // the sharded locking scheme, concurrently with other serves and with
-// the node's own application threads.
-func (n *node) serve(from int, m msg.Message) (msg.Message, error) {
+// the node's own application threads. The returned release func, when
+// non-nil, must be called once the reply has been encoded: diff serves
+// alias refcounted stored bytes and pin them only until then.
+func (n *node) serve(from int, m msg.Message) (msg.Message, func(), error) {
 	switch req := m.(type) {
 	case *msg.PageRequest:
-		return n.servePageRequest(req)
+		return noRelease(n.servePageRequest(req))
 	case *msg.DiffRequest:
 		return n.serveDiffRequest(req)
 	case *msg.DiffBatchRequest:
 		return n.serveDiffBatchRequest(req)
 	case *msg.BarrierEnter:
-		return n.serveBarrierEnter(req)
+		return noRelease(n.serveBarrierEnter(req))
 	case *msg.BarrierRelease:
-		return n.serveBarrierRelease(req)
+		return noRelease(n.serveBarrierRelease(req))
 	case *msg.LockAcquire:
-		return n.serveLockAcquire(req)
+		return noRelease(n.serveLockAcquire(req))
 	case *msg.LockRelease:
-		return n.serveLockRelease(req)
+		return noRelease(n.serveLockRelease(req))
+	case *msg.LockPull:
+		return noRelease(n.serveLockPull(req))
 	case *msg.GCCollect:
-		return n.serveGCCollect(req)
+		return noRelease(n.serveGCCollect(req))
 	case *msg.SWRead:
-		return n.serveSWRead(req)
+		return noRelease(n.serveSWRead(req))
 	case *msg.SWWrite:
-		return n.serveSWWrite(req)
+		return noRelease(n.serveSWWrite(req))
 	case *msg.SWDowngrade:
-		return n.serveSWDowngrade(req)
+		return noRelease(n.serveSWDowngrade(req))
 	case *msg.SWFlush:
-		return n.serveSWFlush(req)
+		return noRelease(n.serveSWFlush(req))
 	case *msg.SWInvalidate:
-		return n.serveSWInvalidate(req)
+		return noRelease(n.serveSWInvalidate(req))
 	default:
-		return nil, fmt.Errorf("dsm: node %d: unexpected message %T", n.id, m)
+		return nil, nil, fmt.Errorf("dsm: node %d: unexpected message %T", n.id, m)
 	}
 }
 
-// servePageRequest brings the manager's own copy of the page current
+// noRelease adapts a serve without retained references to the
+// dispatcher's three-value shape.
+func noRelease(m msg.Message, err error) (msg.Message, func(), error) {
+	return m, nil, err
+}
+
+// servePageRequest brings the home's own copy of the page current
 // (merging the requester's pending notices with its own) and replies with
 // the full page image. The reply's page buffer is pooled; the transport
-// handler recycles it after encoding.
+// handler recycles it after encoding. With HomeMigration the serving
+// node may be a migrated home rather than the static manager; it holds
+// the last writer's copy and pulls any other writers' diffs on demand,
+// exactly as the static manager would.
 func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	if n.c.manager(p) != n.id {
-		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
+	if n.home(p) != n.id {
+		return nil, fmt.Errorf("dsm: node %d is not the home of page %d", n.id, p)
 	}
 	n.c.probeNoticesDelivered(n.id, ViaPageRequest, req.Pending)
 	sh := n.lockShard(p)
@@ -720,32 +761,44 @@ func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 // serveDiffRequest returns this node's stored diffs for the requested
 // intervals of a page; nil entries mark garbage-collected diffs. A pure
 // read under the shard's read lock, so any number of peers can fetch
-// diffs from this node concurrently. The reply aliases the stored diffs
-// (immutable once created), so no copy is made.
-func (n *node) serveDiffRequest(req *msg.DiffRequest) (msg.Message, error) {
+// diffs from this node concurrently. The reply aliases the stored bytes
+// (no copy); each aliased diff is retained under the shard lock — while
+// the store still holds its own reference — and released by the caller
+// once the reply is encoded, so a GC drop racing the encode cannot
+// recycle the bytes mid-read.
+func (n *node) serveDiffRequest(req *msg.DiffRequest) (msg.Message, func(), error) {
 	p := vm.PageID(req.Page)
 	out := &msg.DiffReply{Page: req.Page, Diffs: make([][]byte, len(req.Intervals))}
+	var pinned retained
 	sh := n.rlockShard(p)
 	store := sh.diffs[p]
 	for i, iv := range req.Intervals {
-		if store != nil {
-			out.Diffs[i] = store[iv]
+		if d := store[iv]; d != nil {
+			d.retain()
+			pinned = append(pinned, d)
+			out.Diffs[i] = d.b
 		}
 	}
 	n.holdForBench()
 	sh.runlock()
-	return out, nil
+	if pinned == nil {
+		return out, nil, nil
+	}
+	return out, pinned.release, nil
 }
 
-// serveBarrierEnter folds one node's arrival into the current episode's
-// barrier state. It is idempotent: a re-delivered enter (transport retry
-// after a lost reply, or a retried broadcast phase) for a node already
-// counted — or for a stale episode — is acknowledged without effect, so
-// the entered count and the notice union are exactly-once per episode.
+// serveBarrierEnter folds a barrier arrival into this node's episode
+// state. In the flat topology only node 0 receives enters; in the tree
+// topology every interior node folds its children's subtree aggregates
+// (Entered/HotSets non-empty) before forwarding its own aggregate one
+// edge up. The fold is idempotent: entered ids dedup through the
+// entered set and notices through the have map, so re-delivered enters
+// (transport retries, whole-phase barrier retries) — or aggregates that
+// grew between attempts — fold exactly-once per item per episode.
 func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 	n.c.barrierMu.Lock()
 	defer n.c.barrierMu.Unlock()
-	b := &n.c.barrier
+	b := &n.c.barriers[n.id]
 	if req.Episode != b.episode {
 		return &msg.Ack{}, nil // late duplicate of a completed episode
 	}
@@ -755,16 +808,24 @@ func (n *node) serveBarrierEnter(req *msg.BarrierEnter) (msg.Message, error) {
 	if b.have == nil {
 		b.have = make(map[[3]int32]bool)
 	}
-	if b.entered[req.Node] {
-		return &msg.Ack{}, nil // duplicate delivery within the episode
+	if b.hot == nil {
+		b.hot = make(map[int32][]int32)
 	}
-	b.entered[req.Node] = true
+	ids := req.Entered
+	if len(ids) == 0 {
+		ids = []int32{req.Node}
+	}
+	for _, id := range ids {
+		b.entered[id] = true
+	}
 	b.lam = maxI32(b.lam, req.Lam)
 	if len(req.Hot) > 0 {
-		if b.hot == nil {
-			b.hot = make(map[int32][]int32)
-		}
 		b.hot[req.Node] = req.Hot
+	}
+	for _, hs := range req.HotSets {
+		if len(hs.Pages) > 0 {
+			b.hot[hs.Node] = hs.Pages
+		}
 	}
 	for _, nt := range req.Notices {
 		k := [3]int32{nt.Page, nt.Writer, nt.Interval}
@@ -791,6 +852,14 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 		}
 	}
 	n.mu.Unlock()
+	// Home migration decisions apply while application threads are
+	// parked and no page requests are in flight; idempotent (a re-
+	// delivered release stores the same homes).
+	for _, ph := range req.Homes {
+		if int(ph.Page) >= 0 && int(ph.Page) < len(n.homes) {
+			n.homes[ph.Page].Store(ph.Home)
+		}
+	}
 	if len(req.Push) > 0 {
 		cost, pushed, err := n.applyPush(req.Push)
 		if err != nil {
@@ -801,9 +870,18 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 		n.pushedEpoch += pushed
 		n.mu.Unlock()
 	}
+	// Store the release for the tree fan-out: this node relays the
+	// episode's payload (and the Relay entries for its subtree) to its
+	// children from this copy.
+	n.c.barrierMu.Lock()
+	if b := &n.c.barriers[n.id]; b.episode == req.Episode {
+		b.rel = req
+	}
+	n.c.barrierMu.Unlock()
 	// The barrier flushed all pre-barrier notices cluster-wide, so the
-	// managed lock log, the per-manager release high-water marks, and the
-	// confirmed grant-log positions restart together.
+	// managed lock log, the per-manager release high-water marks, the
+	// confirmed grant-log positions, and the grant-forwarding release
+	// marks restart together.
 	n.lockMgrMu.Lock()
 	n.locks.reset()
 	n.lockMgrMu.Unlock()
@@ -814,6 +892,7 @@ func (n *node) serveBarrierRelease(req *msg.BarrierRelease) (msg.Message, error)
 	for i := range n.lockPos {
 		n.lockPos[i] = 0
 	}
+	n.lockMark = make(map[int32]int)
 	n.mu.Unlock()
 	return &msg.Ack{}, nil
 }
@@ -827,7 +906,20 @@ func (n *node) serveLockAcquire(req *msg.LockAcquire) (msg.Message, error) {
 	n.lockMgrMu.Lock()
 	defer n.lockMgrMu.Unlock()
 	ml := n.locks
-	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Pos: int32(len(ml.log))}
+	if n.c.cfg.HomeMigration {
+		// Grant forwarding: instead of shipping history through the
+		// manager, the grant names the lock's last releaser; the
+		// acquirer pulls the causal history from it directly
+		// (LockPull). -1 means no release since the last barrier —
+		// nothing to inherit. A pure read: retried acquires are served
+		// identically.
+		holder := int32(-1)
+		if h, ok := ml.holder[req.Lock]; ok {
+			holder = h
+		}
+		return &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Holder: holder}, nil
+	}
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Pos: int32(len(ml.log)), Holder: -1}
 	start := int(req.Pos)
 	if start < 0 || start > len(ml.log) {
 		// Defensive clamp: positions from before the log's barrier reset
@@ -853,25 +945,69 @@ func (n *node) serveLockRelease(req *msg.LockRelease) (msg.Message, error) {
 	ml := n.locks
 	ml.add(req.Notices)
 	ml.lockLam[req.Lock] = maxI32(ml.lockLam[req.Lock], req.Lam)
+	if n.c.cfg.HomeMigration {
+		// Grant forwarding: register the releaser as the lock's
+		// holder; the next grant redirects its acquirer here.
+		// Idempotent — a retried release re-registers the same node.
+		ml.holder[req.Lock] = req.Node
+	}
 	return &msg.Ack{}, nil
 }
 
-// serveGCCollect drops stored diffs for the page and, on non-manager
+// serveLockPull answers a grant-forwarding history pull: the manager
+// named this node as the lock's last releaser, and the acquirer asks
+// for the causal history that release covered. The reply serves the
+// prefix of known snapshotted at the release (lockMark), filtered by
+// the requester's seen vector. A pure read — a transport retry is
+// re-served the identical suffix and the requester's pending-notice
+// dedup absorbs it. A pull arriving after a barrier cleared the mark
+// returns an empty grant: the barrier already delivered everything.
+func (n *node) serveLockPull(req *msg.LockPull) (msg.Message, error) {
+	n.lockSync()
+	mark := n.lockMark[req.Lock]
+	if mark > len(n.known) {
+		mark = len(n.known)
+	}
+	history := append([]msg.Notice(nil), n.known[:mark]...)
+	n.mu.Unlock()
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: n.lamport.Load(), Holder: int32(n.id)}
+	for _, nt := range history {
+		if int(nt.Writer) == int(req.Node) {
+			continue
+		}
+		if n.c.cfg.Mutation == MutationNoTransitivity && int(nt.Writer) != n.id {
+			// Test-only bug: forward only this node's own notices,
+			// dropping the received history a correct holder must
+			// propagate (lost transitivity).
+			continue
+		}
+		if len(req.Seen) > int(nt.Writer) && nt.Interval <= req.Seen[nt.Writer] {
+			continue
+		}
+		grant.Notices = append(grant.Notices, nt)
+	}
+	return grant, nil
+}
+
+// serveGCCollect drops stored diffs for the page and, on non-home
 // nodes, invalidates the copy outright (replicas of collected pages are
-// invalidated rather than updated — paper §2).
+// invalidated rather than updated — paper §2). Dropping releases the
+// store's reference on each diff; bytes still pinned by an in-flight
+// serve are recycled when that serve's encode finishes.
 func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 	p := vm.PageID(req.Page)
 	sh := n.lockShard(p)
 	defer sh.mu.Unlock()
 	if store, ok := sh.diffs[p]; ok {
 		var dropped int64
-		for _, df := range store {
-			dropped += int64(len(df))
+		for _, d := range store {
+			dropped += int64(len(d.b))
+			d.release()
 		}
 		n.diffBytes.Add(-dropped)
 		delete(sh.diffs, p)
 	}
-	if n.c.manager(p) != n.id {
+	if n.home(p) != n.id {
 		st := &n.pages[p]
 		if st.dirty {
 			return nil, fmt.Errorf("dsm: GC of page %d with open twin on node %d", p, n.id)

@@ -471,12 +471,26 @@ func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][
 		w := writers[i]
 		if int(w) == n.id {
 			// The barrier manager reading its own diff store (push
-			// collection): a local read, not a remote call.
-			reply, err := n.serveDiffBatchRequest(reqs[i])
+			// collection): a local read, not a remote call. The reply
+			// aliases pinned stored diffs; unlike the wire path there is
+			// no decode-copy, so copy before releasing the pins — the
+			// returned map must outlive a concurrent GC drop.
+			reply, release, err := n.serveDiffBatchRequest(reqs[i])
 			if err != nil {
 				return err
 			}
-			replies[i] = reply.(*msg.DiffBatchReply)
+			br := reply.(*msg.DiffBatchReply)
+			for pi := range br.Pages {
+				for j, df := range br.Pages[pi].Diffs {
+					if df != nil {
+						br.Pages[pi].Diffs[j] = append([]byte(nil), df...)
+					}
+				}
+			}
+			if release != nil {
+				release()
+			}
+			replies[i] = br
 			return nil
 		}
 		reply, wire, err := c.call(n.id, int(w), reqs[i])
@@ -528,9 +542,11 @@ func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][
 // in turn so concurrent batch serves for disjoint shards (and concurrent
 // read-only serves within a shard) proceed in parallel. nil entries mark
 // garbage-collected diffs, exactly as in DiffReply. Replies alias the
-// immutable stored diffs.
-func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, error) {
+// immutable stored diffs, pinned by the returned release func until the
+// reply is encoded (or copied, on the local path).
+func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, func(), error) {
 	out := &msg.DiffBatchReply{Pages: make([]msg.PageDiffs, len(req.Pages))}
+	var pinned retained
 	for i, pi := range req.Pages {
 		out.Pages[i].Page = pi.Page
 		out.Pages[i].Diffs = make([][]byte, len(pi.Intervals))
@@ -541,11 +557,16 @@ func (n *node) serveDiffBatchRequest(req *msg.DiffBatchRequest) (msg.Message, er
 		sh := n.rlockShard(p)
 		store := sh.diffs[p]
 		for j, iv := range pi.Intervals {
-			if store != nil {
-				out.Pages[i].Diffs[j] = store[iv]
+			if d := store[iv]; d != nil {
+				d.retain()
+				pinned = append(pinned, d)
+				out.Pages[i].Diffs[j] = d.b
 			}
 		}
 		sh.runlock()
 	}
-	return out, nil
+	if pinned == nil {
+		return out, nil, nil
+	}
+	return out, pinned.release, nil
 }

@@ -16,6 +16,7 @@ package dsm
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"actdsm/internal/memlayout"
 	"actdsm/internal/msg"
@@ -65,9 +66,75 @@ type pageShard struct {
 	// the node runs with a single shard (see above).
 	exclusive bool
 	// diffs stores the node's own diffs for this shard's pages:
-	// page → interval → diff. Stored diff values are immutable; replies
-	// alias them (never copied, never recycled).
-	diffs map[vm.PageID]map[int32][]byte
+	// page → interval → refcounted diff. Stored diff bytes are
+	// immutable while referenced; replies alias them under a retained
+	// reference (see diffRef) so a concurrent GC drop cannot recycle
+	// bytes an encode is still reading.
+	diffs map[vm.PageID]map[int32]*diffRef
+}
+
+// diffRef is one stored diff with a reference count. The store itself
+// holds one reference from creation (closeInterval) until the GC drop
+// (serveGCCollect); a serve that aliases the bytes into a reply takes
+// another for the duration of the encode. The buffer returns to the
+// diff pool only when the last reference drops, so the zero-copy serve
+// path can never read recycled bytes — the aliasing-vs-GC race the
+// refcount exists to close.
+type diffRef struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+// newDiffRef wraps freshly encoded diff bytes with the store's own
+// reference.
+func newDiffRef(b []byte) *diffRef {
+	d := &diffRef{b: b}
+	d.refs.Store(1)
+	return d
+}
+
+// retain takes a reference. Callers must already hold one (transitively:
+// the shard lock orders retains against the store's release).
+func (d *diffRef) retain() { d.refs.Add(1) }
+
+// release drops a reference, recycling the buffer when it was the last.
+func (d *diffRef) release() {
+	if d.refs.Add(-1) == 0 {
+		putDiffBuf(d.b)
+		d.b = nil
+	}
+}
+
+// retained is the set of diff references a serve pinned while its reply
+// aliases their bytes; the transport handler releases it after encoding.
+type retained []*diffRef
+
+func (r retained) release() {
+	for _, d := range r {
+		d.release()
+	}
+}
+
+// diffBufPool recycles diff buffers of whatever capacity they grew to
+// (diffs are variable-length, unlike page images). Entries are *[]byte
+// for the same SA6002 reason as pageBufPool.
+var diffBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// getDiffBuf returns an empty diff buffer to append into.
+func getDiffBuf() []byte {
+	return (*diffBufPool.Get().(*[]byte))[:0]
+}
+
+// putDiffBuf recycles a diff buffer.
+func putDiffBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	diffBufPool.Put(&b)
 }
 
 // runlock releases a shard acquired with rlockShard.

@@ -55,7 +55,7 @@ type swState struct {
 func (n *node) initSingleWriter() {
 	n.sw = make([]swState, len(n.pages))
 	for p := range n.sw {
-		if n.c.manager(vm.PageID(p)) == n.id {
+		if n.c.staticHome(vm.PageID(p)) == n.id {
 			n.sw[p] = swState{owner: int32(n.id), copyset: 1 << uint(n.id)}
 		}
 	}
@@ -74,7 +74,7 @@ func (n *node) resolveFaultSW(tid int, p vm.PageID, a vm.Access) error {
 	c := n.c
 	c.stats.CoherenceFaults.Add(1)
 	n.addCharge(sim.ThreadInterval{Overhead: c.costs.SoftFault})
-	mgr := c.manager(p)
+	mgr := c.staticHome(p)
 
 	var remote bool
 	var err error
@@ -223,7 +223,7 @@ func (n *node) swDropLocal(p vm.PageID) {
 // data (downgrading the owner to read-only).
 func (n *node) serveSWRead(req *msg.SWRead) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	if n.c.manager(p) != n.id {
+	if n.c.staticHome(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
 	}
 	st := n.swGet(p)
@@ -262,7 +262,7 @@ func (n *node) serveSWRead(req *msg.SWRead) (msg.Message, error) {
 // and transfer ownership to the requester.
 func (n *node) serveSWWrite(req *msg.SWWrite) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	if n.c.manager(p) != n.id {
+	if n.c.staticHome(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not manager of page %d", n.id, p)
 	}
 	st := n.swGet(p)

@@ -112,6 +112,13 @@ type Stats struct {
 	BarrierRetries atomic.Int64
 	// LockAcquires counts lock acquisitions.
 	LockAcquires atomic.Int64
+	// LockForwards counts acquisitions whose grant was forwarded: the
+	// lock's shard manager redirected the acquirer to the previous
+	// holder, which served the notices directly (HomeMigration mode).
+	LockForwards atomic.Int64
+	// HomeMigrations counts page homes moved to the page's last writer
+	// at a barrier (HomeMigration mode).
+	HomeMigrations atomic.Int64
 	// GCCollections counts pages consolidated by garbage collection.
 	GCCollections atomic.Int64
 	// GCRounds counts garbage-collection episodes.
@@ -223,6 +230,8 @@ type Snapshot struct {
 	Barriers        int64
 	BarrierRetries  int64
 	LockAcquires    int64
+	LockForwards    int64
+	HomeMigrations  int64
 	GCCollections   int64
 	GCRounds        int64
 	TwinsCreated    int64
@@ -263,6 +272,8 @@ func (s *Stats) Snapshot() Snapshot {
 		Barriers:        s.Barriers.Load(),
 		BarrierRetries:  s.BarrierRetries.Load(),
 		LockAcquires:    s.LockAcquires.Load(),
+		LockForwards:    s.LockForwards.Load(),
+		HomeMigrations:  s.HomeMigrations.Load(),
 		GCCollections:   s.GCCollections.Load(),
 		GCRounds:        s.GCRounds.Load(),
 		TwinsCreated:    s.TwinsCreated.Load(),
@@ -317,6 +328,8 @@ type Counters struct {
 	Barriers        int64
 	BarrierRetries  int64
 	LockAcquires    int64
+	LockForwards    int64
+	HomeMigrations  int64
 	GCCollections   int64
 	GCRounds        int64
 	TwinsCreated    int64
@@ -345,6 +358,8 @@ func (s Snapshot) Counters() Counters {
 		Barriers:        s.Barriers,
 		BarrierRetries:  s.BarrierRetries,
 		LockAcquires:    s.LockAcquires,
+		LockForwards:    s.LockForwards,
+		HomeMigrations:  s.HomeMigrations,
 		GCCollections:   s.GCCollections,
 		GCRounds:        s.GCRounds,
 		TwinsCreated:    s.TwinsCreated,
@@ -376,6 +391,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Barriers:        s.Barriers - o.Barriers,
 		BarrierRetries:  s.BarrierRetries - o.BarrierRetries,
 		LockAcquires:    s.LockAcquires - o.LockAcquires,
+		LockForwards:    s.LockForwards - o.LockForwards,
+		HomeMigrations:  s.HomeMigrations - o.HomeMigrations,
 		GCCollections:   s.GCCollections - o.GCCollections,
 		GCRounds:        s.GCRounds - o.GCRounds,
 		TwinsCreated:    s.TwinsCreated - o.TwinsCreated,

@@ -21,10 +21,17 @@ func FuzzDecode(f *testing.F) {
 		&BarrierEnter{Node: 2, Episode: 3, Lam: 5,
 			Notices: []Notice{{Page: 0, Writer: 2, Interval: 4, Lam: 5}},
 			Hot:     []int32{0, 3, 7}},
+		&BarrierEnter{Node: 5, Episode: 3, Lam: 6,
+			Entered: []int32{5, 11, 12},
+			HotSets: []NodeHot{{Node: 5, Pages: []int32{2}}, {Node: 11, Pages: []int32{}}}},
 		&BarrierRelease{Episode: 3, Lam: 4, Notices: []Notice{{Page: 1, Writer: 1, Interval: 1, Lam: 1}}},
 		&BarrierRelease{Episode: 4, Lam: 9,
 			Notices: []Notice{{Page: 1, Writer: 1, Interval: 2, Lam: 8}},
 			Push:    []PushedDiff{{Page: 1, Writer: 1, Interval: 2, Diff: []byte{0, 0, 4, 0, 1, 2, 3, 4}}}},
+		&BarrierRelease{Episode: 5, Lam: 10,
+			Homes: []PageHome{{Page: 2, Home: 1}},
+			Relay: []NodePush{{Node: 3, Push: []PushedDiff{{Page: 2, Writer: 0, Interval: 1, Diff: []byte{0, 0, 4, 0, 9, 9, 9, 9}}}}}},
+		&LockPull{Node: 2, Lock: 7, Seen: []int32{1, 0, 4}},
 		&LockAcquire{Node: 0, Lock: 7, Seen: []int32{1, 2}},
 		&LockAcquire{Node: 3, Lock: 1, Pos: 5, Seen: []int32{0, 0, 2, 1}},
 		&LockGrant{Lock: 7, Lam: 2},
@@ -119,26 +126,35 @@ func buildFuzzMessage(k Kind, a, b int32, blob []byte) Message {
 	case KindDiffReply:
 		return &DiffReply{Page: a, Diffs: fuzzDiffs(blob, n)}
 	case KindBarrierEnter:
-		// Hot is an optional field: the decoder leaves it nil when empty.
-		var hot []int32
+		// Hot, Entered and HotSets are optional fields: the decoder
+		// leaves them nil when empty.
+		var hot, entered []int32
+		var hotSets []NodeHot
 		if n > 0 {
 			hot = fuzzI32s(blob, n)
+			entered = fuzzI32s(blob, (n+1)%4+1)
+			for i := 0; i < n; i++ {
+				hotSets = append(hotSets, NodeHot{
+					Node: fuzzI32(blob, i), Pages: fuzzI32s(blob, (n+i)%4),
+				})
+			}
 		}
 		return &BarrierEnter{Node: a, Episode: b, Lam: a ^ b,
-			Notices: fuzzNotices(blob, n), Hot: hot}
+			Notices: fuzzNotices(blob, n), Hot: hot, Entered: entered, HotSets: hotSets}
 	case KindBarrierRelease:
-		var push []PushedDiff
+		push := fuzzPushes(blob, n)
+		var homes []PageHome
+		var relay []NodePush
 		for i := 0; i < n; i++ {
-			push = append(push, PushedDiff{
-				Page: fuzzI32(blob, i), Writer: fuzzI32(blob, i+1),
-				Interval: fuzzI32(blob, i+2), Diff: fuzzBytes(blob, i),
-			})
+			homes = append(homes, PageHome{Page: fuzzI32(blob, i), Home: fuzzI32(blob, i+1)})
+			relay = append(relay, NodePush{Node: fuzzI32(blob, i), Push: fuzzPushes(blob, (n+i)%4)})
 		}
-		return &BarrierRelease{Episode: a, Lam: b, Notices: fuzzNotices(blob, n), Push: push}
+		return &BarrierRelease{Episode: a, Lam: b, Notices: fuzzNotices(blob, n),
+			Push: push, Homes: homes, Relay: relay}
 	case KindLockAcquire:
 		return &LockAcquire{Node: a, Lock: b, Pos: a + b, Seen: fuzzI32s(blob, n)}
 	case KindLockGrant:
-		return &LockGrant{Lock: a, Lam: b, Pos: a - b, Notices: fuzzNotices(blob, n)}
+		return &LockGrant{Lock: a, Lam: b, Pos: a - b, Holder: b - a, Notices: fuzzNotices(blob, n)}
 	case KindLockRelease:
 		return &LockRelease{Node: a, Lock: b, Lam: a, Notices: fuzzNotices(blob, n)}
 	case KindGCCollect:
@@ -169,9 +185,24 @@ func buildFuzzMessage(k Kind, a, b int32, blob []byte) Message {
 			pages[i] = PageDiffs{Page: fuzzI32(blob, i), Diffs: fuzzDiffs(blob, (n+i)%4)}
 		}
 		return &DiffBatchReply{Pages: pages}
+	case KindLockPull:
+		return &LockPull{Node: a, Lock: b, Seen: fuzzI32s(blob, n)}
 	default:
 		return nil
 	}
+}
+
+// fuzzPushes builds a pushed-diff list, nil when empty (the decoder's
+// canonical form for absent push lists).
+func fuzzPushes(blob []byte, n int) []PushedDiff {
+	var out []PushedDiff
+	for i := 0; i < n; i++ {
+		out = append(out, PushedDiff{
+			Page: fuzzI32(blob, i), Writer: fuzzI32(blob, i+1),
+			Interval: fuzzI32(blob, i+2), Diff: fuzzBytes(blob, i),
+		})
+	}
+	return out
 }
 
 // fuzzI32 derives the i-th int32 from the blob (0 when the blob is empty).

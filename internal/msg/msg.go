@@ -34,11 +34,15 @@ const (
 	// writer node in a single round trip.
 	KindDiffBatchRequest
 	KindDiffBatchReply
+	// Distributed lock managers: a requester redirected by a shard
+	// manager (LockGrant.Holder) pulls the holder's release-time notice
+	// history directly.
+	KindLockPull
 )
 
 // KindCount is one past the highest Kind value, sized for arrays indexed
 // by Kind (e.g. the DSM's per-message-type call statistics).
-const KindCount = int(KindDiffBatchReply) + 1
+const KindCount = int(KindLockPull) + 1
 
 // kindNames is indexed by Kind.
 var kindNames = [KindCount]string{
@@ -61,6 +65,7 @@ var kindNames = [KindCount]string{
 
 	KindDiffBatchRequest: "DiffBatchRequest",
 	KindDiffBatchReply:   "DiffBatchReply",
+	KindLockPull:         "LockPull",
 }
 
 // String implements fmt.Stringer.
@@ -129,6 +134,7 @@ var (
 	_ Message = (*SWInvalidate)(nil)
 	_ Message = (*DiffBatchRequest)(nil)
 	_ Message = (*DiffBatchReply)(nil)
+	_ Message = (*LockPull)(nil)
 )
 
 // PageRequest asks the page manager for a full copy of Page. Pending lists
@@ -188,6 +194,20 @@ type BarrierEnter struct {
 	Lam     int32
 	Notices []Notice
 	Hot     []int32
+	// Tree-barrier aggregation (present only when BarrierArity >= 2).
+	// An interior node forwards one enter to its parent on behalf of its
+	// whole subtree: Entered lists every node folded into the aggregate
+	// (including the sender) and HotSets carries each member's hot-page
+	// prediction. Flat barriers leave both nil and use Hot.
+	Entered []int32
+	HotSets []NodeHot
+}
+
+// NodeHot is one node's hot-page prediction inside an aggregated
+// tree-barrier enter.
+type NodeHot struct {
+	Node  int32
+	Pages []int32
 }
 
 // Kind implements Message.
@@ -215,6 +235,28 @@ type BarrierRelease struct {
 	Lam     int32
 	Notices []Notice
 	Push    []PushedDiff
+	// Homes (present only when HomeMigration is on) lists the page-home
+	// reassignments the root computed for the closing epoch; every node
+	// applies them at release time, so all home tables move in lockstep
+	// while application threads are parked.
+	Homes []PageHome
+	// Relay (present only when BarrierArity >= 2) carries the pushed
+	// diffs for the destination's descendants; the destination forwards
+	// each entry down its subtree during the tree fan-out.
+	Relay []NodePush
+}
+
+// PageHome is one page-home reassignment broadcast in a barrier release.
+type PageHome struct {
+	Page int32
+	Home int32
+}
+
+// NodePush is the pushed-diff list destined for one descendant node,
+// relayed through the tree-barrier fan-out.
+type NodePush struct {
+	Node int32
+	Push []PushedDiff
 }
 
 // Kind implements Message.
@@ -243,9 +285,14 @@ func (*LockAcquire) Kind() Kind { return KindLockAcquire }
 // requester up to; the requester stores it after applying Notices and
 // echoes it in its next LockAcquire.
 type LockGrant struct {
-	Lock    int32
-	Lam     int32
-	Pos     int32
+	Lock int32
+	Lam  int32
+	Pos  int32
+	// Holder is the node that last released the lock this episode, or -1
+	// when none (or when grant forwarding is off). Under grant forwarding
+	// the shard manager keeps no notice log; a requester redirected to a
+	// different holder pulls that node's history with a LockPull.
+	Holder  int32
 	Notices []Notice
 }
 
@@ -365,6 +412,20 @@ type DiffBatchReply struct {
 // Kind implements Message.
 func (*DiffBatchReply) Kind() Kind { return KindDiffBatchReply }
 
+// LockPull asks the current holder of Lock for the notice history it
+// published at its last release of the lock (grant forwarding). Seen is
+// the requester's vector time, filtering notices it already has. The
+// reply is a LockGrant. Serving a pull is a pure read of the holder's
+// release-time snapshot, so it is idempotent and safe to retry.
+type LockPull struct {
+	Node int32
+	Lock int32
+	Seen []int32
+}
+
+// Kind implements Message.
+func (*LockPull) Kind() Kind { return KindLockPull }
+
 // encoderPool recycles encoder headers so EncodeTo performs no
 // allocations of its own: calling m.encodeBody through the Message
 // interface makes a stack-local encoder escape, so a fresh &encoder{}
@@ -462,6 +523,8 @@ func Decode(b []byte) (Message, error) {
 		m = &DiffBatchRequest{}
 	case KindDiffBatchReply:
 		m = &DiffBatchReply{}
+	case KindLockPull:
+		m = &LockPull{}
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", k)
 	}
@@ -493,6 +556,15 @@ func bytesSize(b []byte) int { return 4 + len(b) }
 // noticesSize is the wire size of a counted []Notice.
 func noticesSize(ns []Notice) int { return 4 + noticeWire*len(ns) }
 
+// pushesSize is the wire size of a counted []PushedDiff.
+func pushesSize(ps []PushedDiff) int {
+	n := 4
+	for _, pd := range ps {
+		n += 12 + bytesSize(pd.Diff)
+	}
+	return n
+}
+
 func (m *PageRequest) sizeBody() int { return 8 + noticesSize(m.Pending) }
 
 func (m *PageReply) sizeBody() int {
@@ -510,20 +582,24 @@ func (m *DiffReply) sizeBody() int {
 }
 
 func (m *BarrierEnter) sizeBody() int {
-	return 12 + noticesSize(m.Notices) + i32sSize(len(m.Hot))
+	n := 12 + noticesSize(m.Notices) + i32sSize(len(m.Hot)) + i32sSize(len(m.Entered)) + 4
+	for _, h := range m.HotSets {
+		n += 4 + i32sSize(len(h.Pages))
+	}
+	return n
 }
 
 func (m *BarrierRelease) sizeBody() int {
-	n := 8 + noticesSize(m.Notices) + 4
-	for _, pd := range m.Push {
-		n += 12 + bytesSize(pd.Diff)
+	n := 8 + noticesSize(m.Notices) + pushesSize(m.Push) + 4 + 8*len(m.Homes) + 4
+	for _, np := range m.Relay {
+		n += 4 + pushesSize(np.Push)
 	}
 	return n
 }
 
 func (m *LockAcquire) sizeBody() int { return 12 + i32sSize(len(m.Seen)) }
 
-func (m *LockGrant) sizeBody() int { return 12 + noticesSize(m.Notices) }
+func (m *LockGrant) sizeBody() int { return 16 + noticesSize(m.Notices) }
 
 func (m *LockRelease) sizeBody() int { return 12 + noticesSize(m.Notices) }
 
@@ -559,6 +635,8 @@ func (m *DiffBatchReply) sizeBody() int {
 	}
 	return n
 }
+
+func (m *LockPull) sizeBody() int { return 8 + i32sSize(len(m.Seen)) }
 
 func (m *PageRequest) encodeBody(e *encoder) {
 	e.i32(m.From)
@@ -673,6 +751,18 @@ func (m *BarrierEnter) encodeBody(e *encoder) {
 	for _, p := range m.Hot {
 		e.i32(p)
 	}
+	e.i32(int32(len(m.Entered)))
+	for _, id := range m.Entered {
+		e.i32(id)
+	}
+	e.i32(int32(len(m.HotSets)))
+	for _, h := range m.HotSets {
+		e.i32(h.Node)
+		e.i32(int32(len(h.Pages)))
+		for _, p := range h.Pages {
+			e.i32(p)
+		}
+	}
 }
 
 func (m *BarrierEnter) decodeBody(d *decoder) (err error) {
@@ -700,6 +790,39 @@ func (m *BarrierEnter) decodeBody(d *decoder) (err error) {
 			}
 		}
 	}
+	if n, err = d.length(); err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Entered = make([]int32, n)
+		for i := range m.Entered {
+			if m.Entered[i], err = d.i32(); err != nil {
+				return err
+			}
+		}
+	}
+	if n, err = d.length(); err != nil {
+		return err
+	}
+	if n > 0 {
+		m.HotSets = make([]NodeHot, n)
+		for i := range m.HotSets {
+			h := &m.HotSets[i]
+			if h.Node, err = d.i32(); err != nil {
+				return err
+			}
+			k, err := d.length()
+			if err != nil {
+				return err
+			}
+			h.Pages = make([]int32, k)
+			for j := range h.Pages {
+				if h.Pages[j], err = d.i32(); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -707,12 +830,16 @@ func (m *BarrierRelease) encodeBody(e *encoder) {
 	e.i32(m.Episode)
 	e.i32(m.Lam)
 	e.notices(m.Notices)
-	e.i32(int32(len(m.Push)))
-	for _, pd := range m.Push {
-		e.i32(pd.Page)
-		e.i32(pd.Writer)
-		e.i32(pd.Interval)
-		e.bytes(pd.Diff)
+	e.pushes(m.Push)
+	e.i32(int32(len(m.Homes)))
+	for _, ph := range m.Homes {
+		e.i32(ph.Page)
+		e.i32(ph.Home)
+	}
+	e.i32(int32(len(m.Relay)))
+	for _, np := range m.Relay {
+		e.i32(np.Node)
+		e.pushes(np.Push)
 	}
 }
 
@@ -726,24 +853,34 @@ func (m *BarrierRelease) decodeBody(d *decoder) (err error) {
 	if m.Notices, err = d.notices(); err != nil {
 		return err
 	}
+	if m.Push, err = d.pushes(); err != nil {
+		return err
+	}
 	n, err := d.length()
 	if err != nil {
 		return err
 	}
 	if n > 0 {
-		m.Push = make([]PushedDiff, n)
-		for i := range m.Push {
-			pd := &m.Push[i]
-			if pd.Page, err = d.i32(); err != nil {
+		m.Homes = make([]PageHome, n)
+		for i := range m.Homes {
+			if m.Homes[i].Page, err = d.i32(); err != nil {
 				return err
 			}
-			if pd.Writer, err = d.i32(); err != nil {
+			if m.Homes[i].Home, err = d.i32(); err != nil {
 				return err
 			}
-			if pd.Interval, err = d.i32(); err != nil {
+		}
+	}
+	if n, err = d.length(); err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Relay = make([]NodePush, n)
+		for i := range m.Relay {
+			if m.Relay[i].Node, err = d.i32(); err != nil {
 				return err
 			}
-			if pd.Diff, err = d.bytes(); err != nil {
+			if m.Relay[i].Push, err = d.pushes(); err != nil {
 				return err
 			}
 		}
@@ -788,6 +925,7 @@ func (m *LockGrant) encodeBody(e *encoder) {
 	e.i32(m.Lock)
 	e.i32(m.Lam)
 	e.i32(m.Pos)
+	e.i32(m.Holder)
 	e.notices(m.Notices)
 }
 
@@ -799,6 +937,9 @@ func (m *LockGrant) decodeBody(d *decoder) (err error) {
 		return err
 	}
 	if m.Pos, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Holder, err = d.i32(); err != nil {
 		return err
 	}
 	m.Notices, err = d.notices()
@@ -962,6 +1103,35 @@ func (m *DiffBatchReply) decodeBody(d *decoder) (err error) {
 	return nil
 }
 
+func (m *LockPull) encodeBody(e *encoder) {
+	e.i32(m.Node)
+	e.i32(m.Lock)
+	e.i32(int32(len(m.Seen)))
+	for _, s := range m.Seen {
+		e.i32(s)
+	}
+}
+
+func (m *LockPull) decodeBody(d *decoder) (err error) {
+	if m.Node, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lock, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Seen = make([]int32, n)
+	for i := range m.Seen {
+		if m.Seen[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 type encoder struct{ buf []byte }
 
 func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
@@ -982,6 +1152,16 @@ func (e *encoder) notices(ns []Notice) {
 		e.i32(n.Writer)
 		e.i32(n.Interval)
 		e.i32(n.Lam)
+	}
+}
+
+func (e *encoder) pushes(ps []PushedDiff) {
+	e.i32(int32(len(ps)))
+	for _, pd := range ps {
+		e.i32(pd.Page)
+		e.i32(pd.Writer)
+		e.i32(pd.Interval)
+		e.bytes(pd.Diff)
 	}
 }
 
@@ -1044,6 +1224,35 @@ func (d *decoder) bytesOrNil() ([]byte, error) {
 	}
 	d.off = save
 	return d.bytes()
+}
+
+// pushes decodes a counted []PushedDiff, returning nil for a zero count
+// so decode-then-reencode is canonical.
+func (d *decoder) pushes() ([]PushedDiff, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]PushedDiff, n)
+	for i := range out {
+		pd := &out[i]
+		if pd.Page, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if pd.Writer, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if pd.Interval, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if pd.Diff, err = d.bytes(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func (d *decoder) notices() ([]Notice, error) {

@@ -218,8 +218,8 @@ func TestSizeMatchesEncode(t *testing.T) {
 		t.Fatal("Size != len(Encode)")
 	}
 	// 1 kind + 4 node + 4 episode + 4 lam + 4 notice count + 10*16
-	// notices + 4 hot-page count.
-	if got := Size(m); got != 1+4+4+4+4+160+4 {
+	// notices + 4 hot-page count + 4 entered count + 4 hot-set count.
+	if got := Size(m); got != 1+4+4+4+4+160+4+4+4 {
 		t.Fatalf("Size = %d", got)
 	}
 }

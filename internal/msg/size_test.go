@@ -22,14 +22,26 @@ func sizeCorpus() []Message {
 		&DiffReply{Page: 2},
 		&BarrierEnter{Node: 1, Episode: 12, Lam: 3, Notices: ns},
 		&BarrierEnter{Node: 2, Episode: 13, Lam: 4, Hot: []int32{0, 5, 17}},
+		&BarrierEnter{Node: 3, Episode: 14, Lam: 5, Notices: ns,
+			Entered: []int32{3, 7, 8},
+			HotSets: []NodeHot{{Node: 3, Pages: []int32{1, 2}}, {Node: 7}}},
 		&BarrierRelease{Episode: 12, Lam: 9, Notices: ns},
 		&BarrierRelease{Episode: 13, Lam: 10, Notices: ns, Push: []PushedDiff{
 			{Page: 5, Writer: 1, Interval: 2, Diff: []byte{9, 8, 7}},
 			{Page: 17, Interval: 4, Diff: []byte{1}},
 		}},
+		&BarrierRelease{Episode: 14, Lam: 11, Notices: ns,
+			Homes: []PageHome{{Page: 3, Home: 1}, {Page: 9, Home: 0}},
+			Relay: []NodePush{
+				{Node: 4, Push: []PushedDiff{{Page: 2, Writer: 1, Interval: 3, Diff: []byte{5, 5}}}},
+				{Node: 9},
+			}},
 		&LockAcquire{Node: 2, Lock: 5, Pos: 3, Seen: []int32{0, 3, 9}},
 		&LockGrant{Lock: 5, Lam: 2, Pos: 7, Notices: ns},
+		&LockGrant{Lock: 6, Lam: 3, Holder: -1},
 		&LockRelease{Node: 2, Lock: 5, Lam: 4},
+		&LockPull{Node: 1, Lock: 5, Seen: []int32{2, 0, 7}},
+		&LockPull{},
 		&GCCollect{Page: 4},
 		&Ack{},
 		&SWRead{From: 1, Page: 2},

@@ -153,6 +153,32 @@ func WithPrefetchBudget(budget int) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.PrefetchBudget = budget }
 }
 
+// WithLockShards sets the number of lock-manager shards locks hash
+// into (shard s lives on node s mod Nodes). 0 (the default) spreads one
+// shard per node; 1 centralizes every lock on node 0, the
+// pre-decentralization baseline. See DESIGN.md §10.
+func WithLockShards(n int) SystemOption {
+	return func(c *SystemConfig) { c.Cluster.LockShards = n }
+}
+
+// WithBarrierArity arranges barrier traffic as a k-ary tree rooted at
+// node 0 — enters aggregate up the tree, releases relay down it — so
+// the barrier's critical path is O(log_k n) instead of O(n) at the
+// manager. 0 (the default) keeps the flat single-manager barrier; 1 and
+// negative values are invalid. See DESIGN.md §10.
+func WithBarrierArity(k int) SystemOption {
+	return func(c *SystemConfig) { c.Cluster.BarrierArity = k }
+}
+
+// WithHomeMigration enables the distributed-ownership extensions: page
+// homes migrate to each page's last writer at every barrier, and lock
+// grants forward — the acquirer pulls causal history straight from the
+// previous holder instead of through the manager. Multi-writer protocol
+// only. See DESIGN.md §10.
+func WithHomeMigration() SystemOption {
+	return func(c *SystemConfig) { c.Cluster.HomeMigration = true }
+}
+
 // WithNodeSpeeds makes the cluster heterogeneous: speeds[n] scales node
 // n's CPU (1.0 = baseline). Combine with CapacitiesForSpeeds-derived
 // placements to exploit the fast nodes.
