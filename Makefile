@@ -58,14 +58,18 @@ bench:
 ## decentralized-manager comparison (flat vs tree barrier at 64 nodes,
 ## centralized vs sharded locks), rewrites BENCH_managers.json, and
 ## fails if the tree-barrier depth exceeds 2*ceil(log2 n) or the
-## sharded lock spread re-concentrates on node 0; then reruns the
-## hot-path locking comparison and fails if the sharded speedup falls
-## below the floor or the steady-state message encode starts
-## allocating. The prefetch and managers runs are deterministic, so
-## regenerate-and-compare is stable; the hotpath run is compare-only
-## (no -hotpath-json rewrite): its numbers are wall-clock and vary
-## between machines, so the committed BENCH_hotpath.json only changes
-## deliberately via 'make bench-hotpath'.
+## sharded lock spread re-concentrates on node 0; reruns the serving
+## placement ablation (ServeKV, 16 clients over 4 nodes: static vs
+## min-cost vs home-migration placement), rewrites BENCH_serving.json,
+## and fails on a >5% QPS or p99 regression per row or if
+## home-migration stops beating static placement on p99 and QPS; then
+## reruns the hot-path locking comparison and fails if the sharded
+## speedup falls below the floor or the steady-state message encode
+## starts allocating. The prefetch, managers, and serving runs are
+## deterministic (virtual time), so regenerate-and-compare is stable;
+## the hotpath run is compare-only (no -hotpath-json rewrite): its
+## numbers are wall-clock and vary between machines, so the committed
+## BENCH_hotpath.json only changes deliberately via 'make bench-hotpath'.
 bench-compare:
 	$(GO) run ./cmd/actbench -only prefetch \
 		-prefetch-json BENCH_prefetch.json \
@@ -73,6 +77,9 @@ bench-compare:
 	$(GO) run ./cmd/actbench -only managers \
 		-managers-json BENCH_managers.json \
 		-managers-baseline BENCH_managers.json
+	$(GO) run ./cmd/actbench -only serving \
+		-serving-json BENCH_serving.json \
+		-serving-baseline BENCH_serving.json
 	$(GO) run ./cmd/actbench -only hotpath \
 		-hotpath-baseline BENCH_hotpath.json
 

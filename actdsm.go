@@ -68,6 +68,9 @@ type (
 	// the per-message-type call table (counts, bytes, retries, latency
 	// histograms; render it with Snapshot.FormatCalls).
 	Snapshot = dsm.Snapshot
+	// Counters is the comparable, transport-independent subset of
+	// Snapshot used by determinism and equivalence tests.
+	Counters = dsm.Counters
 	// CallSnapshot is one message type's call counters and latency
 	// histogram within a Snapshot.
 	CallSnapshot = dsm.CallSnapshot
@@ -244,6 +247,10 @@ type (
 	HotpathReport = experiments.HotpathReport
 	// ManagersReport is the BENCH_managers.json schema.
 	ManagersReport = experiments.ManagersReport
+	// ServingReport is the BENCH_serving.json schema.
+	ServingReport = experiments.ServingReport
+	// ServingRow is one placement variant's serving measurements.
+	ServingRow = experiments.ServingRow
 )
 
 // Summarize computes a MapSummary for a correlation matrix.
@@ -278,6 +285,11 @@ var (
 	ManagersReportJSON     = experiments.ManagersReportJSON
 	CompareManagersReports = experiments.CompareManagersReports
 	FormatManagersReport   = experiments.FormatManagersReport
+
+	ServingComparison     = experiments.ServingComparison
+	ServingReportJSON     = experiments.ServingReportJSON
+	CompareServingReports = experiments.CompareServingReports
+	FormatServingReport   = experiments.FormatServingReport
 
 	AblationHeuristics = experiments.AblationHeuristics
 	AblationScaling    = experiments.AblationScaling

@@ -113,7 +113,8 @@ func TestFacadeSystemOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := actdsm.NewSystem(app, 2, actdsm.WithTCP(), actdsm.WithGCThreshold(-1))
+	sys, err := actdsm.NewSystem(app, 2,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{UseTCP: true, GCThresholdBytes: -1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFacadeSystemOptions(t *testing.T) {
 	}
 	place := []int{1, 1, 0, 0, 1, 0, 1, 0}
 	sys, err := actdsm.NewSystem(app, 2,
-		actdsm.WithPlacement(place), actdsm.WithShuffle(3))
+		actdsm.WithConfig(actdsm.SystemConfig{Placement: place, ShuffleSeed: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,8 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	if len(decoded.Events) != len(tr.Events) {
 		t.Fatalf("events: %d != %d", len(decoded.Events), len(tr.Events))
 	}
-	stats, elapsed, err := actdsm.ReplayTrace(decoded, 4, actdsm.WithProtocol(actdsm.MultiWriter))
+	stats, elapsed, err := actdsm.ReplayTrace(decoded, 4,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{Protocol: actdsm.MultiWriter}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +238,8 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 		t.Fatalf("replay: %d misses, %v elapsed", stats.RemoteMisses, elapsed)
 	}
 	// The single-writer replay of the same trace must also succeed.
-	swStats, _, err := actdsm.ReplayTrace(decoded, 4, actdsm.WithProtocol(actdsm.SingleWriter))
+	swStats, _, err := actdsm.ReplayTrace(decoded, 4,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{Protocol: actdsm.SingleWriter}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +286,8 @@ func (e errOf) Error() string { return string(e) }
 
 func TestReplayTraceErrors(t *testing.T) {
 	tr := &actdsm.Trace{Threads: 2, Pages: 1, Iterations: 1}
-	if _, _, err := actdsm.ReplayTrace(tr, 0, actdsm.WithProtocol(actdsm.MultiWriter)); err == nil {
+	if _, _, err := actdsm.ReplayTrace(tr, 0,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{Protocol: actdsm.MultiWriter})); err == nil {
 		t.Fatal("expected error for zero nodes")
 	}
 }

@@ -394,7 +394,8 @@ func BenchmarkTraceReplay(b *testing.B) {
 	_ = sys.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := actdsm.ReplayTrace(tr, 8, actdsm.WithProtocol(actdsm.MultiWriter)); err != nil {
+		if _, _, err := actdsm.ReplayTrace(tr, 8,
+			actdsm.WithClusterConfig(actdsm.ClusterConfig{Protocol: actdsm.MultiWriter})); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,7 +19,12 @@
 // single-manager barrier against the tree topology and centralized
 // against sharded lock management (DESIGN.md §10); -managers-json and
 // -managers-baseline drive the deterministic BENCH_managers.json gate
-// the same way.
+// the same way. The "serving" section runs the online KV workload
+// (internal/serve, DESIGN.md §11) under static, min-cost, and
+// home-migration placement and reports throughput plus p50/p99/p999
+// virtual latency; -serving-json and -serving-baseline drive the
+// deterministic BENCH_serving.json gate, which additionally requires
+// home migration to beat static placement on both p99 and QPS.
 //
 // The "sor" section runs one observed SOR workload and prints its
 // per-epoch time breakdown (DESIGN.md §9). With -trace-out it writes a
@@ -58,7 +63,7 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, check, transport, sor)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, serving, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
@@ -67,6 +72,8 @@ func run() error {
 		hotBase   = flag.String("hotpath-baseline", "", "compare the hot-path report against this committed baseline; fail when the sharded speedup or encode allocation floor regresses")
 		mgrJSON   = flag.String("managers-json", "", "write the decentralized-manager comparison report as JSON to this file")
 		mgrBase   = flag.String("managers-baseline", "", "compare the managers report against this committed baseline; fail when the tree-barrier depth or the sharded lock spread regresses")
+		srvJSON   = flag.String("serving-json", "", "write the serving placement-ablation report as JSON to this file")
+		srvBase   = flag.String("serving-baseline", "", "compare the serving report against this committed baseline; fail on >5% QPS/p99 regression or when home migration stops beating static placement")
 		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -364,6 +371,46 @@ func run() error {
 			return err
 		}
 	}
+	if selected("serving") {
+		if err := section("Serving: KV workload under static/min-cost/home-migration placement", func() (string, error) {
+			rep, err := actdsm.ServingComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatServingReport(rep)
+			report, err := actdsm.ServingReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_serving.json.
+			var baseline []byte
+			if *srvBase != "" {
+				baseline, err = os.ReadFile(*srvBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *srvJSON != "" {
+				if err := os.WriteFile(*srvJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *srvJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.CompareServingReports(baseline, report)
+				out += "\n-- vs baseline " + *srvBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
+		}); err != nil {
+			return err
+		}
+	}
 	if selected("check") {
 		if err := section("Check: coherence model-checker sweep", func() (string, error) {
 			seeds := 50
@@ -403,8 +450,7 @@ func observedSOR(threads, nodes int, scale actdsm.Scale, traceOut, metricsOut st
 	}
 	sys, err := actdsm.NewSystem(app, nodes,
 		actdsm.WithObservability(),
-		actdsm.WithDiffBatching(),
-		actdsm.WithPrefetchBudget(-1),
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{BatchDiffs: true, PrefetchBudget: -1}),
 	)
 	if err != nil {
 		return "", err

@@ -131,16 +131,12 @@ func replay(args []string) error {
 	if *proto == "sw" {
 		p = actdsm.SingleWriter
 	}
-	opts := []actdsm.SystemOption{actdsm.WithProtocol(p)}
-	if *prefetch != 0 {
-		opts = append(opts, actdsm.WithPrefetchBudget(*prefetch))
-	}
-	if *batch {
-		opts = append(opts, actdsm.WithDiffBatching())
-	}
-	if *tcp {
-		opts = append(opts, actdsm.WithTCP())
-	}
+	opts := []actdsm.SystemOption{actdsm.WithClusterConfig(actdsm.ClusterConfig{
+		Protocol:       p,
+		PrefetchBudget: *prefetch,
+		BatchDiffs:     *batch,
+		UseTCP:         *tcp,
+	})}
 	stats, elapsed, err := actdsm.ReplayTrace(tr, *nodes, opts...)
 	if err != nil {
 		return err

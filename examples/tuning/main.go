@@ -92,7 +92,7 @@ func sweepPrefetchBudget() error {
 			label, s.DemandCalls(), s.PrefetchHits, s.PrefetchWasted,
 			s.PrefetchLate, s.PrefetchRounds, int64(res.Elapsed))
 	}
-	fmt.Println("\nThe knob maps to actdsm.WithPrefetchBudget(n) on the System API")
-	fmt.Println("(paired with actdsm.WithDiffBatching() to coalesce the fetches).")
+	fmt.Println("\nThe knob maps to ClusterConfig.PrefetchBudget on the System API")
+	fmt.Println("(paired with ClusterConfig.BatchDiffs to coalesce the fetches).")
 	return nil
 }

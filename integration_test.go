@@ -22,9 +22,11 @@ func TestFullStackSoak(t *testing.T) {
 	// collection rounds interleave with everything else.
 	bad := actdsm.RandomBalanced(16, 4, actdsm.NewRNG(11))
 	sys, err := actdsm.NewSystem(app, 4,
-		actdsm.WithPlacement(bad),
-		actdsm.WithGCThreshold(4096),
-		actdsm.WithShuffle(5),
+		actdsm.WithConfig(actdsm.SystemConfig{
+			Placement:   bad,
+			ShuffleSeed: 5,
+			Cluster:     actdsm.ClusterConfig{GCThresholdBytes: 4096},
+		}),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +94,8 @@ func TestFullStackSoakTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := actdsm.NewSystem(app, 3, actdsm.WithTCP(), actdsm.WithGCThreshold(8192))
+	sys, err := actdsm.NewSystem(app, 3,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{UseTCP: true, GCThresholdBytes: 8192}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"actdsm/internal/apps"
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
+	"actdsm/internal/serve"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
 	"actdsm/internal/transport"
@@ -34,8 +35,11 @@ import (
 type Scenario struct {
 	// Name identifies the scenario in reports and repro stanzas.
 	Name string
-	// App is an apps registry name ("SOR", "Ocean", "LU1k", ...) or
-	// "LockChain" for the checker's synthetic lock hand-off chain.
+	// App is an apps registry name ("SOR", "Ocean", "LU1k", ...),
+	// "LockChain" for the checker's synthetic lock hand-off chain, or
+	// "ServeKV" for the online serving workload (internal/serve), whose
+	// windows the checker treats as iterations: Threads is the client
+	// count and Iterations-1 the measured windows.
 	App        string
 	Threads    int
 	Nodes      int
@@ -76,6 +80,12 @@ func Scenarios() []Scenario {
 			BatchDiffs: true, HomeMigration: true, LockShards: 2},
 		{Name: "SOR32tree", App: "SOR", Threads: 32, Nodes: 32, Iterations: 2,
 			BarrierArity: 2, HomeMigration: true},
+		// Online serving: zipfian lock-striped KV requests instead of
+		// barrier-phased array sweeps — irregular page/lock interleavings
+		// per window, with and without the migration machinery.
+		{Name: "Serve4", App: "ServeKV", Threads: 4, Nodes: 4, Iterations: 4, BatchDiffs: true},
+		{Name: "Serve4mig", App: "ServeKV", Threads: 4, Nodes: 4, Iterations: 4,
+			PrefetchBudget: -1, HomeMigration: true, LockShards: 2, BarrierArity: 2},
 	}
 }
 
@@ -215,16 +225,36 @@ type TrialResult struct {
 // Failed reports whether the trial detected a coherence violation.
 func (r TrialResult) Failed() bool { return len(r.Violations) > 0 }
 
-// buildApp constructs the scenario's workload.
-func buildApp(sc Scenario) (apps.App, error) {
-	if sc.App == "LockChain" {
+// buildApp constructs the scenario's workload. The return type is the
+// engine-facing Workload interface, so scenarios mix epoch apps and the
+// request-driven serving workload freely — RunTrial only needs Setup
+// and Body.
+func buildApp(sc Scenario) (threads.Workload, error) {
+	switch sc.App {
+	case "LockChain":
 		return newLockChain(sc.Threads, sc.Iterations)
+	case "ServeKV":
+		return serve.NewKV(serve.Config{
+			Clients:           sc.Threads,
+			Keys:              64,
+			ValueBytes:        128,
+			ReadFraction:      0.75,
+			ZipfS:             1.1,
+			Groups:            2,
+			SharedFraction:    0.25,
+			RequestsPerWindow: 8,
+			WarmupWindows:     1,
+			MeasureWindows:    sc.Iterations - 1,
+			LockStripes:       16,
+			LockReads:         true,
+		})
+	default:
+		return apps.New(sc.App, apps.Config{
+			Threads:    sc.Threads,
+			Iterations: sc.Iterations,
+			Scale:      apps.ScaleTest,
+		})
 	}
-	return apps.New(sc.App, apps.Config{
-		Threads:    sc.Threads,
-		Iterations: sc.Iterations,
-		Scale:      apps.ScaleTest,
-	})
 }
 
 // RunTrial executes one trial with the oracle attached and returns what

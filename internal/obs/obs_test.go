@@ -63,7 +63,7 @@ type traceFile struct {
 }
 
 func TestTraceJSONStructure(t *testing.T) {
-	sys := observedRun(t, actdsm.WithDiffBatching(), actdsm.WithPrefetchBudget(-1))
+	sys := observedRun(t, actdsm.WithClusterConfig(actdsm.ClusterConfig{BatchDiffs: true, PrefetchBudget: -1}))
 	var buf bytes.Buffer
 	if err := sys.Recorder().WriteTrace(&buf); err != nil {
 		t.Fatalf("WriteTrace: %v", err)
@@ -179,7 +179,7 @@ func TestTraceDeterministicMapping(t *testing.T) {
 }
 
 func TestBreakdownSumsToWall(t *testing.T) {
-	sys := observedRun(t, actdsm.WithDiffBatching(), actdsm.WithPrefetchBudget(-1))
+	sys := observedRun(t, actdsm.WithClusterConfig(actdsm.ClusterConfig{BatchDiffs: true, PrefetchBudget: -1}))
 	b := sys.Recorder().Breakdown()
 	if len(b.Epochs) == 0 {
 		t.Fatal("no epochs in breakdown")
@@ -215,7 +215,7 @@ func TestBreakdownSumsToWall(t *testing.T) {
 }
 
 func TestMetricsCoverSnapshot(t *testing.T) {
-	sys := observedRun(t, actdsm.WithDiffBatching(), actdsm.WithPrefetchBudget(-1))
+	sys := observedRun(t, actdsm.WithClusterConfig(actdsm.ClusterConfig{BatchDiffs: true, PrefetchBudget: -1}))
 	snap := sys.Cluster().Stats().Snapshot()
 	var buf bytes.Buffer
 	if err := sys.Recorder().WriteMetrics(snap, &buf); err != nil {

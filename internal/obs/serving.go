@@ -1,0 +1,149 @@
+package obs
+
+// Prometheus text-exposition dump for serve.Report, the serving
+// counterpart of MetricsText. Like the dsm.Snapshot dump it is
+// reflection-driven: every field added to Report automatically renders
+// under a stable name, and the coverage test
+// (TestServeMetricsCoverReport) walks the same struct so a field the
+// dump would miss fails CI.
+//
+// Naming. Config-echo ints and float64 gauges render as
+// `actdsm_serve_<snake>`; int64 counters as
+// `actdsm_serve_<snake>_total`; sim.Time durations as
+// `actdsm_serve_<snake>_seconds` gauges; the latency bucket array as a
+// cumulative histogram `actdsm_serve_latency_seconds_bucket{le=...}`;
+// the per-kind call table as `actdsm_serve_calls_total{kind=...}`; and
+// the workload name as an info gauge
+// `actdsm_serve_info{workload="..."} 1`.
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"actdsm/internal/serve"
+	"actdsm/internal/sim"
+)
+
+// ServeMetricName returns the exposition name for a counter-shaped
+// Report field.
+func ServeMetricName(field string) string {
+	return "actdsm_serve_" + snakeCase(field) + "_total"
+}
+
+// ServeGaugeName returns the exposition name for a gauge-shaped Report
+// field (config echoes and derived rates).
+func ServeGaugeName(field string) string {
+	return "actdsm_serve_" + snakeCase(field)
+}
+
+// ServeTimeName returns the exposition name for a sim.Time Report
+// field, rendered in seconds.
+func ServeTimeName(field string) string {
+	return "actdsm_serve_" + snakeCase(field) + "_seconds"
+}
+
+var simTimeType = reflect.TypeOf(sim.Time(0))
+
+// ServeMetricsText renders a serving report in Prometheus text
+// exposition format. Output order is Report field order, so diffs stay
+// reviewable.
+func ServeMetricsText(r serve.Report, w io.Writer) error {
+	v := reflect.ValueOf(r)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		fv := v.Field(i)
+		switch {
+		case f.Name == "Workload":
+			if _, err := fmt.Fprintf(w,
+				"# HELP actdsm_serve_info serving workload identity\n"+
+					"# TYPE actdsm_serve_info gauge\nactdsm_serve_info{workload=%q} 1\n",
+				r.Workload); err != nil {
+				return err
+			}
+		case f.Name == "Calls":
+			if err := writeServeCalls(w, r.Calls); err != nil {
+				return err
+			}
+		case fv.Type() == simTimeType:
+			name := ServeTimeName(f.Name)
+			if _, err := fmt.Fprintf(w,
+				"# HELP %s serve.Report.%s (virtual time)\n# TYPE %s gauge\n%s %g\n",
+				name, f.Name, name, name, sim.Time(fv.Int()).Seconds()); err != nil {
+				return err
+			}
+		case fv.Kind() == reflect.Int64:
+			name := ServeMetricName(f.Name)
+			if _, err := fmt.Fprintf(w,
+				"# HELP %s serve.Report.%s\n# TYPE %s counter\n%s %d\n",
+				name, f.Name, name, name, fv.Int()); err != nil {
+				return err
+			}
+		case fv.Kind() == reflect.Int || fv.Kind() == reflect.Float64:
+			name := ServeGaugeName(f.Name)
+			if _, err := fmt.Fprintf(w,
+				"# HELP %s serve.Report.%s\n# TYPE %s gauge\n%s %g\n",
+				name, f.Name, name, name, fieldFloat(fv)); err != nil {
+				return err
+			}
+		case fv.Kind() == reflect.Array && fv.Type().Elem().Kind() == reflect.Int64:
+			if err := writeServeLatencyHist(w, fv); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# UNHANDLED serve.Report.%s (%s)\n", f.Name, fv.Kind()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fieldFloat(fv reflect.Value) float64 {
+	if fv.Kind() == reflect.Float64 {
+		return fv.Float()
+	}
+	return float64(fv.Int())
+}
+
+// writeServeLatencyHist renders the per-request latency bucket array as
+// a cumulative histogram with upper bounds in virtual seconds.
+func writeServeLatencyHist(w io.Writer, fv reflect.Value) error {
+	const name = "actdsm_serve_latency_seconds"
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s per-request virtual latency\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	var cum int64
+	n := fv.Len()
+	for b := 0; b < n; b++ {
+		cum += fv.Index(b).Int()
+		le := "+Inf"
+		if b < n-1 {
+			le = fmt.Sprintf("%g", serve.BucketBound(b+1).Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}
+
+// writeServeCalls renders the per-kind transport call counts over the
+// measurement span.
+func writeServeCalls(w io.Writer, calls []serve.KindCalls) error {
+	const name = "actdsm_serve_calls_total"
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s transport calls over the measurement span by message kind\n"+
+			"# TYPE %s counter\n", name, name); err != nil {
+		return err
+	}
+	for _, c := range calls {
+		if _, err := fmt.Fprintf(w, "%s{kind=%q} %d\n", name, c.Kind, c.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"actdsm/internal/sim"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	kv, err := NewKV(Config{})
+	if err != nil {
+		t.Fatalf("NewKV(zero): %v", err)
+	}
+	c := kv.Config()
+	if c.Clients != 8 || c.Keys != 256 || c.ValueBytes != 64 {
+		t.Errorf("size defaults: %+v", c)
+	}
+	if c.ReadFraction != 0.9 || c.ZipfS != 1.1 {
+		t.Errorf("mix defaults: %+v", c)
+	}
+	if c.RequestsPerWindow != 64 || c.WarmupWindows != 1 || c.Seed != 1 {
+		t.Errorf("window defaults: %+v", c)
+	}
+	if c.LockStripes != 256 {
+		t.Errorf("LockStripes = %d, want Keys (256)", c.LockStripes)
+	}
+	if c.SharedFraction != 0 {
+		t.Errorf("SharedFraction defaulted to %v without groups", c.SharedFraction)
+	}
+	if g, err := NewKV(Config{Groups: 4}); err != nil {
+		t.Fatalf("NewKV(groups): %v", err)
+	} else if g.Config().SharedFraction != 0.1 {
+		t.Errorf("grouped SharedFraction = %v, want 0.1", g.Config().SharedFraction)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Clients: -1},
+		{ReadFraction: 1.5},
+		{Groups: 2, SharedFraction: -0.1},
+		{TargetQPS: -10},
+		{Ramp: []int{2, 0}},
+		{Groups: 300, Keys: 256}, // empty groups
+	}
+	for i, c := range bad {
+		if _, err := NewKV(c); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipfTable(100, 1.1)
+	rng := sim.NewRNG(42)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.sample(rng)]++
+	}
+	if counts[0] <= counts[50] || counts[0] <= counts[99] {
+		t.Errorf("zipf not skewed: rank0=%d rank50=%d rank99=%d",
+			counts[0], counts[50], counts[99])
+	}
+	// Rank 0 carries weight 1 out of a harmonic-like total ≈ 5.4, so it
+	// should absorb well over 10% of draws.
+	if counts[0] < 2000 {
+		t.Errorf("rank0 drew only %d/20000", counts[0])
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	z := newZipfTable(16, 0)
+	rng := sim.NewRNG(7)
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[z.sample(rng)]++
+	}
+	for r, n := range counts {
+		if n < 500 || n > 1500 {
+			t.Errorf("uniform rank %d drew %d/16000, want ~1000", r, n)
+		}
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	cases := []struct {
+		d sim.Time
+		b int
+	}{
+		{0, 0},
+		{sim.Microsecond - 1, 0},
+		{sim.Microsecond, 0},
+		{2 * sim.Microsecond, 1},
+		{4*sim.Microsecond - 1, 1},
+		{4 * sim.Microsecond, 2},
+		{sim.Second, 19},
+		{100 * sim.Second, LatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.b {
+			t.Errorf("latencyBucket(%v) = %d, want %d", c.d, got, c.b)
+		}
+	}
+	for b := 1; b < LatencyBuckets; b++ {
+		if latencyBucket(BucketBound(b)) != b {
+			t.Errorf("BucketBound(%d) = %v lands in bucket %d", b, BucketBound(b), latencyBucket(BucketBound(b)))
+		}
+	}
+}
+
+func TestActiveClientsAndRamp(t *testing.T) {
+	kv, err := NewKV(Config{Clients: 4, Ramp: []int{1, 2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 4} // entry 8 clamps to Clients; last entry repeats
+	for w, a := range want {
+		if got := kv.activeClients(w); got != a {
+			t.Errorf("activeClients(%d) = %d, want %d", w, got, a)
+		}
+	}
+}
+
+func TestMeasuredWindows(t *testing.T) {
+	kv, err := NewKV(Config{WarmupWindows: 2, MeasureWindows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range []bool{false, false, true, true, true, false} {
+		if kv.measured(w) != want {
+			t.Errorf("bounded measured(%d) = %v, want %v", w, kv.measured(w), want)
+		}
+	}
+	open, err := NewKV(Config{WarmupWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.measured(1) || !open.measured(2) || !open.measured(100) {
+		t.Error("open-ended measurement window wrong")
+	}
+}
+
+func TestThinkTime(t *testing.T) {
+	kv, err := NewKV(Config{Clients: 8, TargetQPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kv.thinkTime(0); got != 8*sim.Millisecond {
+		t.Errorf("thinkTime = %v, want 8ms", got)
+	}
+	sat, err := NewKV(Config{Clients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.thinkTime(0) != 0 {
+		t.Errorf("saturation thinkTime = %v, want 0", sat.thinkTime(0))
+	}
+}
+
+func TestSampleKeyGroupLocality(t *testing.T) {
+	kv, err := NewKV(Config{Clients: 8, Keys: 256, Groups: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(99)
+	const draws = 10000
+	inBlock := 0
+	for i := 0; i < draws; i++ {
+		k := kv.sampleKey(rng, 1) // group 1 owns keys [64, 128)
+		if k < 0 || k >= 256 {
+			t.Fatalf("sampled key %d outside key space", k)
+		}
+		if k >= 64 && k < 128 {
+			inBlock++
+		}
+	}
+	// SharedFraction defaults to 0.1, so ~90% of draws stay group-local
+	// (plus the global stream's occasional hits inside the block).
+	if inBlock < draws*8/10 {
+		t.Errorf("only %d/%d draws group-local", inBlock, draws)
+	}
+}
+
+func TestReportBeforeRun(t *testing.T) {
+	kv, err := NewKV(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Report(); err == nil {
+		t.Fatal("Report before any run succeeded, want error")
+	} else if !strings.Contains(err.Error(), "no measured window") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

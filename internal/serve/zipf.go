@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"actdsm/internal/sim"
+)
+
+// zipfTable samples ranks 0..n-1 with probability proportional to
+// 1/(r+1)^s via a precomputed cumulative-weight table and binary search
+// (math/rand's Zipf is banned by the determinism contract; this draws
+// one sim.RNG float per sample). s <= 0 degrades to uniform.
+type zipfTable struct {
+	cum []float64
+}
+
+func newZipfTable(n int, s float64) *zipfTable {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = 1 / math.Pow(float64(i+1), s)
+		}
+		total += w
+		cum[i] = total
+	}
+	return &zipfTable{cum: cum}
+}
+
+// sample draws one rank.
+func (z *zipfTable) sample(rng *sim.RNG) int {
+	x := rng.Float64() * z.cum[len(z.cum)-1]
+	i := sort.SearchFloat64s(z.cum, x)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}

@@ -23,6 +23,10 @@ func (ti *ThreadInterval) Add(o ThreadInterval) {
 // Reset zeroes the interval.
 func (ti *ThreadInterval) Reset() { *ti = ThreadInterval{} }
 
+// Total is the interval's wall-clock-equivalent virtual duration from the
+// thread's own point of view: compute plus stall plus overhead.
+func (ti ThreadInterval) Total() Time { return ti.Compute + ti.Stall + ti.Overhead }
+
 // StallExposure is the fraction of remote-stall time that context
 // switching between local threads cannot hide. The paper cites the
 // latency-toleration benefit of per-node multithreading as 10–15%

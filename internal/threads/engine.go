@@ -1,6 +1,7 @@
 package threads
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -309,8 +310,17 @@ func (e *Engine) ApplyPlacement(assign []int) (int, error) {
 }
 
 // Run spawns one thread per Body produced by bodyFor and drives them all
-// to completion.
+// to completion. It is RunContext with a background context.
 func (e *Engine) Run(bodyFor func(tid int) Body) error {
+	return e.RunContext(context.Background(), bodyFor)
+}
+
+// RunContext is Run with cancellation: the scheduler checks ctx between
+// rounds and returns ctx.Err() once it is done, abandoning the parked
+// threads. Open-ended workloads (request-driven serving) rely on this as
+// their stop signal; batch workloads get best-effort early exit. The
+// engine is single-shot either way — a cancelled engine cannot be rerun.
+func (e *Engine) RunContext(ctx context.Context, bodyFor func(tid int) Body) error {
 	if e.threads != nil {
 		return errors.New("threads: engine already ran")
 	}
@@ -325,7 +335,7 @@ func (e *Engine) Run(bodyFor func(tid int) Body) error {
 		}
 	}
 	defer e.reapThreads()
-	return e.loop()
+	return e.loop(ctx)
 }
 
 // reapThreads unblocks any still-parked thread goroutines after an error
@@ -350,10 +360,13 @@ func (t *thread) abandon() {
 	t.state = stateDone
 }
 
-func (e *Engine) loop() error {
+func (e *Engine) loop(ctx context.Context) error {
 	live := len(e.threads)
 	e.refreshOrder()
 	for live > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		progress := false
 		for _, node := range e.nodeOrder() {
 			for _, tid := range e.order[node] {

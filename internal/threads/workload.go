@@ -1,0 +1,34 @@
+package threads
+
+import "actdsm/internal/memlayout"
+
+// Workload is the engine-facing contract every runnable application
+// satisfies: a name, a thread count, a shared-segment layout, and one
+// body per thread. It deliberately says nothing about execution shape —
+// a workload may be a batch epoch loop that calls EndIteration a fixed
+// number of times (EpochWorkload) or an open-ended request-driven
+// service that runs until told to stop (internal/serve).
+//
+// The historical App interface (internal/apps.App) is EpochWorkload
+// plus nothing, so every existing application satisfies Workload
+// structurally and runs through the same engine path unchanged.
+type Workload interface {
+	// Name identifies the workload in reports and errors.
+	Name() string
+	// Threads is the application thread count.
+	Threads() int
+	// Setup allocates the workload's shared-segment regions.
+	Setup(l *memlayout.Layout) error
+	// Body returns thread tid's code.
+	Body(tid int) Body
+}
+
+// EpochWorkload is a batch workload structured as a fixed number of
+// iterations, each terminated by Ctx.EndIteration — the shape the paper
+// evaluates (SPLASH-style kernels) and the unit its tracking, timing,
+// and migration machinery reasons about.
+type EpochWorkload interface {
+	Workload
+	// Iterations is the number of EndIteration epochs each body runs.
+	Iterations() int
+}

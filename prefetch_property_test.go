@@ -54,7 +54,8 @@ func runVerified(t *testing.T, name string, prefetch bool) actdsm.Snapshot {
 	}
 	opts := []actdsm.SystemOption{}
 	if prefetch {
-		opts = append(opts, actdsm.WithPrefetchBudget(-1), actdsm.WithDiffBatching())
+		opts = append(opts,
+			actdsm.WithClusterConfig(actdsm.ClusterConfig{PrefetchBudget: -1, BatchDiffs: true}))
 	}
 	sys, err := actdsm.NewSystem(app, nodes, opts...)
 	if err != nil {

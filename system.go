@@ -1,6 +1,7 @@
 package actdsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,6 +9,7 @@ import (
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
 	"actdsm/internal/obs"
+	"actdsm/internal/sim"
 	"actdsm/internal/threads"
 )
 
@@ -33,7 +35,7 @@ var _ threads.Observer = (*obs.Recorder)(nil)
 //
 // Run itself returns ErrAlreadyRan on a second call.
 type System struct {
-	app      App
+	app      Workload
 	cluster  *dsm.Cluster
 	engine   *threads.Engine
 	layout   *memlayout.Layout
@@ -72,6 +74,12 @@ type SystemConfig struct {
 	// after the run to export a Perfetto trace (WriteTrace), a metrics
 	// dump (WriteMetrics), or a per-epoch breakdown (Breakdown).
 	Obs ObsConfig
+	// Serving configures the online KV workload and its closed-loop
+	// load generator. It is consumed by workload construction (ServeKV,
+	// NewServingApp), not by the cluster or engine: a System built over
+	// a ServingApp measures whatever configuration the app was built
+	// with. Set it with WithServing.
+	Serving ServingConfig
 }
 
 // SystemOption customizes NewSystem by mutating a SystemConfig.
@@ -86,6 +94,21 @@ func WithClusterConfig(c ClusterConfig) SystemOption {
 	return func(sc *SystemConfig) { sc.Cluster = c }
 }
 
+// WithConfig replaces the entire SystemConfig at once — the preferred
+// way to set several knobs together now that the per-field options are
+// deprecated. Applied in option order, like WithClusterConfig: it
+// overwrites everything earlier options set, and later options
+// overwrite its fields.
+func WithConfig(c SystemConfig) SystemOption {
+	return func(sc *SystemConfig) { *sc = c }
+}
+
+// WithServing sets the serving-workload configuration consumed by
+// ServeKV and NewServingApp (see SystemConfig.Serving).
+func WithServing(c ServingConfig) SystemOption {
+	return func(sc *SystemConfig) { sc.Serving = c }
+}
+
 // WithPlacement sets the initial thread → node assignment (default:
 // stretch).
 func WithPlacement(assign []int) SystemOption {
@@ -93,12 +116,17 @@ func WithPlacement(assign []int) SystemOption {
 }
 
 // WithShuffle randomizes per-node thread execution order with the seed.
+//
+// Deprecated: set SystemConfig.ShuffleSeed via WithConfig.
 func WithShuffle(seed uint64) SystemOption {
 	return func(c *SystemConfig) { c.ShuffleSeed = seed }
 }
 
 // WithGCThreshold sets the diff garbage-collection threshold in bytes
 // (negative disables GC).
+//
+// Deprecated: set ClusterConfig.GCThresholdBytes via WithClusterConfig
+// or WithConfig.
 func WithGCThreshold(bytes int) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.GCThresholdBytes = bytes }
 }
@@ -109,6 +137,9 @@ func WithTCP() SystemOption {
 }
 
 // WithProtocol selects the coherence protocol (default MultiWriter).
+//
+// Deprecated: set ClusterConfig.Protocol via WithClusterConfig or
+// WithConfig.
 func WithProtocol(p Protocol) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.Protocol = p }
 }
@@ -138,6 +169,9 @@ func WithBarrierRetries(n int) SystemOption {
 
 // WithDiffBatching coalesces diff fetches into one DiffBatchRequest per
 // writer node with parallel fan-out (DESIGN.md §7).
+//
+// Deprecated: set ClusterConfig.BatchDiffs via WithClusterConfig or
+// WithConfig.
 func WithDiffBatching() SystemOption {
 	return func(c *SystemConfig) { c.Cluster.BatchDiffs = true }
 }
@@ -149,6 +183,9 @@ func WithDiffBatching() SystemOption {
 // batched per writer. budget > 0 caps the pages prefetched per node per
 // round; budget < 0 is unlimited; 0 disables (the default). See
 // DESIGN.md §7.
+//
+// Deprecated: set ClusterConfig.PrefetchBudget via WithClusterConfig
+// or WithConfig.
 func WithPrefetchBudget(budget int) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.PrefetchBudget = budget }
 }
@@ -157,6 +194,9 @@ func WithPrefetchBudget(budget int) SystemOption {
 // into (shard s lives on node s mod Nodes). 0 (the default) spreads one
 // shard per node; 1 centralizes every lock on node 0, the
 // pre-decentralization baseline. See DESIGN.md §10.
+//
+// Deprecated: set ClusterConfig.LockShards via WithClusterConfig or
+// WithConfig.
 func WithLockShards(n int) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.LockShards = n }
 }
@@ -166,6 +206,9 @@ func WithLockShards(n int) SystemOption {
 // the barrier's critical path is O(log_k n) instead of O(n) at the
 // manager. 0 (the default) keeps the flat single-manager barrier; 1 and
 // negative values are invalid. See DESIGN.md §10.
+//
+// Deprecated: set ClusterConfig.BarrierArity via WithClusterConfig or
+// WithConfig.
 func WithBarrierArity(k int) SystemOption {
 	return func(c *SystemConfig) { c.Cluster.BarrierArity = k }
 }
@@ -175,6 +218,9 @@ func WithBarrierArity(k int) SystemOption {
 // grants forward — the acquirer pulls causal history straight from the
 // previous holder instead of through the manager. Multi-writer protocol
 // only. See DESIGN.md §10.
+//
+// Deprecated: set ClusterConfig.HomeMigration via WithClusterConfig or
+// WithConfig.
 func WithHomeMigration() SystemOption {
 	return func(c *SystemConfig) { c.Cluster.HomeMigration = true }
 }
@@ -198,13 +244,18 @@ func WithObservability() SystemOption {
 
 // WithObsConfig sets the full observability configuration (ring
 // capacity, enablement).
+//
+// Deprecated: set SystemConfig.Obs via WithConfig.
 func WithObsConfig(o ObsConfig) SystemOption {
 	return func(c *SystemConfig) { c.Obs = o }
 }
 
-// NewSystem builds a cluster sized for the application's shared segment
-// and an engine hosting its threads.
-func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
+// NewSystem builds a cluster sized for the workload's shared segment
+// and an engine hosting its threads. Any Workload runs here — epoch
+// apps (App, which satisfies Workload structurally, so existing call
+// sites compile unchanged) and request-driven services (ServingApp)
+// alike; the engine does not care which shape it hosts.
+func NewSystem(app Workload, nodes int, opts ...SystemOption) (*System, error) {
 	var cfg SystemConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -240,8 +291,9 @@ func NewSystem(app App, nodes int, opts ...SystemOption) (*System, error) {
 	return sys, nil
 }
 
-// App returns the system's application.
-func (s *System) App() App { return s.app }
+// App returns the system's workload (an App, a ServingApp, or any
+// other Workload it was built over).
+func (s *System) App() Workload { return s.app }
 
 // Cluster returns the DSM cluster (statistics, coherence checks).
 func (s *System) Cluster() *Cluster { return s.cluster }
@@ -284,20 +336,50 @@ func (s *System) TrackIteration(iter int) (*ActiveTracker, error) {
 	return s.tracker, nil
 }
 
-// Run executes the application to completion. It composes the hooks and
+// Run executes the workload to completion. It composes the hooks and
 // tracker configured beforehand, wires the correlation-driven prefetch
 // predictor (when the cluster's PrefetchBudget enables prefetch), and
 // returns ErrAlreadyRan on a second call.
-func (s *System) Run() error {
+func (s *System) Run() error { return s.RunContext(context.Background()) }
+
+// servingHooked is the structural contract a workload exposes to have
+// serving instrumentation composed into the engine hooks: the returned
+// hooks must delegate to inner after their own window bookkeeping.
+// serve.KV satisfies it; the facade stays decoupled from the concrete
+// type so future serving workloads plug in the same way.
+type servingHooked interface {
+	ServingHooks(inner threads.Hooks, elapsed func() sim.Time, snapshot func() dsm.Snapshot) threads.Hooks
+}
+
+// stoppable lets RunContext wind a workload down on ctx cancellation.
+type stoppable interface{ Stop() }
+
+// RunContext is Run under a context: cancelling ctx stops the engine at
+// its next scheduling step and, for workloads with a Stop method
+// (ServingApp), asks the load generator to wind down — the way
+// open-ended serving runs (MeasureWindows == 0) terminate. It returns
+// ctx.Err() when cancellation cut the run short.
+//
+// Hook composition order: the workload's own serving instrumentation
+// (window spans) wraps the user hooks, and the tracker wraps all, so
+// tracker begin/end still brackets exactly the tracked iteration.
+func (s *System) RunContext(ctx context.Context) error {
 	if s.ran {
 		return ErrAlreadyRan
 	}
 	s.ran = true
+	hooks := s.hooks
+	if sh, ok := s.app.(servingHooked); ok {
+		hooks = sh.ServingHooks(hooks, s.engine.Elapsed, s.cluster.Stats().Snapshot)
+	}
 	if s.tracker != nil {
-		s.engine.SetHooks(s.tracker.Hooks(s.hooks))
+		s.engine.SetHooks(s.tracker.Hooks(hooks))
 		s.tracker.Start()
 	} else {
-		s.engine.SetHooks(s.hooks)
+		s.engine.SetHooks(hooks)
+	}
+	if st, ok := s.app.(stoppable); ok {
+		defer context.AfterFunc(ctx, st.Stop)()
 	}
 	// Correlation-driven prefetch prediction: once the tracker has a
 	// complete iteration's bitmaps, a node's prediction is the union of
@@ -312,7 +394,7 @@ func (s *System) Run() error {
 		}
 		return core.PredictNodePages(tracker.Bitmaps(), engine.Placement(), node, cluster.NumPages())
 	})
-	return s.engine.Run(s.app.Body)
+	return s.engine.RunContext(ctx, s.app.Body)
 }
 
 // Elapsed returns the cluster-wide elapsed virtual time.

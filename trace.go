@@ -1,7 +1,7 @@
 package actdsm
 
 import (
-	"actdsm/internal/dsm"
+	"actdsm/internal/memlayout"
 	"actdsm/internal/threads"
 	"actdsm/internal/trace"
 )
@@ -26,38 +26,48 @@ func DecodeTrace(b []byte) (*Trace, error) { return trace.Decode(b) }
 
 // ReplayTrace replays a captured trace on a fresh cluster with the given
 // node count, returning the run's protocol counters and elapsed virtual
-// time. The replayed system accepts the same options as NewSystem —
-// protocol (WithProtocol), transport and chaos (WithTCP,
-// WithTransportOptions, WithChaos), prefetch and batching
-// (WithPrefetchBudget, WithDiffBatching), placement, or a whole
-// WithClusterConfig — so a recorded access stream can be driven against
-// any cluster shape or protocol variant. Nodes and Pages come from the
-// arguments and the trace itself.
+// time. The replay is an ordinary Workload run through NewSystem, so it
+// accepts every SystemOption — a whole WithClusterConfig (protocol,
+// prefetch, batching), transport and chaos (WithTCP,
+// WithTransportOptions, WithChaos), or placement — and a recorded
+// access stream can be driven against any cluster shape or protocol
+// variant. Nodes and Pages come from the arguments and the trace
+// itself.
 func ReplayTrace(t *Trace, nodes int, opts ...SystemOption) (Snapshot, Time, error) {
-	var cfg SystemConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	ccfg := cfg.Cluster
-	ccfg.Nodes = nodes
-	ccfg.Pages = t.Pages
-	cl, err := dsm.New(ccfg)
+	sys, err := NewSystem(&replayWorkload{t: t, body: t.ReplayBody()}, nodes, opts...)
 	if err != nil {
 		return Snapshot{}, 0, err
 	}
-	defer func() { _ = cl.Close() }()
-	eng, err := threads.NewEngine(cl, threads.Config{
-		Threads:          t.Threads,
-		Placement:        cfg.Placement,
-		SchedulerEnabled: true,
-		ShuffleSeed:      cfg.ShuffleSeed,
-		NodeSpeeds:       cfg.NodeSpeeds,
-	})
-	if err != nil {
+	defer func() { _ = sys.Close() }()
+	if err := sys.Run(); err != nil {
 		return Snapshot{}, 0, err
 	}
-	if err := eng.Run(t.ReplayBody()); err != nil {
-		return Snapshot{}, 0, err
-	}
-	return cl.Stats().Snapshot(), eng.Elapsed(), nil
+	return sys.Cluster().Stats().Snapshot(), sys.Elapsed(), nil
 }
+
+// replayWorkload adapts a captured trace to the Workload interface so
+// replay runs through the same NewSystem/Run path as live apps. It has
+// no Iterations method on purpose: a trace's epoch structure is
+// whatever the recorded stream contains, so it is the canonical
+// non-epoch Workload.
+type replayWorkload struct {
+	t *Trace
+	// body is captured once — ReplayBody builds shared replay cursors,
+	// so calling it per thread would give each thread its own copy.
+	body func(tid int) threads.Body
+}
+
+var _ Workload = (*replayWorkload)(nil)
+
+func (r *replayWorkload) Name() string { return "replay" }
+func (r *replayWorkload) Threads() int { return r.t.Threads }
+
+func (r *replayWorkload) Setup(l *memlayout.Layout) error {
+	if r.t.Pages > 0 {
+		_, err := l.Alloc("replay.pages", r.t.Pages*memlayout.PageSize)
+		return err
+	}
+	return nil
+}
+
+func (r *replayWorkload) Body(tid int) threads.Body { return r.body(tid) }

@@ -1,0 +1,186 @@
+package actdsm_test
+
+// Facade property tests for the Workload split (DESIGN.md §11):
+//
+//   - every epoch app driven through the legacy App-typed path and
+//     through a bare Workload wrapper (its Iterations method hidden)
+//     produces identical protocol counters — the engine never depended
+//     on the epoch shape;
+//   - RunContext cancellation stops epoch runs and drains open-ended
+//     serving runs at the next window boundary.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"actdsm"
+)
+
+// bareWorkload hides every method of an App except the Workload set, so
+// the engine cannot possibly consult Iterations.
+type bareWorkload struct{ app actdsm.App }
+
+func (b bareWorkload) Name() string                 { return b.app.Name() }
+func (b bareWorkload) Threads() int                 { return b.app.Threads() }
+func (b bareWorkload) Setup(l *actdsm.Layout) error { return b.app.Setup(l) }
+func (b bareWorkload) Body(tid int) actdsm.Body     { return b.app.Body(tid) }
+
+func TestWorkloadPathMatchesAppPath(t *testing.T) {
+	for _, name := range actdsm.AppNames() {
+		t.Run(name, func(t *testing.T) {
+			counters := func(wrap bool) actdsm.Counters {
+				app, err := actdsm.NewApp(name, actdsm.AppConfig{
+					Threads: 8, Iterations: 2, Scale: actdsm.ScaleTest,
+				})
+				if err != nil {
+					t.Fatalf("NewApp: %v", err)
+				}
+				var w actdsm.Workload = app
+				if wrap {
+					w = bareWorkload{app: app}
+				}
+				sys, err := actdsm.NewSystem(w, 4)
+				if err != nil {
+					t.Fatalf("NewSystem: %v", err)
+				}
+				defer func() { _ = sys.Close() }()
+				if err := sys.Run(); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				return sys.Cluster().Stats().Snapshot().Counters()
+			}
+			if viaApp, viaWorkload := counters(false), counters(true); viaApp != viaWorkload {
+				t.Errorf("protocol counters diverge between App and Workload paths:\napp:      %+v\nworkload: %+v",
+					viaApp, viaWorkload)
+			}
+		})
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	app, err := actdsm.NewApp("SOR", actdsm.AppConfig{Threads: 4, Scale: actdsm.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := actdsm.NewSystem(app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The lifecycle still advances: a second run attempt reports
+	// ErrAlreadyRan, not a hang or a restart.
+	if err := sys.Run(); !errors.Is(err, actdsm.ErrAlreadyRan) {
+		t.Fatalf("second Run = %v, want ErrAlreadyRan", err)
+	}
+}
+
+func TestRunContextCancelFromHook(t *testing.T) {
+	app, err := actdsm.NewApp("SOR", actdsm.AppConfig{
+		Threads: 4, Iterations: 50, Scale: actdsm.ScaleTest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := actdsm.NewSystem(app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	var lastIter int
+	if err := sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+		lastIter = iter
+		if iter == 1 {
+			cancel()
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if lastIter >= 49 {
+		t.Fatalf("run completed all iterations despite cancellation (last iter %d)", lastIter)
+	}
+}
+
+func TestServingOpenEndedStops(t *testing.T) {
+	app, err := actdsm.NewServingApp(actdsm.ServingConfig{
+		Clients:           4,
+		Keys:              32,
+		RequestsPerWindow: 4,
+		// MeasureWindows 0: open-ended; only Stop ends the run.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := actdsm.NewSystem(app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	if err := sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+		if iter == 3 {
+			app.Stop()
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("open-ended run did not drain cleanly: %v", err)
+	}
+	rep, err := app.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	// Windows 1..3 are measured (window 0 is warmup); clients observe
+	// the stop flag at the start of window 4.
+	if rep.Windows != 3 {
+		t.Errorf("measured %d windows, want 3", rep.Windows)
+	}
+	if want := int64(4 * 4 * 3); rep.Requests != want {
+		t.Errorf("measured %d requests, want %d", rep.Requests, want)
+	}
+}
+
+func TestServingCancelDrains(t *testing.T) {
+	app, err := actdsm.NewServingApp(actdsm.ServingConfig{
+		Clients:           4,
+		Keys:              32,
+		RequestsPerWindow: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := actdsm.NewSystem(app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sys.SetHooks(actdsm.Hooks{OnIteration: func(iter int) {
+		if iter == 2 {
+			cancel()
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	// Windows completed before the cancellation stay measured.
+	rep, err := app.Report()
+	if err != nil {
+		t.Fatalf("Report after cancellation: %v", err)
+	}
+	if rep.Windows < 1 {
+		t.Errorf("no measured windows survived cancellation: %+v", rep)
+	}
+}
