@@ -62,7 +62,11 @@ bench:
 ## placement ablation (ServeKV, 16 clients over 4 nodes: static vs
 ## min-cost vs home-migration placement), rewrites BENCH_serving.json,
 ## and fails on a >5% QPS or p99 regression per row or if
-## home-migration stops beating static placement on p99 and QPS; then
+## home-migration stops beating static placement on p99 and QPS;
+## reruns the crash-recovery comparison (fault-free vs crash vs
+## crash+rejoin), rewrites BENCH_failover.json, and fails if the leg
+## digests diverge (a crashed run must reproduce the fault-free memory
+## byte for byte) or the recovery call counts drift; then
 ## reruns the hot-path locking comparison and fails if the sharded
 ## speedup falls below the floor or the steady-state message encode
 ## starts allocating. The prefetch, managers, and serving runs are
@@ -80,6 +84,9 @@ bench-compare:
 	$(GO) run ./cmd/actbench -only serving \
 		-serving-json BENCH_serving.json \
 		-serving-baseline BENCH_serving.json
+	$(GO) run ./cmd/actbench -only failover \
+		-failover-json BENCH_failover.json \
+		-failover-baseline BENCH_failover.json
 	$(GO) run ./cmd/actbench -only hotpath \
 		-hotpath-baseline BENCH_hotpath.json
 

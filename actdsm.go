@@ -291,6 +291,11 @@ var (
 	CompareServingReports = experiments.CompareServingReports
 	FormatServingReport   = experiments.FormatServingReport
 
+	FailoverComparison     = experiments.FailoverComparison
+	FailoverReportJSON     = experiments.FailoverReportJSON
+	CompareFailoverReports = experiments.CompareFailoverReports
+	FormatFailoverReport   = experiments.FormatFailoverReport
+
 	AblationHeuristics = experiments.AblationHeuristics
 	AblationScaling    = experiments.AblationScaling
 	AblationDensity    = experiments.AblationDensity

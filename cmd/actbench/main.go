@@ -24,7 +24,12 @@
 // home-migration placement and reports throughput plus p50/p99/p999
 // virtual latency; -serving-json and -serving-baseline drive the
 // deterministic BENCH_serving.json gate, which additionally requires
-// home migration to beat static placement on both p99 and QPS.
+// home migration to beat static placement on both p99 and QPS. The
+// "failover" section runs the crash-recovery comparison (DESIGN.md §12):
+// the same workload fault-free, with a mid-run node crash, and with a
+// crash plus rejoin — all three legs must produce byte-identical memory;
+// -failover-json and -failover-baseline drive the deterministic
+// BENCH_failover.json gate, which also pins the recovery call counts.
 //
 // The "sor" section runs one observed SOR workload and prints its
 // per-epoch time breakdown (DESIGN.md §9). With -trace-out it writes a
@@ -63,7 +68,7 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, serving, check, transport, sor)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, serving, failover, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
@@ -74,6 +79,8 @@ func run() error {
 		mgrBase   = flag.String("managers-baseline", "", "compare the managers report against this committed baseline; fail when the tree-barrier depth or the sharded lock spread regresses")
 		srvJSON   = flag.String("serving-json", "", "write the serving placement-ablation report as JSON to this file")
 		srvBase   = flag.String("serving-baseline", "", "compare the serving report against this committed baseline; fail on >5% QPS/p99 regression or when home migration stops beating static placement")
+		ftJSON    = flag.String("failover-json", "", "write the crash-recovery comparison report as JSON to this file")
+		ftBase    = flag.String("failover-baseline", "", "compare the failover report against this committed baseline; fail when the leg digests diverge or the recovery call counts drift")
 		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -401,6 +408,46 @@ func run() error {
 			if baseline != nil {
 				cmp, err := actdsm.CompareServingReports(baseline, report)
 				out += "\n-- vs baseline " + *srvBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("failover") {
+		if err := section("Failover: crash recovery vs fault-free baseline", func() (string, error) {
+			rep, err := actdsm.FailoverComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatFailoverReport(rep)
+			report, err := actdsm.FailoverReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_failover.json.
+			var baseline []byte
+			if *ftBase != "" {
+				baseline, err = os.ReadFile(*ftBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *ftJSON != "" {
+				if err := os.WriteFile(*ftJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *ftJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.CompareFailoverReports(baseline, report)
+				out += "\n-- vs baseline " + *ftBase + " --\n" + cmp
 				if err != nil {
 					fmt.Print(out)
 					return "", err

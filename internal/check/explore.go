@@ -25,6 +25,7 @@ import (
 	"actdsm/internal/apps"
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
 	"actdsm/internal/serve"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
@@ -56,6 +57,17 @@ type Scenario struct {
 	LockShards    int
 	BarrierArity  int
 	HomeMigration bool
+	// Crashes enables dsm.Config.FaultTolerance and asks the plan
+	// generator for that many deterministic node crashes per trial,
+	// sited at calibrated barrier-protocol call numbers (so the crash
+	// lands mid-protocol rather than mid-application, where a dead
+	// node's own threads would wedge before the engine migrates them).
+	// The oracle's crash/rejoin model is exercised by every such trial.
+	Crashes int
+	// Restart schedules each generated crash with a rejoin epoch, so
+	// trials also cover the recovery protocol (state wipe, re-fetch,
+	// re-registration), not just failover.
+	Restart bool
 }
 
 // Scenarios returns the default sweep set: the paper's regular
@@ -86,6 +98,16 @@ func Scenarios() []Scenario {
 		{Name: "Serve4", App: "ServeKV", Threads: 4, Nodes: 4, Iterations: 4, BatchDiffs: true},
 		{Name: "Serve4mig", App: "ServeKV", Threads: 4, Nodes: 4, Iterations: 4,
 			PrefetchBudget: -1, HomeMigration: true, LockShards: 2, BarrierArity: 2},
+		// Crash-fault tolerance: every decentralized-manager extension
+		// enabled, one deterministic crash per trial (with and without a
+		// scheduled restart). FaultTolerance excludes the batching and
+		// prefetch paths, so these scenarios leave them off.
+		{Name: "SOR4ft", App: "SOR", Threads: 4, Nodes: 4, Iterations: 4,
+			LockShards: 2, BarrierArity: 2, HomeMigration: true, Crashes: 1},
+		{Name: "LockChain4ft", App: "LockChain", Threads: 4, Nodes: 4, Iterations: 5,
+			LockShards: 2, BarrierArity: 2, HomeMigration: true, Crashes: 1, Restart: true},
+		{Name: "Serve4ft", App: "ServeKV", Threads: 4, Nodes: 4, Iterations: 4,
+			LockShards: 2, BarrierArity: 2, HomeMigration: true, Crashes: 1, Restart: true},
 	}
 }
 
@@ -123,13 +145,15 @@ func MustScenario(name string) Scenario {
 }
 
 // Plan is a deterministic chaos plan: injected faults keyed by the
-// 1-based global transport call number.
+// 1-based global transport call number, plus fail-stop crash windows
+// keyed on the same counter.
 type Plan struct {
-	Faults map[int64]transport.Fault
+	Faults  map[int64]transport.Fault
+	Crashes []sim.CrashSchedule
 }
 
 // Empty reports whether the plan injects nothing.
-func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+func (p Plan) Empty() bool { return len(p.Faults) == 0 && len(p.Crashes) == 0 }
 
 // Clone deep-copies the plan.
 func (p Plan) Clone() Plan {
@@ -137,6 +161,7 @@ func (p Plan) Clone() Plan {
 	for k, v := range p.Faults {
 		out.Faults[k] = v
 	}
+	out.Crashes = append([]sim.CrashSchedule(nil), p.Crashes...)
 	return out
 }
 
@@ -150,15 +175,25 @@ func (p Plan) calls() []int64 {
 	return out
 }
 
-// String renders the plan as "call:fault,call:fault" in call order
-// ("-" for an empty plan). ParsePlan inverts it.
+// String renders the plan as "call:fault,call:fault" in call order,
+// with crash windows as "call:crash:<node>" (plus ":r<epoch>" when the
+// node restarts); "-" for an empty plan. ParsePlan inverts it.
 func (p Plan) String() string {
 	if p.Empty() {
 		return "-"
 	}
-	parts := make([]string, 0, len(p.Faults))
+	parts := make([]string, 0, len(p.Faults)+len(p.Crashes))
 	for _, c := range p.calls() {
 		parts = append(parts, fmt.Sprintf("%d:%s", c, p.Faults[c]))
+	}
+	crashes := append([]sim.CrashSchedule(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool { return crashes[i].Call < crashes[j].Call })
+	for _, s := range crashes {
+		el := fmt.Sprintf("%d:crash:%d", s.Call, s.Node)
+		if s.RestartEpoch != 0 {
+			el += fmt.Sprintf(":r%d", s.RestartEpoch)
+		}
+		parts = append(parts, el)
 	}
 	return strings.Join(parts, ",")
 }
@@ -184,6 +219,23 @@ func ParsePlan(s string) (Plan, error) {
 		call, err := strconv.ParseInt(cs, 10, 64)
 		if err != nil {
 			return Plan{}, fmt.Errorf("check: bad plan call number %q: %w", cs, err)
+		}
+		if ns, ok := strings.CutPrefix(fs, "crash:"); ok {
+			ns, rs, hasRestart := strings.Cut(ns, ":r")
+			node, err := strconv.Atoi(ns)
+			if err != nil {
+				return Plan{}, fmt.Errorf("check: bad crash node %q: %w", ns, err)
+			}
+			sched := sim.CrashSchedule{Node: node, Call: call}
+			if hasRestart {
+				ep, err := strconv.ParseInt(rs, 10, 64)
+				if err != nil {
+					return Plan{}, fmt.Errorf("check: bad restart epoch %q: %w", rs, err)
+				}
+				sched.RestartEpoch = ep
+			}
+			p.Crashes = append(p.Crashes, sched)
+			continue
 		}
 		f, ok := byName[fs]
 		if !ok {
@@ -218,6 +270,12 @@ type TrialResult struct {
 	// Calls is the number of transport calls the trial made (the
 	// calibration input for plan generation).
 	Calls int64
+	// BarrierCalls holds the call numbers of barrier-protocol and GC
+	// messages observed (enter, release, collect): the call sites where
+	// a generated crash is survivable, because every thread is parked
+	// at the rendezvous and the engine migrates the victim's threads
+	// before they run again. Plan generation sites crashes here.
+	BarrierCalls []int64
 	// Elapsed is the trial's wall-clock duration.
 	Elapsed time.Duration
 }
@@ -279,10 +337,20 @@ func RunTrial(tr Trial) TrialResult {
 	}
 
 	var calls atomic.Int64
+	var barrierMu sync.Mutex
+	var barrierCalls []int64
 	faults := tr.Plan.Faults
 	planFn := func(from, to int, payload []byte, call int64) transport.Fault {
 		if call > calls.Load() {
 			calls.Store(call)
+		}
+		if len(payload) > 0 {
+			switch msg.Kind(payload[0]) {
+			case msg.KindBarrierEnter, msg.KindBarrierRelease, msg.KindGCCollect:
+				barrierMu.Lock()
+				barrierCalls = append(barrierCalls, call)
+				barrierMu.Unlock()
+			}
 		}
 		return faults[call] // zero value is FaultNone
 	}
@@ -296,6 +364,7 @@ func RunTrial(tr Trial) TrialResult {
 		LockShards:     tr.Scenario.LockShards,
 		BarrierArity:   tr.Scenario.BarrierArity,
 		HomeMigration:  tr.Scenario.HomeMigration,
+		FaultTolerance: tr.Scenario.Crashes > 0 || len(tr.Plan.Crashes) > 0,
 		// Tight retry budget: enough attempts that a single injected
 		// fault per call number always recovers (a retried call gets a
 		// fresh call number), with microsecond backoff so thousand-trial
@@ -306,7 +375,7 @@ func RunTrial(tr Trial) TrialResult {
 			BackoffMax:  8 * time.Microsecond,
 		},
 		BarrierRetries: 2,
-		Chaos:          &transport.ChaosOptions{Plan: planFn},
+		Chaos:          &transport.ChaosOptions{Plan: planFn, Crashes: tr.Plan.Crashes},
 	})
 	if err != nil {
 		return fail(err)
@@ -331,6 +400,9 @@ func RunTrial(tr Trial) TrialResult {
 
 	runErr := eng.Run(app.Body)
 	res.Calls = calls.Load()
+	barrierMu.Lock()
+	res.BarrierCalls = barrierCalls
+	barrierMu.Unlock()
 	if runErr != nil {
 		res.RunErr = runErr
 		res.Violations = oracle.Violations()
@@ -366,6 +438,42 @@ func planForSeed(seed uint64, totalCalls int64, maxFaults int) Plan {
 	for i := 0; i < n; i++ {
 		call := int64(rng.Intn(int(totalCalls))) + 1
 		p.Faults[call] = kinds[rng.Intn(len(kinds))]
+	}
+	return p
+}
+
+// crashPlanForSeed derives a crash plan for a fault-tolerance scenario:
+// sc.Crashes distinct victims, each crashing at a barrier-protocol call
+// number from the calibration run (every trial carries at least one
+// crash — that is the scenario's point). Drop/duplicate faults are left
+// out: retries would shift the global call numbering and push the crash
+// out of its barrier window, wedging the victim's threads mid-
+// application. With sc.Restart each victim is scheduled to rejoin at a
+// random later barrier episode.
+func crashPlanForSeed(seed uint64, sc Scenario, barrierCalls []int64) Plan {
+	p := Plan{Faults: make(map[int64]transport.Fault)}
+	if sc.Crashes <= 0 || len(barrierCalls) == 0 {
+		return p
+	}
+	rng := sim.NewRNG(0xD1B54A32D192ED03 ^ (seed + 1))
+	used := make(map[int]bool)
+	for i := 0; i < sc.Crashes && i < sc.Nodes-1; i++ {
+		victim := rng.Intn(sc.Nodes)
+		for used[victim] {
+			victim = rng.Intn(sc.Nodes)
+		}
+		used[victim] = true
+		s := sim.CrashSchedule{
+			Node: victim,
+			Call: barrierCalls[rng.Intn(len(barrierCalls))],
+		}
+		if sc.Restart {
+			// Any epoch is valid: RestartEpoch is a lower bound, so an
+			// epoch the crash has already passed rejoins at the next
+			// barrier after the crash.
+			s.RestartEpoch = 1 + int64(rng.Intn(sc.Iterations+1))
+		}
+		p.Crashes = append(p.Crashes, s)
 	}
 	return p
 }
@@ -500,7 +608,38 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 						report()
 						continue
 					}
-					plan := planForSeed(seed, totalCalls, cfg.MaxFaults)
+					var plan Plan
+					if sc.Crashes > 0 {
+						// Per-seed calibration: the thread schedule — and so
+						// the global call numbering — is a function of the
+						// seed, so barrier-window call numbers must come
+						// from a clean run of the SAME seed for the crash
+						// to land mid-protocol rather than mid-application.
+						pc := RunTrial(Trial{Scenario: sc, Seed: seed, Mutation: cfg.Mutation})
+						mu.Lock()
+						executed++
+						mu.Unlock()
+						if pc.Failed() {
+							o := &outcome{scIdx: scIdx, seed: seed, plan: Plan{}, r: pc}
+							mu.Lock()
+							if better(o) {
+								best = o
+							}
+							mu.Unlock()
+							report()
+							continue
+						}
+						if pc.RunErr != nil {
+							mu.Lock()
+							aborted++
+							mu.Unlock()
+							report()
+							continue
+						}
+						plan = crashPlanForSeed(seed, sc, pc.BarrierCalls)
+					} else {
+						plan = planForSeed(seed, totalCalls, cfg.MaxFaults)
+					}
 					r := RunTrial(Trial{Scenario: sc, Seed: seed, Plan: plan, Mutation: cfg.Mutation})
 					mu.Lock()
 					executed++
@@ -559,6 +698,21 @@ func Shrink(f *Failure) *Failure {
 				cur.Violations = r.Violations
 				improved = true
 				break
+			}
+		}
+		for i := range cur.Plan.Crashes {
+			if improved {
+				break
+			}
+			cand := cur.Plan.Clone()
+			cand.Crashes = append(cand.Crashes[:i:i], cand.Crashes[i+1:]...)
+			t := cur.trial()
+			t.Plan = cand
+			r := RunTrial(t)
+			if r.Failed() {
+				cur.Plan = cand
+				cur.Violations = r.Violations
+				improved = true
 			}
 		}
 		if !improved {

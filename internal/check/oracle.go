@@ -162,6 +162,10 @@ type Oracle struct {
 	prefetchValid int64
 	pushValid     int64
 	serverValid   int64
+	// recoveryValid counts full-page fetches on the recovery path
+	// (fault-tolerance standby reseeds and rejoin re-fetches), conserved
+	// against Stats.RecoveryFetches.
+	recoveryValid int64
 
 	violations []Violation
 }
@@ -207,6 +211,8 @@ func (o *Oracle) Attach(c *dsm.Cluster) {
 		LockAcquired:     o.lockAcquired,
 		LockReleased:     o.lockReleased,
 		BarrierReleased:  o.barrierReleased,
+		NodeCrashed:      o.nodeCrashed,
+		NodeRejoined:     o.nodeRejoined,
 	})
 	c.AddAccessHook(func(node, tid int, p vm.PageID, a vm.Access) {
 		o.pageRead(node, p)
@@ -243,6 +249,11 @@ func (o *Oracle) Finish(snap dsm.Snapshot) error {
 		o.flag("conservation", -1, fmt.Sprintf(
 			"prefetch %d + push %d validations != Stats.PrefetchedPages %d",
 			o.prefetchValid, o.pushValid, snap.PrefetchedPages))
+	}
+	if o.recoveryValid != snap.RecoveryFetches {
+		o.flag("conservation", -1, fmt.Sprintf(
+			"recovery validations %d != Stats.RecoveryFetches %d",
+			o.recoveryValid, snap.RecoveryFetches))
 	}
 	o.mu.Unlock()
 	return o.Err()
@@ -409,7 +420,7 @@ func (o *Oracle) diffApplied(node int, src dsm.ApplySource, nt msg.Notice) {
 	}
 }
 
-func (o *Oracle) pageFetched(node int, p vm.PageID, appliedVT []int32) {
+func (o *Oracle) pageFetched(node int, p vm.PageID, src dsm.ApplySource, appliedVT []int32) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	pv := o.view(node, int32(p))
@@ -428,9 +439,44 @@ func (o *Oracle) pageFetched(node int, p vm.PageID, appliedVT []int32) {
 	// individually applied before it are subsumed by the new image.
 	pv.applied = make(map[[2]int32]bool)
 	pv.pending = make(map[[2]int32]msg.Notice)
-	// Full fetches happen only on the demand path.
-	o.demandValid++
+	// A full fetch validates the replica on the demand path; recovery
+	// fetches (standby reseeds, rejoin re-fetches) are conserved
+	// separately against Stats.RecoveryFetches.
+	if src == dsm.ApplyDemand {
+		o.demandValid++
+	} else {
+		o.recoveryValid++
+	}
 }
+
+// nodeCrashed models a crash under fault tolerance: the node's page
+// copies, twins, and pending sets are gone. Its registered writes stay —
+// the replicated diff store still serves them to survivors — and its
+// interval numbering stays pinned: the recovery protocol must resume the
+// writer's sequence exactly where the last replicated close left it, so
+// the monotone-interval check is deliberately NOT relaxed.
+func (o *Oracle) nodeCrashed(node int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for k := range o.pages {
+		if int(k[0]) == node {
+			delete(o.pages, k)
+		}
+	}
+	// The node's happens-before front dies with it; a rejoin rebuilds it
+	// from the standby's seen vector and the next barrier join.
+	for w := range o.nodeVC[node] {
+		o.nodeVC[node][w] = 0
+	}
+}
+
+// nodeRejoined models recovery completion: the node re-entered the view.
+// The crash handler already wiped its replica views and no event fires
+// for a dead node in between, so nothing needs resetting here — the
+// rejoin's eager home re-fetches (which fire before this event) have
+// already seeded fresh views, and the next barrier release re-joins the
+// node's front.
+func (o *Oracle) nodeRejoined(node int) {}
 
 func (o *Oracle) pageInvalidated(node int, p vm.PageID) {
 	o.mu.Lock()

@@ -86,7 +86,7 @@ func TestOracleDoubleApplyAfterFetch(t *testing.T) {
 	o := NewOracle(2)
 	close1(o, 0, nt(0, 0, 1, 1))
 	o.barrierReleased(1, 0)
-	o.pageFetched(1, 0, []int32{1, 0}) // fetch already reflects writer 0 interval 1
+	o.pageFetched(1, 0, dsm.ApplyDemand, []int32{1, 0}) // fetch already reflects writer 0 interval 1
 	o.noticesDelivered(1, dsm.ViaBarrier, []msg.Notice{nt(0, 0, 1, 1)})
 	o.diffApplied(1, dsm.ApplyDemand, nt(0, 0, 1, 1))
 	wantViolation(t, o, "double-apply")
@@ -208,7 +208,7 @@ func TestOracleInvalidationResetsReplica(t *testing.T) {
 	o.noticesDelivered(1, dsm.ViaBarrier, []msg.Notice{nt(0, 0, 1, 1)})
 	o.diffApplied(1, dsm.ApplyDemand, nt(0, 0, 1, 1))
 	o.pageInvalidated(1, 0)
-	o.pageFetched(1, 0, []int32{1, 0})
+	o.pageFetched(1, 0, dsm.ApplyDemand, []int32{1, 0})
 	o.pageRead(1, 0)
 	wantClean(t, o)
 }

@@ -84,6 +84,10 @@ func (a *lockChain) Body(tid int) threads.Body {
 					if got >= want {
 						break
 					}
+					// Give co-resident threads (the predecessor may share
+					// this node after a crash migration) a slice between
+					// polls.
+					ctx.Yield()
 				}
 				// Transitive reads: every upstream write is ordered before
 				// this thread's acquire front through the lock chain, so

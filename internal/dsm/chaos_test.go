@@ -294,7 +294,10 @@ func TestChaosLockGrantRetry(t *testing.T) {
 // TestChaosRandomizedRecovery soaks the full stack with probabilistic
 // faults under a generous retry budget: the workload must still complete
 // with correct contents and pass the coherence check, over both
-// transports.
+// transports. MaxConsecutive keeps the soak deadline-robust: no single
+// call can have all MaxAttempts attempts faulted, so an unlucky stretch
+// of the random stream can slow the run but never wedge it, for every
+// seed rather than just the committed one.
 func TestChaosRandomizedRecovery(t *testing.T) {
 	const nodes, npages = 3, 3
 	for _, useTCP := range []bool{false, true} {
@@ -317,6 +320,7 @@ func TestChaosRandomizedRecovery(t *testing.T) {
 					DropRequestProb: 0.10,
 					DropReplyProb:   0.05,
 					DuplicateProb:   0.05,
+					MaxConsecutive:  8,
 				},
 			})
 			if err != nil {

@@ -110,6 +110,14 @@ type Config struct {
 	// shipping notices through the manager. Multi-writer protocol
 	// only.
 	HomeMigration bool
+	// FaultTolerance enables crash-fault tolerance for the decentralized
+	// managers (DESIGN.md §12): every node replicates its interval state
+	// and lock-manager state to its ring successor, manager roles fail
+	// over to the successor when the membership view marks a node dead,
+	// and crashed nodes rejoin through a recovery protocol. Requires the
+	// multi-writer protocol and a Chaos transport (whose crash windows
+	// are the failure ground truth); excludes prefetch and diff batching.
+	FaultTolerance bool
 }
 
 // defaultGCThreshold reflects CVM's memory budget (194 MB nodes): diffs
@@ -146,6 +154,20 @@ type Cluster struct {
 	// probe, when non-nil, receives protocol events for the coherence
 	// model checker (see Probe).
 	probe *Probe
+
+	// chaos is the fault-injection wrapper when Config.Chaos is set. The
+	// fault-tolerance layer reads it as the crash-state ground truth
+	// (refreshView) and revives rejoining nodes through it.
+	chaos *transport.Chaos
+
+	// viewMu guards the membership view below. Failover routing takes
+	// the read side on protocol paths; refreshView and the rejoin
+	// protocol take the write side on membership changes.
+	viewMu sync.RWMutex
+	// dead[i] is true while node i is crashed out of the view.
+	dead []bool
+	// viewVer counts membership changes (diagnostics).
+	viewVer int64
 
 	// serviceHold, when non-zero, makes the page-serve paths hold the
 	// page's shard lock for this extra duration per request. Set only by
@@ -210,7 +232,19 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Protocol == SingleWriter && cfg.HomeMigration {
 		return nil, errors.New("dsm: home migration requires the multi-writer protocol")
 	}
+	if cfg.FaultTolerance {
+		if cfg.Protocol == SingleWriter {
+			return nil, errors.New("dsm: fault tolerance requires the multi-writer protocol")
+		}
+		if cfg.Chaos == nil {
+			return nil, errors.New("dsm: fault tolerance requires a Chaos transport (crash injection)")
+		}
+		if cfg.PrefetchBudget != 0 || cfg.BatchDiffs {
+			return nil, errors.New("dsm: fault tolerance excludes prefetch and diff batching")
+		}
+	}
 	c := &Cluster{cfg: cfg, costs: cfg.Costs, shardCount: normalizeShards(cfg.ServiceShards)}
+	c.dead = make([]bool, cfg.Nodes)
 	c.barriers = make([]barrierState, cfg.Nodes)
 	c.nodes = make([]*node, cfg.Nodes)
 	for i := range c.nodes {
@@ -254,7 +288,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Chaos != nil {
 		// Chaos sits under the retry wrapper so injected faults
 		// exercise the retry path, exactly like real network faults.
-		tr = transport.NewChaos(tr, *cfg.Chaos)
+		ch := transport.NewChaos(tr, *cfg.Chaos)
+		c.chaos = ch
+		tr = ch
 	}
 	retryOpts := cfg.Transport
 	userOnRetry := retryOpts.OnRetry
@@ -556,6 +592,9 @@ func (c *Cluster) Tracking(node int) bool { return c.nodes[node].as.Tracking() }
 // attempt count (the contract chaos-plan replay depends on; see
 // transport.RecordingPlan).
 func (c *Cluster) Barrier() ([]sim.Time, error) {
+	if c.cfg.FaultTolerance {
+		return c.barrierFT()
+	}
 	nnodes := c.cfg.Nodes
 	costs := make([]sim.Time, nnodes)
 	episode := c.episode
@@ -932,6 +971,25 @@ func (c *Cluster) buildChildRelease(parent, child int, episode int32, k int) (*m
 // copy of its own writes; any other writers' diffs it pulls on demand
 // when first serving the page, exactly as the static manager would.
 func (c *Cluster) migrationDecisions(notices []msg.Notice) []msg.PageHome {
+	return c.migrationDecisionsFrom(c.nodes[0], notices)
+}
+
+// migrationDecisionsFrom is migrationDecisions reading the current home
+// table from an explicit reference node (the FT barrier's root may not
+// be node 0).
+func (c *Cluster) migrationDecisionsFrom(root *node, notices []msg.Notice) []msg.PageHome {
+	return c.migrationDecisionsAll(root, notices, false)
+}
+
+// migrationDecisionsAll is migrationDecisionsFrom with an option to
+// announce every written page's last-writer home, including ones the
+// root's table already records. The FT barrier needs the full set: a
+// crash mid-release leaves the decisions applied on some nodes (the
+// root among them) and not others, and a re-run that filtered against
+// the root's updated table would drop exactly the entries the
+// un-released nodes are missing, leaving home directories divergent.
+// HomeMigrations still counts only actual moves.
+func (c *Cluster) migrationDecisionsAll(root *node, notices []msg.Notice, all bool) []msg.PageHome {
 	last := make(map[int32]msg.Notice)
 	for _, nt := range notices {
 		cur, ok := last[nt.Page]
@@ -942,17 +1000,21 @@ func (c *Cluster) migrationDecisions(notices []msg.Notice) []msg.PageHome {
 		}
 	}
 	var homes []msg.PageHome
-	root := c.nodes[0]
+	var moved int64
 	for p, nt := range last {
 		if int(p) < 0 || int(p) >= c.cfg.Pages {
 			continue
 		}
-		if root.home(vm.PageID(p)) != int(nt.Writer) {
+		changed := root.home(vm.PageID(p)) != int(nt.Writer)
+		if changed {
+			moved++
+		}
+		if all || changed {
 			homes = append(homes, msg.PageHome{Page: p, Home: nt.Writer})
 		}
 	}
 	sort.Slice(homes, func(i, j int) bool { return homes[i].Page < homes[j].Page })
-	c.stats.HomeMigrations.Add(int64(len(homes)))
+	c.stats.HomeMigrations.Add(moved)
 	return homes
 }
 
@@ -1036,26 +1098,49 @@ func (c *Cluster) collectGarbage(costs []sim.Time) error {
 // grant carries and returns the acquire's virtual-time cost.
 func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	n := c.nodes[node]
-	mgr := c.lockManager(lock)
-	n.lockSync()
-	req := &msg.LockAcquire{
-		Node: int32(node),
-		Lock: lock,
-		Pos:  n.lockPos[mgr],
-		Seen: append([]int32(nil), n.seen...),
-	}
-	n.mu.Unlock()
-
 	var grantMsg msg.Message
 	var wire sim.Time
-	var err error
-	if mgr == node {
-		grantMsg, err = n.serveLockAcquire(req)
-	} else {
-		grantMsg, wire, err = c.call(node, mgr, req)
-	}
-	if err != nil {
+	var mgr int
+	var failover bool
+	for attempt := 0; ; attempt++ {
+		mgr = c.effLockManager(lock)
+		failover = mgr != c.lockManager(lock)
+		n.lockSync()
+		req := &msg.LockAcquire{
+			Node: int32(node),
+			Lock: lock,
+			Seen: append([]int32(nil), n.seen...),
+		}
+		if !failover {
+			// Positions index the primary manager's log; a failover
+			// grant is served from the standby's full shadow log
+			// instead (receiver-side dedup absorbs the overlap).
+			req.Pos = n.lockPos[mgr]
+		}
+		n.mu.Unlock()
+
+		var err error
+		if mgr == node {
+			if failover {
+				// This node is itself the dead manager's standby:
+				// serve from its own shadow log, not the primary log.
+				grantMsg, err = n.serveLockAcquireShadow(c.lockManager(lock), req)
+			} else {
+				grantMsg, err = n.serveLockAcquire(req)
+			}
+		} else {
+			grantMsg, wire, err = c.call(node, mgr, req)
+		}
+		if err == nil {
+			break
+		}
+		if c.cfg.FaultTolerance && isNodeDown(err) && attempt < c.cfg.Nodes && c.refreshView() > 0 {
+			continue // the manager died; re-resolve against the new view
+		}
 		return 0, fmt.Errorf("dsm: node %d acquire lock %d: %w", node, lock, err)
+	}
+	if failover {
+		c.stats.Failovers.Add(1)
 	}
 	grant, ok := grantMsg.(*msg.LockGrant)
 	if !ok {
@@ -1073,13 +1158,18 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 	// Confirm delivery: the next acquire asks for the log suffix past
 	// this grant. Advancing only here (not at the manager when serving)
 	// keeps a retried acquire safe — a lost grant reply is re-served.
-	n.lockPos[mgr] = grant.Pos
+	if !failover {
+		n.lockPos[mgr] = grant.Pos
+	}
 	n.mu.Unlock()
 	if c.cfg.HomeMigration && grant.Holder >= 0 && int(grant.Holder) != node {
 		// Forwarding mode: the shard manager granted the lock but holds
 		// no notices — the previous holder kept them. Pull the lock's
 		// causal history directly from that holder.
-		pwire, err := c.pullLockHistory(node, lock, int(grant.Holder), req.Seen)
+		n.lockSync()
+		seen := append([]int32(nil), n.seen...)
+		n.mu.Unlock()
+		pwire, err := c.pullLockHistory(node, lock, int(grant.Holder), seen)
 		if err != nil {
 			return 0, err
 		}
@@ -1098,16 +1188,36 @@ func (c *Cluster) AcquireLock(node, tid int, lock int32) (sim.Time, error) {
 // would a manager-served grant.
 func (c *Cluster) pullLockHistory(node int, lock int32, holder int, seen []int32) (sim.Time, error) {
 	n := c.nodes[node]
-	pull := &msg.LockPull{Node: int32(node), Lock: lock, Seen: seen}
+	pull := &msg.LockPull{Node: int32(node), Lock: lock, Holder: int32(holder), Seen: seen}
 	var replyMsg msg.Message
 	var wire sim.Time
 	var err error
-	if holder == node {
-		replyMsg, err = n.serveLockPull(pull)
-	} else {
-		replyMsg, wire, err = c.call(node, holder, pull)
-	}
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		// The holder named by the grant may be dead (or die under us):
+		// its ring successor serves the pull from the replicated history
+		// marked at the holder's last shadow release.
+		target := holder
+		if c.cfg.FaultTolerance && c.isDead(holder) {
+			target = c.aliveSucc(holder)
+			c.stats.Failovers.Add(1)
+		}
+		if target == node {
+			if target != holder {
+				// Serving our own pull as the dead holder's standby:
+				// use the replicated history, not our primary state.
+				replyMsg, err = n.serveLockPullShadow(pull)
+			} else {
+				replyMsg, err = n.serveLockPull(pull)
+			}
+		} else {
+			replyMsg, wire, err = c.call(node, target, pull)
+		}
+		if err == nil {
+			break
+		}
+		if c.cfg.FaultTolerance && isNodeDown(err) && attempt < c.cfg.Nodes && c.refreshView() > 0 {
+			continue
+		}
 		return 0, fmt.Errorf("dsm: node %d pull lock %d from holder %d: %w", node, lock, holder, err)
 	}
 	g, ok := replyMsg.(*msg.LockGrant)
@@ -1131,8 +1241,54 @@ func (c *Cluster) pullLockHistory(node int, lock int32, holder int, seen []int32
 // acquirer inherits them.
 func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	n := c.nodes[node]
-	mgr := c.lockManager(lock)
-	_, diffCost := n.closeInterval()
+	notices, diffCost := n.closeInterval()
+	cost := diffCost
+	if c.cfg.FaultTolerance {
+		// Replicate the closed interval (and the known suffix received
+		// since the last delta) to the ring successor BEFORE the release
+		// reaches any manager: the shadow release's history mark — and a
+		// failover after this release — rely on the standby having the
+		// interval's state already.
+		w, err := c.replicate(n, notices)
+		if err != nil {
+			return 0, err
+		}
+		cost += w
+	}
+	for attempt := 0; ; attempt++ {
+		mgr := c.effLockManager(lock)
+		wire, err := c.releaseLockTo(n, lock, mgr)
+		if err != nil {
+			if c.cfg.FaultTolerance && isNodeDown(err) && attempt < c.cfg.Nodes && c.refreshView() > 0 {
+				// The manager died mid-release; re-ship to its successor.
+				// Per-target sentKnown marks make the re-send carry
+				// everything the new manager has not yet seen.
+				continue
+			}
+			return 0, err
+		}
+		cost += wire
+		if mgr != c.lockManager(lock) {
+			c.stats.Failovers.Add(1)
+		}
+		if c.cfg.FaultTolerance {
+			w, err := c.shadowRelease(n, lock, mgr)
+			if err != nil {
+				return 0, err
+			}
+			cost += w
+		}
+		break
+	}
+	c.probeLockReleased(node, lock)
+	return cost, nil
+}
+
+// releaseLockTo builds and ships one lock release to manager node mgr
+// (primary or failover standby — the receiver routes shadow copies by
+// comparing the lock's static placement against its own id).
+func (c *Cluster) releaseLockTo(n *node, lock int32, mgr int) (sim.Time, error) {
+	node := n.id
 	n.lockSync()
 	var rel *msg.LockRelease
 	if c.cfg.HomeMigration {
@@ -1177,20 +1333,22 @@ func (c *Cluster) ReleaseLock(node, tid int, lock int32) (sim.Time, error) {
 	}
 	n.mu.Unlock()
 
-	cost := diffCost
 	if mgr == node {
-		if _, err := n.serveLockRelease(rel); err != nil {
+		if primary := c.lockManager(lock); c.cfg.FaultTolerance && primary != node {
+			// This node is the dead primary's standby: the release
+			// belongs in its shadow log for that shard, not its own
+			// primary log.
+			_, err := n.serveLockReleaseShadow(primary, rel)
 			return 0, err
 		}
-	} else {
-		_, wire, err := c.call(node, mgr, rel)
-		if err != nil {
-			return 0, fmt.Errorf("dsm: node %d release lock %d: %w", node, lock, err)
-		}
-		cost += wire
+		_, err := n.serveLockRelease(rel)
+		return 0, err
 	}
-	c.probeLockReleased(node, lock)
-	return cost, nil
+	_, wire, err := c.call(node, mgr, rel)
+	if err != nil {
+		return 0, fmt.Errorf("dsm: node %d release lock %d: %w", node, lock, err)
+	}
+	return wire, nil
 }
 
 // StoredDiffBytes returns the cluster-wide volume of stored diffs.
@@ -1217,6 +1375,9 @@ func (c *Cluster) CheckCoherence() error {
 		var ref []byte
 		refNode := -1
 		for _, n := range c.nodes {
+			if c.isDead(n.id) {
+				continue // a crashed node's copy is arbitrarily stale
+			}
 			sh := n.rlockShard(vm.PageID(p))
 			st := &n.pages[p]
 			ok := st.hasCopy && len(st.pending) == 0

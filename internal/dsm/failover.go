@@ -1,0 +1,1130 @@
+package dsm
+
+// Crash-fault tolerance for the decentralized managers (DESIGN.md §12).
+//
+// With Config.FaultTolerance every manager role — lock shards, the
+// barrier root and tree interior, page homes and the diff directory —
+// fails over to the dead node's ring successor in the membership view.
+// The successor can take over because each node continuously replicates
+// its manager-relevant state there:
+//
+//   - Interval state rides ReplicaDelta messages shipped after every
+//     interval close (barrier phase 1 and lock release): the closed
+//     interval's notices with their diff bytes, the node's interval
+//     counter and Lamport clock, and the suffix of its causal history
+//     (known) accumulated since the previous delta. A sequence number
+//     dedups transport-retried deltas.
+//   - Lock-manager state rides shadow LockRelease messages: every
+//     release is also sent to the effective manager's successor (which
+//     mirrors the manager log) and to the releaser's own successor
+//     (which records how much of the releaser's replicated history the
+//     release covered, so grant forwarding survives a dead holder).
+//
+// When a call fails with transport.ErrNodeDown, the caller refreshes the
+// membership view against the chaos layer's crash state and re-resolves
+// the target: page fetches re-route to the page's standby, lock traffic
+// to the shard's standby, diff fetches for a dead writer to the writer's
+// standby. A barrier run that loses a node mid-phase re-runs its phases
+// over the shrunk alive set; the dead node's replicated-but-unflushed
+// notices are folded into its successor's enter so no pre-crash write is
+// lost.
+//
+// Recovery: a crashed node rejoins at the start of a barrier episode
+// (sim.CrashSchedule.RestartEpoch) or imperatively via Cluster.Restart.
+// It wipes its local protocol state, re-learns its interval counter,
+// seen vector, and the home table from its successor (RejoinRequest),
+// eagerly re-fetches its home pages from the standby while the view
+// still routes around it, and only then re-enters the membership view.
+//
+// Fault model: at most one membership change per barrier epoch (fail-
+// stop; no network ambiguity — the chaos layer's crash state is the
+// ground truth the view converges to). Nodes that lost state rejoin
+// empty-handed; peers holding stale references to a rejoined node's
+// pre-crash diffs get nil replies and fall back to full-page fetches.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"actdsm/internal/msg"
+	"actdsm/internal/sim"
+	"actdsm/internal/transport"
+	"actdsm/internal/vm"
+)
+
+// replMeta is the receiver-side record of one origin node's replicated
+// interval state: the interval counter the origin would allocate next,
+// its Lamport clock at the last delta, and the last delta sequence
+// number applied (the dedup high-water mark).
+type replMeta struct {
+	interval int32
+	lam      int32
+	seq      int32
+}
+
+// isNodeDown reports whether err is rooted in a crashed-node failure
+// (the permanent, non-retryable transport sentinel).
+func isNodeDown(err error) bool { return errors.Is(err, transport.ErrNodeDown) }
+
+// isDead reports whether the membership view currently marks node i
+// dead. Always false without Config.FaultTolerance, without touching
+// the view lock.
+func (c *Cluster) isDead(i int) bool {
+	if !c.cfg.FaultTolerance {
+		return false
+	}
+	c.viewMu.RLock()
+	d := c.dead[i]
+	c.viewMu.RUnlock()
+	return d
+}
+
+// aliveSucc returns the first alive node after i on the ring — the
+// node i's manager roles and replicated state fail over to. Returns i
+// itself when every other node is dead.
+func (c *Cluster) aliveSucc(i int) int {
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	return c.aliveSuccLocked(i)
+}
+
+func (c *Cluster) aliveSuccLocked(i int) int {
+	n := c.cfg.Nodes
+	for k := 1; k < n; k++ {
+		j := (i + k) % n
+		if !c.dead[j] {
+			return j
+		}
+	}
+	return i
+}
+
+// aliveList returns the sorted ids of the nodes currently alive.
+func (c *Cluster) aliveList() []int {
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	out := make([]int, 0, c.cfg.Nodes)
+	for i := range c.dead {
+		if !c.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DeadNodes returns the sorted ids of the nodes the membership view
+// currently marks dead. Empty without Config.FaultTolerance. The thread
+// engine consults it after each barrier to migrate work off crashed
+// nodes.
+func (c *Cluster) DeadNodes() []int {
+	if !c.cfg.FaultTolerance {
+		return nil
+	}
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	var out []int
+	for i := range c.dead {
+		if c.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliveSuccessor returns the first alive node after i on the ring — the
+// failover target for node i's manager roles, replicated state, and
+// (for the thread engine) its resident threads. Returns i itself when i
+// is alive or every other node is dead; without Config.FaultTolerance
+// it is the identity.
+func (c *Cluster) AliveSuccessor(i int) int {
+	if !c.cfg.FaultTolerance || !c.isDead(i) {
+		return i
+	}
+	return c.aliveSucc(i)
+}
+
+// refreshView reconciles the membership view with the chaos layer's
+// crash state and returns the number of newly-dead nodes discovered.
+// Callers invoke it when a call fails with ErrNodeDown (and at barrier
+// entry), then re-resolve their target against the updated view.
+func (c *Cluster) refreshView() int {
+	if c.chaos == nil {
+		return 0
+	}
+	var crashed []int
+	c.viewMu.Lock()
+	for i := range c.dead {
+		if !c.dead[i] && c.chaos.Down(i) {
+			c.dead[i] = true
+			c.viewVer++
+			crashed = append(crashed, i)
+		}
+	}
+	c.viewMu.Unlock()
+	for _, i := range crashed {
+		c.stats.Crashes.Add(1)
+		c.probeNodeCrashed(i)
+	}
+	return len(crashed)
+}
+
+// effLockManager returns the node currently serving a lock's shard: the
+// static manager, or its ring successor when the manager is dead.
+func (c *Cluster) effLockManager(lock int32) int {
+	m := c.lockManager(lock)
+	if c.cfg.FaultTolerance && c.isDead(m) {
+		return c.aliveSucc(m)
+	}
+	return m
+}
+
+// effHome returns the node currently serving a page: its home, or the
+// home's ring successor (the standby) when the home is dead.
+func (n *node) effHome(p vm.PageID) int {
+	h := n.home(p)
+	if n.c.cfg.FaultTolerance && n.c.isDead(h) {
+		return n.c.aliveSucc(h)
+	}
+	return h
+}
+
+// Kill crashes a node imperatively through the chaos layer and updates
+// the membership view at once. Test harness entry point; requires
+// Config.FaultTolerance (which requires Config.Chaos).
+func (c *Cluster) Kill(node int) error {
+	if !c.cfg.FaultTolerance || c.chaos == nil {
+		return errors.New("dsm: Kill requires Config.FaultTolerance")
+	}
+	if node < 0 || node >= c.cfg.Nodes {
+		return fmt.Errorf("dsm: Kill: no node %d", node)
+	}
+	c.chaos.Kill(node)
+	c.refreshView()
+	return nil
+}
+
+// Restart runs the recovery protocol for a crashed node immediately
+// (the imperative counterpart of sim.CrashSchedule.RestartEpoch). The
+// node rejoins with empty protocol state and a freshly fetched copy of
+// its home pages.
+func (c *Cluster) Restart(node int) error {
+	if !c.cfg.FaultTolerance {
+		return errors.New("dsm: Restart requires Config.FaultTolerance")
+	}
+	if node < 0 || node >= c.cfg.Nodes {
+		return fmt.Errorf("dsm: Restart: no node %d", node)
+	}
+	if !c.isDead(node) {
+		return nil
+	}
+	_, err := c.rejoinNode(node)
+	return err
+}
+
+// replicate ships a node's just-closed interval state to its ring
+// successor: the closed notices with their diff bytes, the interval
+// counter and Lamport clock, and the suffix of known accumulated since
+// the last delta. Called after every closeInterval site — even when the
+// close produced no notices, because the known suffix (history received
+// under locks) still has to reach the standby before the release that
+// covers it. Returns the requester-side wire cost.
+func (c *Cluster) replicate(n *node, notices []msg.Notice) (sim.Time, error) {
+	succ := c.aliveSucc(n.id)
+	if succ == n.id {
+		return 0, nil
+	}
+	build := func(fullKnown bool) *msg.ReplicaDelta {
+		n.lockSync()
+		n.replSeq++
+		start := n.replSent
+		if fullKnown {
+			start = 0
+		}
+		d := &msg.ReplicaDelta{
+			Origin:   int32(n.id),
+			Seq:      n.replSeq,
+			Interval: n.interval,
+			Lam:      n.lamport.Load(),
+			Notices:  notices,
+			Known:    append([]msg.Notice(nil), n.known[start:]...),
+		}
+		n.replSent = len(n.known)
+		n.mu.Unlock()
+		for _, nt := range notices {
+			p := vm.PageID(nt.Page)
+			sh := n.rlockShard(p)
+			var df []byte
+			if ref := sh.diffs[p][nt.Interval]; ref != nil {
+				df = append([]byte(nil), ref.b...)
+			}
+			sh.runlock()
+			d.Diffs = append(d.Diffs, df)
+		}
+		return d
+	}
+	delta := build(false)
+	for attempt := 0; ; attempt++ {
+		_, wire, err := c.call(n.id, succ, delta)
+		if err == nil {
+			c.stats.ReplicaDeltas.Add(1)
+			c.stats.ReplicaBytes.Add(int64(msg.Size(delta)))
+			return wire, nil
+		}
+		if isNodeDown(err) && c.refreshView() > 0 && attempt < c.cfg.Nodes {
+			// The standby itself died. The new standby has none of this
+			// epoch's earlier suffixes, so re-ship the full history.
+			succ = c.aliveSucc(n.id)
+			if succ == n.id {
+				return 0, nil
+			}
+			c.stats.Failovers.Add(1)
+			delta = build(true)
+			continue
+		}
+		return 0, fmt.Errorf("dsm: node %d replicate to %d: %w", n.id, succ, err)
+	}
+}
+
+// serveReplicaDelta folds a predecessor's interval-state delta into
+// this node's replica store. Idempotent: the per-origin sequence number
+// drops transport-retried duplicates before any state changes.
+func (n *node) serveReplicaDelta(req *msg.ReplicaDelta) (msg.Message, error) {
+	origin := int(req.Origin)
+	if origin < 0 || origin >= n.c.cfg.Nodes {
+		return nil, fmt.Errorf("dsm: replica delta from unknown origin %d", origin)
+	}
+	n.replMu.Lock()
+	defer n.replMu.Unlock()
+	st := n.replState[origin]
+	if req.Seq <= st.seq {
+		return &msg.Ack{}, nil // duplicate delivery (transport retry)
+	}
+	st.seq = req.Seq
+	st.interval = req.Interval
+	st.lam = req.Lam
+	n.replState[origin] = st
+	n.replKnown[origin] = append(n.replKnown[origin], req.Known...)
+	for i, nt := range req.Notices {
+		if i >= len(req.Diffs) || req.Diffs[i] == nil {
+			continue // silent store: the interval produced no diff
+		}
+		pm := n.replDiffs[origin]
+		if pm == nil {
+			pm = make(map[vm.PageID]map[int32][]byte)
+			n.replDiffs[origin] = pm
+		}
+		m := pm[vm.PageID(nt.Page)]
+		if m == nil {
+			m = make(map[int32][]byte)
+			pm[vm.PageID(nt.Page)] = m
+		}
+		m[nt.Interval] = req.Diffs[i]
+	}
+	return &msg.Ack{}, nil
+}
+
+// serveReplicaDiffs answers a DiffRequest addressed to a dead writer:
+// this node is the writer's standby and serves the requested intervals
+// from its replica store. Nil entries mark diffs the replica never
+// received (pre-replication history or a cleared rejoiner) — the
+// requester falls back to a full-page fetch, exactly as for a
+// garbage-collected diff.
+func (n *node) serveReplicaDiffs(req *msg.DiffRequest) (msg.Message, error) {
+	out := &msg.DiffReply{Page: req.Page, Diffs: make([][]byte, len(req.Intervals))}
+	n.replMu.Lock()
+	store := n.replDiffs[int(req.Writer)][vm.PageID(req.Page)]
+	for i, iv := range req.Intervals {
+		out.Diffs[i] = store[iv]
+	}
+	n.replMu.Unlock()
+	return out, nil
+}
+
+// shadowLog returns (creating on first use) the mirror of a dead-able
+// primary manager's lock log. Requires lockMgrMu.
+func (n *node) shadowLog(primary int) *mgrLog {
+	ml := n.shadow[primary]
+	if ml == nil {
+		ml = newMgrLog()
+		n.shadow[primary] = ml
+	}
+	return ml
+}
+
+// serveLockAcquireShadow grants a lock on behalf of a dead shard
+// manager, serving from the shadow log the standby accumulated via
+// shadow releases. Positions index the dead manager's log, not ours, so
+// the grant always serves the full shadow log filtered by the
+// requester's seen vector; receiver-side dedup absorbs the overlap.
+func (n *node) serveLockAcquireShadow(primary int, req *msg.LockAcquire) (msg.Message, error) {
+	n.lockMgrMu.Lock()
+	defer n.lockMgrMu.Unlock()
+	ml := n.shadowLog(primary)
+	if n.c.cfg.HomeMigration {
+		holder := int32(-1)
+		if h, ok := ml.holder[req.Lock]; ok {
+			holder = h
+		}
+		return &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Holder: holder}, nil
+	}
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: ml.lockLam[req.Lock], Holder: -1}
+	for _, nt := range ml.log {
+		if int(nt.Writer) == int(req.Node) {
+			continue
+		}
+		if len(req.Seen) > int(nt.Writer) && nt.Interval <= req.Seen[nt.Writer] {
+			continue
+		}
+		grant.Notices = append(grant.Notices, nt)
+	}
+	return grant, nil
+}
+
+// serveLockReleaseShadow folds a shadow copy of a lock release into the
+// standby state. Two independent roles, both recorded (the receiver may
+// be playing either or both): mirroring the primary manager's log so
+// failover grants can be served, and marking how much of the releaser's
+// replicated history existed at this release so a failover LockPull for
+// a dead releaser serves exactly the prefix the releaser's own lockMark
+// would have (the delta covering the close is always shipped before the
+// shadow release, so the mark is exact).
+func (n *node) serveLockReleaseShadow(primary int, req *msg.LockRelease) (msg.Message, error) {
+	n.lockMgrMu.Lock()
+	ml := n.shadowLog(primary)
+	ml.add(req.Notices)
+	ml.lockLam[req.Lock] = maxI32(ml.lockLam[req.Lock], req.Lam)
+	if n.c.cfg.HomeMigration {
+		ml.holder[req.Lock] = req.Node
+	}
+	n.lockMgrMu.Unlock()
+	origin := int(req.Node)
+	n.replMu.Lock()
+	lm := n.replLockMark[origin]
+	if lm == nil {
+		lm = make(map[int32]int)
+		n.replLockMark[origin] = lm
+	}
+	lm[req.Lock] = len(n.replKnown[origin])
+	n.replMu.Unlock()
+	return &msg.Ack{}, nil
+}
+
+// serveLockPullShadow answers a grant-forwarding history pull for a
+// dead holder: this node is the holder's standby and serves the prefix
+// of the holder's replicated history marked at its last shadow release —
+// the exact mirror of serveLockPull's known[:lockMark] — filtered by
+// the requester's seen vector.
+func (n *node) serveLockPullShadow(req *msg.LockPull) (msg.Message, error) {
+	holder := int(req.Holder)
+	n.replMu.Lock()
+	kn := n.replKnown[holder]
+	mark := n.replLockMark[holder][req.Lock]
+	if mark > len(kn) {
+		mark = len(kn)
+	}
+	history := append([]msg.Notice(nil), kn[:mark]...)
+	lam := n.replState[holder].lam
+	n.replMu.Unlock()
+	grant := &msg.LockGrant{Lock: req.Lock, Lam: lam, Holder: req.Holder}
+	for _, nt := range history {
+		if int(nt.Writer) == int(req.Node) {
+			continue
+		}
+		if len(req.Seen) > int(nt.Writer) && nt.Interval <= req.Seen[nt.Writer] {
+			continue
+		}
+		grant.Notices = append(grant.Notices, nt)
+	}
+	return grant, nil
+}
+
+// shadowRelease ships shadow copies of a lock release to the standby
+// targets: the effective manager's successor (log mirror) and the
+// releaser's successor (lock-mark recording). Each target gets the
+// suffix of the releaser's known set it has not yet been sent, tracked
+// by the same per-target sentKnown marks the primary path uses.
+func (c *Cluster) shadowRelease(n *node, lock int32, em int) (sim.Time, error) {
+	targets := []int{c.aliveSucc(em), c.aliveSucc(n.id)}
+	var cost sim.Time
+	sent := map[int]bool{em: true}
+	for _, t := range targets {
+		if sent[t] {
+			continue
+		}
+		sent[t] = true
+		n.lockSync()
+		var shipped []msg.Notice
+		if !c.cfg.HomeMigration {
+			shipped = append([]msg.Notice(nil), n.known[n.sentKnown[t]:]...)
+			n.sentKnown[t] = len(n.known)
+		}
+		rel := &msg.LockRelease{
+			Node:    int32(n.id),
+			Lock:    lock,
+			Lam:     n.lamport.Load(),
+			Notices: shipped,
+		}
+		n.mu.Unlock()
+		if t == n.id {
+			// This node is itself the standby (the manager's ring
+			// successor): record into its own shadow state directly.
+			if _, err := n.serveLockReleaseShadow(c.lockManager(lock), rel); err != nil {
+				return cost, err
+			}
+			continue
+		}
+		_, wire, err := c.call(n.id, t, rel)
+		if err != nil {
+			if isNodeDown(err) && c.refreshView() > 0 {
+				// The standby died; the next membership change re-
+				// establishes mirrors from the post-barrier reset state.
+				continue
+			}
+			return cost, fmt.Errorf("dsm: node %d shadow release lock %d to %d: %w", n.id, lock, t, err)
+		}
+		cost += wire
+	}
+	return cost, nil
+}
+
+// resetForRejoin wipes the node's protocol state ahead of re-entering
+// the cluster: page copies, twins, pending sets, stored diffs, sync
+// histories, manager logs, and replica stores all restart empty. The
+// caller re-learns the interval counter and seen vector from the
+// successor before the node serves traffic again.
+func (n *node) resetForRejoin() {
+	for s := range n.shards {
+		sh := &n.shards[s]
+		sh.mu.Lock()
+		for p, store := range sh.diffs {
+			for _, d := range store {
+				d.release()
+			}
+			delete(sh.diffs, p)
+		}
+		for p := s; p < len(n.pages); p += len(n.shards) {
+			st := &n.pages[p]
+			if st.twin != nil {
+				putPageBuf(st.twin)
+				st.twin = nil
+			}
+			st.dirty = false
+			st.hasCopy = false
+			st.pending = nil
+			st.prefetched = false
+			st.appliedVT = nil
+			n.as.SetProt(vm.PageID(p), vm.ProtNone)
+		}
+		sh.mu.Unlock()
+	}
+	n.diffBytes.Store(0)
+	n.lamport.Store(0)
+	n.lockSync()
+	n.interval = 1
+	for i := range n.seen {
+		n.seen[i] = 0
+	}
+	n.fresh = nil
+	n.known = nil
+	n.knownHave = make(map[[3]int32]bool)
+	for i := range n.sentKnown {
+		n.sentKnown[i] = 0
+	}
+	for i := range n.lockPos {
+		n.lockPos[i] = 0
+	}
+	n.lockMark = make(map[int32]int)
+	n.replSent = 0
+	n.replSeq = 0
+	if n.faultWin != nil {
+		n.faultWin.Reset()
+	}
+	if n.late != nil {
+		n.late = make(map[vm.PageID]bool)
+	}
+	n.pushedEpoch = 0
+	n.pushCost = 0
+	n.mu.Unlock()
+	n.lockMgrMu.Lock()
+	n.locks.reset()
+	n.shadow = make(map[int]*mgrLog)
+	n.lockMgrMu.Unlock()
+	n.replMu.Lock()
+	n.replKnown = make(map[int][]msg.Notice)
+	n.replLockMark = make(map[int]map[int32]int)
+	n.replDiffs = make(map[int]map[vm.PageID]map[int32][]byte)
+	n.replState = make(map[int]replMeta)
+	n.replMu.Unlock()
+}
+
+// serveRejoinRequest hands a rejoining predecessor the state it needs
+// to resume: its replicated interval counter and Lamport clock, this
+// node's seen vector (a safe, fully-flushed view for a node with no
+// history), and the current home table. The rejoiner's replica store
+// here restarts empty — its pre-crash diffs are unreachable anyway once
+// the node itself has wiped them — and the delta sequence resets so the
+// rejoiner's fresh numbering is accepted. Idempotent for transport
+// retries: the interval record is read, not consumed.
+func (n *node) serveRejoinRequest(req *msg.RejoinRequest) (msg.Message, error) {
+	d := int(req.Node)
+	if d < 0 || d >= n.c.cfg.Nodes {
+		return nil, fmt.Errorf("dsm: rejoin request from unknown node %d", d)
+	}
+	n.replMu.Lock()
+	st := n.replState[d]
+	st.seq = 0
+	n.replState[d] = st
+	delete(n.replKnown, d)
+	delete(n.replDiffs, d)
+	delete(n.replLockMark, d)
+	n.replMu.Unlock()
+	iv := st.interval
+	if iv < 1 {
+		iv = 1
+	}
+	n.lockSync()
+	seen := append([]int32(nil), n.seen...)
+	n.mu.Unlock()
+	homes := make([]int32, len(n.homes))
+	for p := range n.homes {
+		homes[p] = n.homes[p].Load()
+	}
+	return &msg.RejoinReply{Interval: iv, Lam: st.lam, Seen: seen, Homes: homes}, nil
+}
+
+// rejoinNode runs the recovery protocol for a crashed node: revive its
+// transport, wipe its local state, re-learn interval/seen/homes from
+// the ring successor, eagerly re-fetch the node's home pages from the
+// standby (the membership view still routes around the node, so the
+// fetches resolve to the standby), and finally mark the node alive.
+func (c *Cluster) rejoinNode(d int) (sim.Time, error) {
+	if c.chaos != nil {
+		c.chaos.Revive(d)
+	}
+	n := c.nodes[d]
+	n.resetForRejoin()
+	succ := c.aliveSucc(d)
+	var cost sim.Time
+	if succ != d {
+		reply, wire, err := c.call(d, succ, &msg.RejoinRequest{Node: int32(d)})
+		if err != nil {
+			return 0, fmt.Errorf("dsm: node %d rejoin: %w", d, err)
+		}
+		rr, ok := reply.(*msg.RejoinReply)
+		if !ok {
+			return 0, fmt.Errorf("dsm: node %d rejoin: unexpected reply %T", d, reply)
+		}
+		cost += wire
+		n.bumpLamport(rr.Lam)
+		n.lockSync()
+		n.interval = maxI32(rr.Interval, 1)
+		copy(n.seen, rr.Seen)
+		n.mu.Unlock()
+		for p, h := range rr.Homes {
+			if p < len(n.homes) {
+				n.homes[p].Store(h)
+			}
+		}
+		// Eager home re-fetch: effHome resolves to the standby while the
+		// view still marks this node dead.
+		var ti sim.ThreadInterval
+		n.setCharge(&ti, -1)
+		for p := range n.pages {
+			if n.home(vm.PageID(p)) == d {
+				if err := n.fetchFullPage(-1, vm.PageID(p), ApplyServer); err != nil {
+					n.setCharge(nil, 0)
+					return 0, fmt.Errorf("dsm: node %d rejoin refetch page %d: %w", d, p, err)
+				}
+			}
+		}
+		n.setCharge(nil, 0)
+		cost += ti.Stall + ti.Overhead
+	}
+	c.viewMu.Lock()
+	if c.dead[d] {
+		c.dead[d] = false
+		c.viewVer++
+	}
+	c.viewMu.Unlock()
+	c.stats.Rejoins.Add(1)
+	c.probeNodeRejoined(d)
+	return cost, nil
+}
+
+// contributeDead folds each dead node's replicated, not-yet-flushed
+// causal history into its successor's barrier enter, so the episode's
+// union still carries every pre-crash write notice (the successor also
+// holds the matching diffs in its replica store).
+func (c *Cluster) contributeDead(enters []*msg.BarrierEnter) {
+	for d := range c.nodes {
+		if !c.isDead(d) {
+			continue
+		}
+		s := c.aliveSucc(d)
+		if s == d || enters[s] == nil {
+			continue
+		}
+		sn := c.nodes[s]
+		sn.replMu.Lock()
+		kn := append([]msg.Notice(nil), sn.replKnown[d]...)
+		lam := sn.replState[d].lam
+		sn.replMu.Unlock()
+		enters[s].Notices = append(enters[s].Notices, kn...)
+		enters[s].Lam = maxI32(enters[s].Lam, lam)
+	}
+}
+
+// barrierFT is Barrier under Config.FaultTolerance: the episode runs
+// over the alive set (root = lowest alive id, tree positions = indices
+// into the alive list), scheduled restarts rejoin at the episode start,
+// and a node death mid-phase shrinks the view and re-runs the phases.
+// Phase re-runs are safe for the same reason phase retries are: every
+// receiver folds idempotently, and fresh/known clear only after the
+// whole episode succeeds.
+func (c *Cluster) barrierFT() ([]sim.Time, error) {
+	nnodes := c.cfg.Nodes
+	costs := make([]sim.Time, nnodes)
+	episode := c.episode
+	c.episode++
+
+	// Scheduled restarts arm at the start of their episode.
+	if c.cfg.Chaos != nil {
+		for _, s := range c.cfg.Chaos.Crashes {
+			if s.RestartsAt(int64(episode)) && c.isDead(s.Node) {
+				w, err := c.rejoinNode(s.Node)
+				if err != nil {
+					return nil, err
+				}
+				costs[s.Node] += w
+			}
+		}
+	}
+	if c.refreshView() > 0 {
+		c.stats.RecoveryRounds.Add(1)
+	}
+
+	for attempt := 0; ; attempt++ {
+		ver := c.viewVersion()
+		err := c.barrierFTAttempt(episode, costs)
+		if err == nil {
+			break
+		}
+		// Retry when the view shrank — whether this check discovers the
+		// death or an inner retry (replicate's standby re-ship, a serve
+		// loop) already recorded it and then failed for the same crash.
+		// Gating on refreshView alone would let that inner discovery
+		// consume the retry budget's trigger.
+		if isNodeDown(err) && attempt < nnodes &&
+			(c.refreshView() > 0 || c.viewVersion() != ver) {
+			// A node died mid-phase: re-run the episode's phases over
+			// the shrunk alive set (no BarrierRetries charge — this is
+			// membership change, not a transient fault).
+			c.stats.RecoveryRounds.Add(1)
+			continue
+		}
+		return nil, err
+	}
+
+	alive := c.aliveList()
+	for _, i := range alive {
+		costs[i] += c.costs.BarrierBase
+	}
+	// The episode is fully delivered: pending flush state, causal
+	// histories, and the per-epoch replication marks restart together.
+	for _, i := range alive {
+		n := c.nodes[i]
+		n.lockSync()
+		n.fresh = nil
+		n.known = nil
+		n.knownHave = make(map[[3]int32]bool)
+		for j := range n.sentKnown {
+			n.sentKnown[j] = 0
+		}
+		for j := range n.lockPos {
+			n.lockPos[j] = 0
+		}
+		n.lockMark = make(map[int32]int)
+		n.replSent = 0
+		n.mu.Unlock()
+		n.lockMgrMu.Lock()
+		n.shadow = make(map[int]*mgrLog)
+		n.lockMgrMu.Unlock()
+		n.replMu.Lock()
+		n.replKnown = make(map[int][]msg.Notice)
+		n.replLockMark = make(map[int]map[int32]int)
+		n.replMu.Unlock()
+	}
+	c.stats.Barriers.Add(1)
+
+	if c.cfg.GCThresholdBytes >= 0 {
+		var total int64
+		for _, i := range alive {
+			total += c.nodes[i].diffBytes.Load()
+		}
+		if total > int64(c.cfg.GCThresholdBytes) {
+			for attempt := 0; ; attempt++ {
+				ver := c.viewVersion()
+				err := c.collectGarbageFT(costs)
+				if err == nil {
+					break
+				}
+				if isNodeDown(err) && attempt < nnodes &&
+					(c.refreshView() > 0 || c.viewVersion() != ver) {
+					// A node died mid-collection: re-run over the shrunk
+					// view. Re-running is idempotent — consolidation
+					// re-fetches only still-pending diffs and collect
+					// re-drops already-empty stores.
+					c.stats.RecoveryRounds.Add(1)
+					continue
+				}
+				return nil, err
+			}
+		}
+	}
+	// A crash whose scheduled call fell inside this episode may never
+	// fail a protocol call — the victim can die after its last
+	// participation (its enter already folded, no release or GC call
+	// addressed it). Reconcile with the chaos layer before threads
+	// resume, so the engine migrates the victim's threads at THIS
+	// barrier and routing sees the death before the first post-barrier
+	// fault, not when a call from the dead node is refused mid-interval.
+	c.refreshView()
+	return costs, nil
+}
+
+// viewVersion returns the membership view's change counter; retry loops
+// compare it across an attempt to detect deaths an inner recovery path
+// already folded into the view.
+func (c *Cluster) viewVersion() int64 {
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	return c.viewVer
+}
+
+// barrierFTAttempt runs one attempt of the FT barrier's phases over the
+// current alive set.
+func (c *Cluster) barrierFTAttempt(episode int32, costs []sim.Time) error {
+	nnodes := c.cfg.Nodes
+	alive := c.aliveList()
+	na := len(alive)
+	if na == 0 {
+		return errors.New("dsm: barrier with no alive nodes")
+	}
+	mgr := alive[0]
+	tree := c.cfg.BarrierArity >= 2 && na > 1
+
+	c.barrierMu.Lock()
+	for i := range c.barriers {
+		c.barriers[i] = barrierState{
+			episode: episode,
+			entered: make(map[int32]bool, na),
+			have:    make(map[[3]int32]bool),
+			hot:     make(map[int32][]int32, na),
+		}
+	}
+	c.barrierMu.Unlock()
+
+	// Phase 1 (local, serial, alive only): close every interval,
+	// replicate the closed state to the ring successor, build enters.
+	enters := make([]*msg.BarrierEnter, nnodes)
+	for _, i := range alive {
+		n := c.nodes[i]
+		notices, diffCost := n.closeInterval()
+		costs[i] += diffCost
+		w, err := c.replicate(n, notices)
+		if err != nil {
+			return err
+		}
+		costs[i] += w
+		n.lockSync()
+		enters[i] = &msg.BarrierEnter{
+			Node:    int32(i),
+			Episode: episode,
+			Lam:     n.lamport.Load(),
+			Notices: append([]msg.Notice(nil), n.fresh...),
+		}
+		n.mu.Unlock()
+	}
+	c.contributeDead(enters)
+
+	// Phase 2: enter fan-in over the alive set.
+	var err error
+	if tree {
+		err = c.broadcast(func() error { return c.treeEnterPhaseFT(episode, alive, enters, costs) })
+	} else {
+		err = c.broadcast(func() error {
+			return fanOut(na, c.cfg.SerialFanOut, func(j int) error {
+				i := alive[j]
+				if i == mgr {
+					_, err := c.nodes[mgr].serveBarrierEnter(enters[mgr])
+					return err
+				}
+				_, wire, err := c.call(i, mgr, enters[i])
+				if err != nil {
+					return fmt.Errorf("dsm: barrier enter node %d: %w", i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	c.barrierMu.Lock()
+	entered := c.barriers[mgr].entered
+	for _, i := range alive {
+		if !entered[int32(i)] {
+			got := len(entered)
+			c.barrierMu.Unlock()
+			return fmt.Errorf("dsm: barrier episode %d: %d entered, alive node %d missing", episode, got, i)
+		}
+	}
+	notices := append([]msg.Notice(nil), c.barriers[mgr].notices...)
+	lam := c.barriers[mgr].lam
+	c.barrierMu.Unlock()
+	sort.Slice(notices, func(i, j int) bool {
+		a, b := notices[i], notices[j]
+		if a.Writer != b.Writer {
+			return a.Writer < b.Writer
+		}
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		return a.Page < b.Page
+	})
+	var homes []msg.PageHome
+	if c.cfg.HomeMigration {
+		homes = c.migrationDecisionsAll(c.nodes[mgr], notices, true)
+	}
+
+	// Phase 3: release fan-out over the alive set.
+	if tree {
+		err = c.broadcast(func() error {
+			return c.treeReleasePhaseFT(episode, lam, alive, notices, homes, costs)
+		})
+	} else {
+		err = c.broadcast(func() error {
+			return fanOut(na, c.cfg.SerialFanOut, func(j int) error {
+				i := alive[j]
+				rel := &msg.BarrierRelease{Episode: episode, Lam: lam, Notices: notices, Homes: homes}
+				if i == mgr {
+					_, err := c.nodes[i].serveBarrierRelease(rel)
+					return err
+				}
+				_, wire, err := c.call(mgr, i, rel)
+				if err != nil {
+					return fmt.Errorf("dsm: barrier release node %d: %w", i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	// Standby upkeep for migrated homes: the new home's ring successor
+	// must hold a copy (the invariant failover full-fetches rely on); a
+	// successor without one fetches it now, while threads are parked.
+	for _, ph := range homes {
+		h := int(ph.Home)
+		s := c.aliveSucc(h)
+		if s == h {
+			continue
+		}
+		sn := c.nodes[s]
+		p := vm.PageID(ph.Page)
+		sh := sn.rlockShard(p)
+		has := sn.pages[p].hasCopy
+		sh.runlock()
+		if has {
+			continue
+		}
+		var ti sim.ThreadInterval
+		sn.setCharge(&ti, -1)
+		if err := sn.fetchFullPage(-1, p, ApplyServer); err != nil {
+			sn.setCharge(nil, 0)
+			return fmt.Errorf("dsm: standby fetch page %d: %w", p, err)
+		}
+		sn.setCharge(nil, 0)
+		costs[s] += ti.Stall + ti.Overhead
+	}
+	return nil
+}
+
+// treeEnterPhaseFT is treeEnterPhase over the alive list: tree
+// positions are indices into the alive slice (root = position 0), so
+// the topology stays a complete k-ary tree however membership shrinks.
+func (c *Cluster) treeEnterPhaseFT(episode int32, alive []int, enters []*msg.BarrierEnter, costs []sim.Time) error {
+	k := c.cfg.BarrierArity
+	for _, i := range alive {
+		if _, err := c.nodes[i].serveBarrierEnter(enters[i]); err != nil {
+			return err
+		}
+	}
+	levels := treeLevels(len(alive), k)
+	var firstErr error
+	for li := len(levels) - 1; li >= 0; li-- {
+		lvl := levels[li]
+		err := fanOut(len(lvl), c.cfg.SerialFanOut, func(j int) error {
+			child := alive[lvl[j]]
+			parent := alive[treeParent(lvl[j], k)]
+			agg := c.buildEnterAggregate(child, episode)
+			_, wire, err := c.call(child, parent, agg)
+			if err != nil {
+				return fmt.Errorf("dsm: barrier enter relay node %d: %w", child, err)
+			}
+			costs[child] += wire
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// treeReleasePhaseFT is treeReleasePhase over the alive list. The FT
+// barrier never carries pushed diffs (prefetch is excluded with fault
+// tolerance), so relays reduce to the episode payload.
+func (c *Cluster) treeReleasePhaseFT(episode, lam int32, alive []int, notices []msg.Notice, homes []msg.PageHome, costs []sim.Time) error {
+	k := c.cfg.BarrierArity
+	rel0 := &msg.BarrierRelease{Episode: episode, Lam: lam, Notices: notices, Homes: homes}
+	if _, err := c.nodes[alive[0]].serveBarrierRelease(rel0); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, lvl := range treeLevels(len(alive), k) {
+		err := fanOut(len(lvl), c.cfg.SerialFanOut, func(j int) error {
+			child := alive[lvl[j]]
+			parent := alive[treeParent(lvl[j], k)]
+			rel, err := c.buildChildReleaseFT(parent, episode)
+			if err != nil {
+				return err
+			}
+			_, wire, err := c.call(parent, child, rel)
+			if err != nil {
+				return fmt.Errorf("dsm: barrier release relay node %d: %w", child, err)
+			}
+			costs[child] += wire
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// buildChildReleaseFT assembles the release a parent relays down the FT
+// tree from its stored copy of the episode payload.
+func (c *Cluster) buildChildReleaseFT(parent int, episode int32) (*msg.BarrierRelease, error) {
+	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
+	src := c.barriers[parent].rel
+	if src == nil || src.Episode != episode {
+		return nil, fmt.Errorf("dsm: barrier release relay: node %d holds no release for episode %d", parent, episode)
+	}
+	return &msg.BarrierRelease{Episode: episode, Lam: src.Lam, Notices: src.Notices, Homes: src.Homes}, nil
+}
+
+// collectGarbageFT is collectGarbage over the alive view: pages
+// consolidate at their effective home, the home's standby refreshes its
+// full copy before the drop broadcast (so the two-copy invariant
+// survives the collection), and the collect spares the standby's page
+// copy while still dropping every stored and replicated diff.
+func (c *Cluster) collectGarbageFT(costs []sim.Time) error {
+	c.stats.GCRounds.Add(1)
+	alive := c.aliveList()
+	pageSet := make(map[vm.PageID]bool)
+	for _, i := range alive {
+		n := c.nodes[i]
+		for s := range n.shards {
+			sh := &n.shards[s]
+			sh.mu.RLock()
+			for p := range sh.diffs {
+				pageSet[p] = true
+			}
+			sh.mu.RUnlock()
+		}
+		n.replMu.Lock()
+		for _, pm := range n.replDiffs {
+			for p := range pm {
+				pageSet[p] = true
+			}
+		}
+		n.replMu.Unlock()
+	}
+	pages := make([]vm.PageID, 0, len(pageSet))
+	for p := range pageSet {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	for _, p := range pages {
+		ref := c.nodes[alive[0]]
+		hm := ref.effHome(p)
+		mgr := c.nodes[hm]
+		sh := mgr.rlockShard(p)
+		pending := append([]msg.Notice(nil), mgr.pages[p].pending...)
+		sh.runlock()
+		var ti sim.ThreadInterval
+		mgr.setCharge(&ti, -1)
+		if len(pending) > 0 {
+			ok, err := mgr.fetchAndApplyDiffs(-1, p, pending, ApplyServer)
+			if err != nil {
+				mgr.setCharge(nil, 0)
+				return fmt.Errorf("dsm: gc consolidate page %d: %w", p, err)
+			}
+			if !ok {
+				mgr.setCharge(nil, 0)
+				return fmt.Errorf("dsm: gc consolidate page %d: diffs already gone", p)
+			}
+			sh = mgr.lockShard(p)
+			mgr.as.SetProt(p, vm.ProtRead)
+			sh.mu.Unlock()
+		}
+		mgr.setCharge(nil, 0)
+		costs[mgr.id] += ti.Stall + ti.Overhead
+
+		// Refresh the standby's full copy before diffs drop, so a later
+		// failover still finds a current image.
+		if s := c.aliveSucc(hm); s != hm {
+			sn := c.nodes[s]
+			var sti sim.ThreadInterval
+			sn.setCharge(&sti, -1)
+			if err := sn.fetchFullPage(-1, p, ApplyServer); err != nil {
+				sn.setCharge(nil, 0)
+				return fmt.Errorf("dsm: gc standby refresh page %d: %w", p, err)
+			}
+			sn.setCharge(nil, 0)
+			costs[s] += sti.Stall + sti.Overhead
+		}
+
+		collect := &msg.GCCollect{Page: int32(p)}
+		err := c.broadcast(func() error {
+			return fanOut(len(alive), c.cfg.SerialFanOut, func(j int) error {
+				i := alive[j]
+				if i == mgr.id {
+					_, err := c.nodes[i].serveGCCollect(collect)
+					return err
+				}
+				_, wire, err := c.call(mgr.id, i, collect)
+				if err != nil {
+					return fmt.Errorf("dsm: gc collect page %d node %d: %w", p, i, err)
+				}
+				costs[i] += wire
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+		c.stats.GCCollections.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package dsm
+
+// Failover benchmark harness: deterministic crash-recovery measurements
+// for the BENCH_failover.json gate (internal/experiments/failover.go).
+// Like the manager-decentralization harness this measures protocol
+// structure, not wall clock — what a crash costs in extra transport
+// calls and whether the survivors' memory image is byte-identical to a
+// fault-free run — so the committed numbers are exact and
+// machine-independent.
+//
+// One leg runs a phased lane-write workload (the same shape as the
+// failover acceptance tests): every node writes disjoint words for
+// PreRounds barrier rounds; then, in the crash legs, a victim dies
+// imperatively; the survivors write for PostRounds more rounds; the
+// restart leg additionally rejoins the victim after the first
+// post-crash round. The fault-free leg runs the identical survivor-only
+// post-phase, so all legs must converge to the same final contents —
+// the digest equality IS the fault-tolerance claim.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"actdsm/internal/memlayout"
+	"actdsm/internal/msg"
+	"actdsm/internal/transport"
+	"actdsm/internal/vm"
+)
+
+// FailoverBenchOptions configures one FailoverBench leg.
+type FailoverBenchOptions struct {
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// Pages is the shared-segment size in pages (default 4).
+	Pages int
+	// PreRounds is the number of all-nodes write rounds before the
+	// crash point (default 2).
+	PreRounds int
+	// PostRounds is the number of survivor-only write rounds after it
+	// (default 3).
+	PostRounds int
+	// Victim is the node the crash legs kill (default 2).
+	Victim int
+	// Crash kills Victim between the phases.
+	Crash bool
+	// Restart additionally rejoins Victim after the first post-crash
+	// round (requires Crash).
+	Restart bool
+}
+
+// FailoverBenchResult is one measured leg.
+type FailoverBenchResult struct {
+	// Digest is an FNV-1a hash over the final shared segment as read
+	// from a fixed survivor. Equal digests across legs mean the crash
+	// was invisible to the surviving computation.
+	Digest string `json:"digest"`
+	// Calls is the total transport-call count of the leg — the crash
+	// legs' excess over the fault-free leg is the protocol price of a
+	// failure.
+	Calls int64 `json:"calls"`
+	// Crashes..RecoveryRounds echo the leg's failover counters.
+	Crashes         int64 `json:"crashes"`
+	Rejoins         int64 `json:"rejoins"`
+	Failovers       int64 `json:"failovers"`
+	ReplicaDeltas   int64 `json:"replica_deltas"`
+	ReplicaBytes    int64 `json:"replica_bytes"`
+	RecoveryFetches int64 `json:"recovery_fetches"`
+	RecoveryRounds  int64 `json:"recovery_rounds"`
+}
+
+func (o FailoverBenchOptions) withDefaults() FailoverBenchOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.Pages == 0 {
+		o.Pages = 4
+	}
+	if o.PreRounds == 0 {
+		o.PreRounds = 2
+	}
+	if o.PostRounds == 0 {
+		o.PostRounds = 3
+	}
+	if o.Victim == 0 {
+		o.Victim = 2
+	}
+	return o
+}
+
+// FailoverBench runs one leg of the crash-recovery comparison.
+func FailoverBench(o FailoverBenchOptions) (FailoverBenchResult, error) {
+	o = o.withDefaults()
+	var res FailoverBenchResult
+	if o.Nodes < 3 {
+		return res, fmt.Errorf("dsm: failover bench needs at least 3 nodes, got %d", o.Nodes)
+	}
+	if o.Victim < 0 || o.Victim >= o.Nodes {
+		return res, fmt.Errorf("dsm: failover bench victim %d out of range", o.Victim)
+	}
+	if o.Restart && !o.Crash {
+		return res, fmt.Errorf("dsm: failover bench Restart requires Crash")
+	}
+	c, err := New(Config{
+		Nodes:            o.Nodes,
+		Pages:            o.Pages,
+		FaultTolerance:   true,
+		SerialFanOut:     true,
+		GCThresholdBytes: -1,
+		Transport: transport.Options{
+			MaxAttempts: 4,
+			BackoffBase: time.Microsecond,
+		},
+		Chaos: &transport.ChaosOptions{},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = c.Close() }()
+
+	var mu sync.Mutex
+	var calls int64
+	c.SetProbe(&Probe{
+		TransportCall: func(from, to int, kind msg.Kind, bytes int, wall time.Duration, failed bool) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		},
+	})
+
+	words := o.Pages * memlayout.PageSize / 4
+	write := func(node, round int) error {
+		for k := 0; k < 6; k++ {
+			w := (node*19 + k*31 + round*57) % words
+			w -= w % o.Nodes // disjoint per-node lanes within a round
+			w += node
+			if w >= words {
+				continue
+			}
+			b, _, err := c.Span(node, node, w*4, 4, vm.Write)
+			if err != nil {
+				return err
+			}
+			memlayout.ViewF32(b).Set(0, float32(round*1000+node*100+k))
+		}
+		return nil
+	}
+	for round := 0; round < o.PreRounds; round++ {
+		for node := 0; node < o.Nodes; node++ {
+			if err := write(node, round); err != nil {
+				return res, err
+			}
+		}
+		if _, err := c.Barrier(); err != nil {
+			return res, err
+		}
+	}
+	if o.Crash {
+		if err := c.Kill(o.Victim); err != nil {
+			return res, err
+		}
+	}
+	for round := o.PreRounds; round < o.PreRounds+o.PostRounds; round++ {
+		for node := 0; node < o.Nodes; node++ {
+			if node == o.Victim {
+				continue // the fault-free leg idles the victim too
+			}
+			if err := write(node, round); err != nil {
+				return res, err
+			}
+		}
+		if _, err := c.Barrier(); err != nil {
+			return res, err
+		}
+		if o.Restart && round == o.PreRounds {
+			if err := c.Restart(o.Victim); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Digest the final image from a fixed survivor, then check global
+	// coherence so a digest produced from a broken run cannot pass.
+	reader := (o.Victim + 1) % o.Nodes
+	h := fnv.New64a()
+	var word [4]byte
+	for w := 0; w < words; w++ {
+		b, _, err := c.Span(reader, reader, w*4, 4, vm.Read)
+		if err != nil {
+			return res, err
+		}
+		bits := math.Float32bits(memlayout.ViewF32(b).Get(0))
+		word[0] = byte(bits)
+		word[1] = byte(bits >> 8)
+		word[2] = byte(bits >> 16)
+		word[3] = byte(bits >> 24)
+		_, _ = h.Write(word[:])
+	}
+	if err := c.CheckCoherence(); err != nil {
+		return res, fmt.Errorf("dsm: failover bench coherence: %w", err)
+	}
+
+	s := c.Stats().Snapshot()
+	mu.Lock()
+	total := calls
+	mu.Unlock()
+	res = FailoverBenchResult{
+		Digest:          fmt.Sprintf("%016x", h.Sum64()),
+		Calls:           total,
+		Crashes:         s.Crashes,
+		Rejoins:         s.Rejoins,
+		Failovers:       s.Failovers,
+		ReplicaDeltas:   s.ReplicaDeltas,
+		ReplicaBytes:    s.ReplicaBytes,
+		RecoveryFetches: s.RecoveryFetches,
+		RecoveryRounds:  s.RecoveryRounds,
+	}
+	return res, nil
+}

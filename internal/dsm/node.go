@@ -211,10 +211,37 @@ type node struct {
 	// diffs; Cluster.Barrier drains it into the node's episode cost.
 	pushCost sim.Time
 
-	// lockMgrMu guards locks, the shared notice log for locks this node
-	// manages.
+	// lockMgrMu guards locks (the shared notice log for locks this node
+	// manages) and shadow (the fault-tolerance mirrors of other
+	// managers' logs, keyed by primary manager id, fed by shadow lock
+	// releases).
 	lockMgrMu sync.Mutex
 	locks     *mgrLog
+	shadow    map[int]*mgrLog
+
+	// replMu guards the receiver side of the fault-tolerance replica
+	// store (Config.FaultTolerance): state replicated here by ring
+	// predecessors via ReplicaDelta and shadow releases, served back
+	// out when the origin is dead. The sender-side marks (replSent,
+	// replSeq) live under mu with the known history they track.
+	replMu sync.Mutex
+	// replKnown[origin] is the origin's replicated causal history for
+	// the current epoch (its known set, shipped incrementally).
+	replKnown map[int][]msg.Notice
+	// replLockMark[origin][lock] is the length of replKnown[origin] at
+	// the origin's last release of the lock — the mirror of the
+	// origin's own lockMark, recorded when its shadow release arrives.
+	replLockMark map[int]map[int32]int
+	// replDiffs[origin][page][interval] holds copies of the origin's
+	// stored diffs (outside diffBytes: replicas never trigger GC).
+	replDiffs map[int]map[vm.PageID]map[int32][]byte
+	// replState[origin] is the origin's replicated interval counter,
+	// Lamport clock, and delta-sequence high-water mark.
+	replState map[int]replMeta
+	// replSent is the prefix of known already shipped in replica deltas
+	// (guarded by mu); replSeq numbers the deltas for receiver dedup.
+	replSent int
+	replSeq  int32
 
 	// swMu guards sw, the manager-side single-writer ownership state
 	// (nil under the multi-writer protocol).
@@ -262,9 +289,24 @@ func newNode(id int, c *Cluster, npages int) *node {
 	if c.cfg.Protocol == SingleWriter {
 		n.initSingleWriter()
 	}
+	if c.cfg.FaultTolerance {
+		n.shadow = make(map[int]*mgrLog)
+		n.replKnown = make(map[int][]msg.Notice)
+		n.replLockMark = make(map[int]map[int32]int)
+		n.replDiffs = make(map[int]map[vm.PageID]map[int32][]byte)
+		n.replState = make(map[int]replMeta)
+	}
 	for p := range n.pages {
 		n.homes[p].Store(int32(c.staticHome(vm.PageID(p))))
-		if c.staticHome(vm.PageID(p)) == id {
+		home := c.staticHome(vm.PageID(p))
+		if home == id {
+			n.pages[p].hasCopy = true
+			n.as.SetProt(vm.PageID(p), vm.ProtRead)
+		}
+		if c.cfg.FaultTolerance && (home+1)%c.cfg.Nodes == id {
+			// Standby pre-seed: every page starts with two identical
+			// (all-zero) copies — home and ring successor — so a home
+			// crash always finds a base image at the failover target.
 			n.pages[p].hasCopy = true
 			n.as.SetProt(vm.PageID(p), vm.ProtRead)
 		}
@@ -456,7 +498,7 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 	remote := false
 	switch {
 	case needFull:
-		if err := n.fetchFullPage(tid, p); err != nil {
+		if err := n.fetchFullPage(tid, p, ApplyDemand); err != nil {
 			return err
 		}
 		remote = true
@@ -468,7 +510,7 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 		if !ok {
 			// A writer garbage-collected a needed diff; fall back
 			// to a full fetch from the manager.
-			if err := n.fetchFullPage(tid, p); err != nil {
+			if err := n.fetchFullPage(tid, p, ApplyDemand); err != nil {
 				return err
 			}
 		}
@@ -507,30 +549,47 @@ func (n *node) resolveFault(tid int, p vm.PageID, a vm.Access) error {
 }
 
 // fetchFullPage brings a page current via its current home (the static
-// manager until a migration moves it). tid is the faulting thread (< 0
-// for server-side fetches), for the observability probe's stall
-// attribution.
-func (n *node) fetchFullPage(tid int, p vm.PageID) error {
+// manager until a migration moves it, or — under fault tolerance — the
+// home's ring standby while the home is dead). tid is the faulting
+// thread (< 0 for server-side fetches) and src classifies the path for
+// the probe: ApplyDemand for fault-path fetches, ApplyServer for
+// recovery machinery (standby reseeding, rejoin re-fetches).
+func (n *node) fetchFullPage(tid int, p vm.PageID, src ApplySource) error {
 	c := n.c
-	mgr := n.home(p)
-	sh := n.rlockShard(p)
-	req := &msg.PageRequest{From: int32(n.id), Page: int32(p)}
-	req.Pending = append(req.Pending, n.pages[p].pending...)
-	sh.runlock()
+	var (
+		reply msg.Message
+		wire  sim.Time
+	)
+	for attempt := 0; ; attempt++ {
+		mgr := n.effHome(p)
+		sh := n.rlockShard(p)
+		req := &msg.PageRequest{From: int32(n.id), Page: int32(p)}
+		req.Pending = append(req.Pending, n.pages[p].pending...)
+		sh.runlock()
 
-	reply, wire, err := c.call(n.id, mgr, req)
-	if err != nil {
-		return fmt.Errorf("dsm: node %d fetch page %d: %w", n.id, p, err)
+		var err error
+		reply, wire, err = c.call(n.id, mgr, req)
+		if err != nil {
+			if c.cfg.FaultTolerance && isNodeDown(err) && attempt < c.cfg.Nodes && c.refreshView() > 0 {
+				c.stats.Failovers.Add(1)
+				continue // home died mid-fetch: re-resolve to its standby
+			}
+			return fmt.Errorf("dsm: node %d fetch page %d: %w", n.id, p, err)
+		}
+		break
 	}
 	pr, ok := reply.(*msg.PageReply)
 	if !ok {
 		return fmt.Errorf("dsm: node %d fetch page %d: unexpected reply %T", n.id, p, reply)
 	}
 	c.stats.PageFetches.Add(1)
+	if src != ApplyDemand {
+		c.stats.RecoveryFetches.Add(1)
+	}
 	n.addCharge(sim.ThreadInterval{Stall: wire})
 	c.probeRemoteFetch(n.id, tid, FetchPage, p, wire)
 
-	sh = n.lockShard(p)
+	sh := n.lockShard(p)
 	st := &n.pages[p]
 	copy(n.pageData(p), pr.Data)
 	st.hasCopy = true
@@ -548,7 +607,7 @@ func (n *node) fetchFullPage(tid int, p vm.PageID) error {
 	// The decoded page image has been copied into the segment; its
 	// buffer can back a future twin or serve.
 	putPageBuf(pr.Data)
-	n.c.probePageFetched(n.id, p, vt)
+	n.c.probePageFetched(n.id, p, src, vt)
 	return nil
 }
 
@@ -603,13 +662,36 @@ func (n *node) fetchAndApplyDiffs(tid int, p vm.PageID, pending []msg.Notice, sr
 		sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
 		for _, w := range writers {
 			nts := byWriter[w]
-			req := &msg.DiffRequest{From: int32(n.id), Page: int32(p)}
+			req := &msg.DiffRequest{From: int32(n.id), Page: int32(p), Writer: w}
 			for _, nt := range nts {
 				req.Intervals = append(req.Intervals, nt.Interval)
 			}
-			reply, wire, err := c.call(n.id, int(w), req)
-			if err != nil {
-				return false, fmt.Errorf("dsm: node %d fetch diffs page %d from %d: %w", n.id, p, w, err)
+			var (
+				reply msg.Message
+				wire  sim.Time
+			)
+			for attempt := 0; ; attempt++ {
+				target := int(w)
+				if c.cfg.FaultTolerance && c.isDead(target) {
+					// The writer is dead: its replicated diff store on
+					// the ring standby serves in its stead.
+					target = c.aliveSucc(target)
+					c.stats.Failovers.Add(1)
+				}
+				var err error
+				if target == n.id {
+					reply, err = n.serveReplicaDiffs(req)
+				} else {
+					reply, wire, err = c.call(n.id, target, req)
+				}
+				if err != nil {
+					if c.cfg.FaultTolerance && isNodeDown(err) && attempt < c.cfg.Nodes && c.refreshView() > 0 {
+						c.stats.Failovers.Add(1)
+						continue
+					}
+					return false, fmt.Errorf("dsm: node %d fetch diffs page %d from %d: %w", n.id, p, w, err)
+				}
+				break
 			}
 			dr, ok := reply.(*msg.DiffReply)
 			if !ok || len(dr.Diffs) != len(nts) {
@@ -670,6 +752,11 @@ func (n *node) serve(from int, m msg.Message) (msg.Message, func(), error) {
 	case *msg.PageRequest:
 		return noRelease(n.servePageRequest(req))
 	case *msg.DiffRequest:
+		if n.c.cfg.FaultTolerance && int(req.Writer) != n.id {
+			// Standby path: the writer is dead and the requester was
+			// re-routed here; serve from the replicated diff store.
+			return noRelease(n.serveReplicaDiffs(req))
+		}
 		return n.serveDiffRequest(req)
 	case *msg.DiffBatchRequest:
 		return n.serveDiffBatchRequest(req)
@@ -678,13 +765,26 @@ func (n *node) serve(from int, m msg.Message) (msg.Message, func(), error) {
 	case *msg.BarrierRelease:
 		return noRelease(n.serveBarrierRelease(req))
 	case *msg.LockAcquire:
+		if primary := n.c.lockManager(req.Lock); n.c.cfg.FaultTolerance && primary != n.id {
+			return noRelease(n.serveLockAcquireShadow(primary, req))
+		}
 		return noRelease(n.serveLockAcquire(req))
 	case *msg.LockRelease:
+		if primary := n.c.lockManager(req.Lock); n.c.cfg.FaultTolerance && primary != n.id {
+			return noRelease(n.serveLockReleaseShadow(primary, req))
+		}
 		return noRelease(n.serveLockRelease(req))
 	case *msg.LockPull:
+		if n.c.cfg.FaultTolerance && int(req.Holder) != n.id {
+			return noRelease(n.serveLockPullShadow(req))
+		}
 		return noRelease(n.serveLockPull(req))
 	case *msg.GCCollect:
 		return noRelease(n.serveGCCollect(req))
+	case *msg.ReplicaDelta:
+		return noRelease(n.serveReplicaDelta(req))
+	case *msg.RejoinRequest:
+		return noRelease(n.serveRejoinRequest(req))
 	case *msg.SWRead:
 		return noRelease(n.serveSWRead(req))
 	case *msg.SWWrite:
@@ -715,7 +815,7 @@ func noRelease(m msg.Message, err error) (msg.Message, func(), error) {
 // exactly as the static manager would.
 func (n *node) servePageRequest(req *msg.PageRequest) (msg.Message, error) {
 	p := vm.PageID(req.Page)
-	if n.home(p) != n.id {
+	if n.effHome(p) != n.id {
 		return nil, fmt.Errorf("dsm: node %d is not the home of page %d", n.id, p)
 	}
 	n.c.probeNoticesDelivered(n.id, ViaPageRequest, req.Pending)
@@ -996,6 +1096,15 @@ func (n *node) serveLockPull(req *msg.LockPull) (msg.Message, error) {
 // serve are recycled when that serve's encode finishes.
 func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 	p := vm.PageID(req.Page)
+	if n.c.cfg.FaultTolerance {
+		// The replicated diff store mirrors the primaries' diffs; a
+		// collect retires the whole page's history there too.
+		n.replMu.Lock()
+		for _, byPage := range n.replDiffs {
+			delete(byPage, p)
+		}
+		n.replMu.Unlock()
+	}
 	sh := n.lockShard(p)
 	defer sh.mu.Unlock()
 	if store, ok := sh.diffs[p]; ok {
@@ -1007,7 +1116,11 @@ func (n *node) serveGCCollect(req *msg.GCCollect) (msg.Message, error) {
 		n.diffBytes.Add(-dropped)
 		delete(sh.diffs, p)
 	}
-	if n.home(p) != n.id {
+	if n.effHome(p) != n.id &&
+		!(n.c.cfg.FaultTolerance && n.id == n.c.aliveSucc(n.effHome(p))) {
+		// Under fault tolerance the home's ring standby keeps its
+		// (just-refreshed) copy: a home crash must always find a
+		// current base image at the failover target.
 		st := &n.pages[p]
 		if st.dirty {
 			return nil, fmt.Errorf("dsm: GC of page %d with open twin on node %d", p, n.id)

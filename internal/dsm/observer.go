@@ -129,8 +129,11 @@ type Probe struct {
 	// with the notice naming it and the path that applied it.
 	DiffApplied func(node int, src ApplySource, nt msg.Notice)
 	// PageFetched fires when a full page image (with the manager's
-	// applied-interval vector) replaces a node's copy.
-	PageFetched func(node int, p vm.PageID, appliedVT []int32)
+	// applied-interval vector) replaces a node's copy. src is ApplyDemand
+	// for demand faults and ApplyServer for recovery machinery (standby
+	// reseeding, rejoin re-fetches) — the oracle's miss-conservation
+	// check only counts the demand path.
+	PageFetched func(node int, p vm.PageID, src ApplySource, appliedVT []int32)
 	// PageInvalidated fires when garbage collection drops a non-manager
 	// replica outright (copy, pending set, and applied vector all reset).
 	PageInvalidated func(node int, p vm.PageID)
@@ -143,6 +146,13 @@ type Probe struct {
 	// BarrierReleased fires once per node per barrier episode, when the
 	// release reaches the node (before its pushed diffs are applied).
 	BarrierReleased func(node int, episode int32)
+	// NodeCrashed fires when the membership view marks a node dead
+	// (Config.FaultTolerance): its page copies, twins, and diff store are
+	// gone and its manager roles have failed over to its ring successor.
+	NodeCrashed func(node int)
+	// NodeRejoined fires when a crashed node completes the recovery
+	// protocol and re-enters the membership view with fresh state.
+	NodeRejoined func(node int)
 
 	// RemoteFetch fires for every remote data fetch with the faulting
 	// thread (tid < 0 for server-side fetches: a manager consolidating a
@@ -229,9 +239,9 @@ func (c *Cluster) probeDiffApplied(node int, src ApplySource, nt msg.Notice) {
 	}
 }
 
-func (c *Cluster) probePageFetched(node int, p vm.PageID, vt []int32) {
+func (c *Cluster) probePageFetched(node int, p vm.PageID, src ApplySource, vt []int32) {
 	if c.probe != nil && c.probe.PageFetched != nil {
-		c.probe.PageFetched(node, p, vt)
+		c.probe.PageFetched(node, p, src, vt)
 	}
 }
 
@@ -256,6 +266,18 @@ func (c *Cluster) probeLockReleased(node int, lock int32) {
 func (c *Cluster) probeBarrierReleased(node int, episode int32) {
 	if c.probe != nil && c.probe.BarrierReleased != nil {
 		c.probe.BarrierReleased(node, episode)
+	}
+}
+
+func (c *Cluster) probeNodeCrashed(node int) {
+	if c.probe != nil && c.probe.NodeCrashed != nil {
+		c.probe.NodeCrashed(node)
+	}
+}
+
+func (c *Cluster) probeNodeRejoined(node int) {
+	if c.probe != nil && c.probe.NodeRejoined != nil {
+		c.probe.NodeRejoined(node)
 	}
 }
 

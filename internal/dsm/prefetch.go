@@ -449,7 +449,7 @@ func (n *node) fetchDiffBatches(byWriter map[int32][]msg.Notice) (map[[3]int32][
 			}
 			return nts[a].Interval < nts[b].Interval
 		})
-		req := &msg.DiffBatchRequest{From: int32(n.id)}
+		req := &msg.DiffBatchRequest{From: int32(n.id), Writer: w}
 		total := 0
 		for _, nt := range nts {
 			if len(req.Pages) == 0 || req.Pages[len(req.Pages)-1].Page != nt.Page {

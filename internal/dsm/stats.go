@@ -146,6 +146,29 @@ type Stats struct {
 	// PrefetchLate counts demand misses on pages the predictor selected
 	// but the prefetch budget excluded in the preceding round.
 	PrefetchLate atomic.Int64
+	// Crashes counts node failures detected by the membership view
+	// (Config.FaultTolerance).
+	Crashes atomic.Int64
+	// Rejoins counts crashed nodes that completed the recovery protocol
+	// and re-entered the membership view.
+	Rejoins atomic.Int64
+	// ReplicaDeltas counts interval-state deltas shipped to ring
+	// successors — the steady-state replication traffic fault tolerance
+	// adds.
+	ReplicaDeltas atomic.Int64
+	// ReplicaBytes counts the wire bytes of those deltas.
+	ReplicaBytes atomic.Int64
+	// Failovers counts protocol calls re-routed to a dead node's ring
+	// successor (page serves, diff fetches, lock traffic, barrier roles).
+	Failovers atomic.Int64
+	// RecoveryFetches counts full-page fetches performed by the recovery
+	// machinery itself: standby reseeding after a crash or a GC round,
+	// and a rejoining node re-fetching its home pages. They are server
+	// traffic, not demand misses.
+	RecoveryFetches atomic.Int64
+	// RecoveryRounds counts standby-reseed sweeps (one per crash epoch
+	// and one per GC round under fault tolerance).
+	RecoveryRounds atomic.Int64
 	// ShardContention counts contended page-shard lock acquisitions:
 	// each increment means a service-path operation found its page's
 	// shard held by another request and had to wait. A high rate
@@ -244,6 +267,13 @@ type Snapshot struct {
 	PrefetchHits     int64
 	PrefetchWasted   int64
 	PrefetchLate     int64
+	Crashes          int64
+	Rejoins          int64
+	ReplicaDeltas    int64
+	ReplicaBytes     int64
+	Failovers        int64
+	RecoveryFetches  int64
+	RecoveryRounds   int64
 	// ShardContention and SyncContention count contended lock
 	// acquisitions on the service path (see Stats). They measure
 	// wall-clock interleaving, not protocol behaviour, so they are
@@ -286,6 +316,13 @@ func (s *Stats) Snapshot() Snapshot {
 		PrefetchHits:     s.PrefetchHits.Load(),
 		PrefetchWasted:   s.PrefetchWasted.Load(),
 		PrefetchLate:     s.PrefetchLate.Load(),
+		Crashes:          s.Crashes.Load(),
+		Rejoins:          s.Rejoins.Load(),
+		ReplicaDeltas:    s.ReplicaDeltas.Load(),
+		ReplicaBytes:     s.ReplicaBytes.Load(),
+		Failovers:        s.Failovers.Load(),
+		RecoveryFetches:  s.RecoveryFetches.Load(),
+		RecoveryRounds:   s.RecoveryRounds.Load(),
 		ShardContention:  s.ShardContention.Load(),
 		SyncContention:   s.SyncContention.Load(),
 	}
@@ -342,6 +379,13 @@ type Counters struct {
 	PrefetchHits     int64
 	PrefetchWasted   int64
 	PrefetchLate     int64
+	Crashes          int64
+	Rejoins          int64
+	ReplicaDeltas    int64
+	ReplicaBytes     int64
+	Failovers        int64
+	RecoveryFetches  int64
+	RecoveryRounds   int64
 }
 
 // Counters projects the snapshot onto its comparable counter subset.
@@ -372,6 +416,13 @@ func (s Snapshot) Counters() Counters {
 		PrefetchHits:     s.PrefetchHits,
 		PrefetchWasted:   s.PrefetchWasted,
 		PrefetchLate:     s.PrefetchLate,
+		Crashes:          s.Crashes,
+		Rejoins:          s.Rejoins,
+		ReplicaDeltas:    s.ReplicaDeltas,
+		ReplicaBytes:     s.ReplicaBytes,
+		Failovers:        s.Failovers,
+		RecoveryFetches:  s.RecoveryFetches,
+		RecoveryRounds:   s.RecoveryRounds,
 	}
 }
 
@@ -405,6 +456,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PrefetchHits:     s.PrefetchHits - o.PrefetchHits,
 		PrefetchWasted:   s.PrefetchWasted - o.PrefetchWasted,
 		PrefetchLate:     s.PrefetchLate - o.PrefetchLate,
+		Crashes:          s.Crashes - o.Crashes,
+		Rejoins:          s.Rejoins - o.Rejoins,
+		ReplicaDeltas:    s.ReplicaDeltas - o.ReplicaDeltas,
+		ReplicaBytes:     s.ReplicaBytes - o.ReplicaBytes,
+		Failovers:        s.Failovers - o.Failovers,
+		RecoveryFetches:  s.RecoveryFetches - o.RecoveryFetches,
+		RecoveryRounds:   s.RecoveryRounds - o.RecoveryRounds,
 		ShardContention:  s.ShardContention - o.ShardContention,
 		SyncContention:   s.SyncContention - o.SyncContention,
 	}

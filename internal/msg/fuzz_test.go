@@ -55,6 +55,12 @@ func FuzzDecode(f *testing.F) {
 			{Page: 0, Diffs: [][]byte{{0, 0, 4, 0, 1, 2, 3, 4}, nil}},
 			{Page: 4, Diffs: [][]byte{nil}},
 		}},
+		&ReplicaDelta{Origin: 1, Seq: 2, Interval: 3, Lam: 4,
+			Notices: []Notice{{Page: 1, Writer: 1, Interval: 3, Lam: 4}},
+			Diffs:   [][]byte{{0, 0, 4, 0, 9, 9, 9, 9}},
+			Known:   []Notice{{Page: 0, Writer: 2, Interval: 1, Lam: 2}}},
+		&RejoinRequest{Node: 2},
+		&RejoinReply{Interval: 5, Lam: 9, Seen: []int32{2, 0, 1}, Homes: []int32{0, 1, 2}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -186,7 +192,16 @@ func buildFuzzMessage(k Kind, a, b int32, blob []byte) Message {
 		}
 		return &DiffBatchReply{Pages: pages}
 	case KindLockPull:
-		return &LockPull{Node: a, Lock: b, Seen: fuzzI32s(blob, n)}
+		return &LockPull{Node: a, Lock: b, Holder: a ^ b, Seen: fuzzI32s(blob, n)}
+	case KindReplicaDelta:
+		return &ReplicaDelta{Origin: a, Seq: b, Interval: a + b, Lam: a - b,
+			Notices: fuzzNotices(blob, n), Diffs: fuzzDiffs(blob, n),
+			Known: fuzzNotices(blob, (n+1)%4)}
+	case KindRejoinRequest:
+		return &RejoinRequest{Node: a}
+	case KindRejoinReply:
+		return &RejoinReply{Interval: a, Lam: b,
+			Seen: fuzzI32s(blob, n), Homes: fuzzI32s(blob, (n+2)%4)}
 	default:
 		return nil
 	}

@@ -38,11 +38,19 @@ const (
 	// manager (LockGrant.Holder) pulls the holder's release-time notice
 	// history directly.
 	KindLockPull
+	// Fault tolerance: a replica delta ships a node's just-closed
+	// interval (diffs included) and received-notice history to its ring
+	// successor, so the successor can stand in for the node's manager
+	// roles after a crash; the rejoin pair restores a restarted node's
+	// synchronization state from that successor.
+	KindReplicaDelta
+	KindRejoinRequest
+	KindRejoinReply
 )
 
 // KindCount is one past the highest Kind value, sized for arrays indexed
 // by Kind (e.g. the DSM's per-message-type call statistics).
-const KindCount = int(KindLockPull) + 1
+const KindCount = int(KindRejoinReply) + 1
 
 // kindNames is indexed by Kind.
 var kindNames = [KindCount]string{
@@ -66,6 +74,10 @@ var kindNames = [KindCount]string{
 	KindDiffBatchRequest: "DiffBatchRequest",
 	KindDiffBatchReply:   "DiffBatchReply",
 	KindLockPull:         "LockPull",
+
+	KindReplicaDelta:  "ReplicaDelta",
+	KindRejoinRequest: "RejoinRequest",
+	KindRejoinReply:   "RejoinReply",
 }
 
 // String implements fmt.Stringer.
@@ -135,6 +147,9 @@ var (
 	_ Message = (*DiffBatchRequest)(nil)
 	_ Message = (*DiffBatchReply)(nil)
 	_ Message = (*LockPull)(nil)
+	_ Message = (*ReplicaDelta)(nil)
+	_ Message = (*RejoinRequest)(nil)
+	_ Message = (*RejoinReply)(nil)
 )
 
 // PageRequest asks the page manager for a full copy of Page. Pending lists
@@ -162,10 +177,14 @@ type PageReply struct {
 func (*PageReply) Kind() Kind { return KindPageReply }
 
 // DiffRequest asks a writer node for the diffs it created for Page in each
-// of Intervals.
+// of Intervals. Writer names the node that authored the diffs; it equals
+// the destination in normal operation, but under fault tolerance a
+// request for a crashed writer's diffs is routed to that writer's ring
+// successor, which serves them from its replica store.
 type DiffRequest struct {
 	From      int32
 	Page      int32
+	Writer    int32
 	Intervals []int32
 }
 
@@ -387,8 +406,11 @@ type PageIntervals struct {
 // sequence of DiffRequests coalesced per destination: a pure read of the
 // writer's diff store, so it is idempotent and safe to retry.
 type DiffBatchRequest struct {
-	From  int32
-	Pages []PageIntervals
+	From int32
+	// Writer names the node that authored the requested diffs (see
+	// DiffRequest.Writer).
+	Writer int32
+	Pages  []PageIntervals
 }
 
 // Kind implements Message.
@@ -420,11 +442,65 @@ func (*DiffBatchReply) Kind() Kind { return KindDiffBatchReply }
 type LockPull struct {
 	Node int32
 	Lock int32
-	Seen []int32
+	// Holder names the node whose release-time history is wanted; it
+	// equals the destination in normal operation, but under fault
+	// tolerance a pull for a crashed holder is routed to that holder's
+	// ring successor, which serves the replicated history.
+	Holder int32
+	Seen   []int32
 }
 
 // Kind implements Message.
 func (*LockPull) Kind() Kind { return KindLockPull }
+
+// ReplicaDelta replicates one node's interval state to its ring
+// successor (fault tolerance). The origin ships a delta after every
+// interval close: Notices/Diffs carry the just-closed interval's write
+// notices and matching diffs (aligned; nil when the close was empty),
+// and Known carries the suffix of the origin's received-notice history
+// accumulated since the previous delta, so the successor can answer
+// lock pulls for the origin with full transitive causal history. Seq is
+// a per-origin sequence number the successor dedups retried deltas on;
+// Interval and Lam snapshot the origin's interval counter and Lamport
+// clock for use in a later RejoinReply.
+type ReplicaDelta struct {
+	Origin   int32
+	Seq      int32
+	Interval int32
+	Lam      int32
+	Notices  []Notice
+	Diffs    [][]byte
+	Known    []Notice
+}
+
+// Kind implements Message.
+func (*ReplicaDelta) Kind() Kind { return KindReplicaDelta }
+
+// RejoinRequest asks a restarted node's ring successor for the
+// synchronization state it must resume with (fault tolerance). The
+// reply is a RejoinReply.
+type RejoinRequest struct {
+	Node int32
+}
+
+// Kind implements Message.
+func (*RejoinRequest) Kind() Kind { return KindRejoinRequest }
+
+// RejoinReply restores a rejoining node's synchronization state:
+// Interval and Lam resume its interval counter and Lamport clock past
+// everything it published before crashing, Seen is the successor's
+// notice high-water vector (so stale notices keep deduplicating), and
+// Homes is the current page-home table (so a node that missed home
+// migrations while down rejoins with the cluster-wide view).
+type RejoinReply struct {
+	Interval int32
+	Lam      int32
+	Seen     []int32
+	Homes    []int32
+}
+
+// Kind implements Message.
+func (*RejoinReply) Kind() Kind { return KindRejoinReply }
 
 // encoderPool recycles encoder headers so EncodeTo performs no
 // allocations of its own: calling m.encodeBody through the Message
@@ -525,6 +601,12 @@ func Decode(b []byte) (Message, error) {
 		m = &DiffBatchReply{}
 	case KindLockPull:
 		m = &LockPull{}
+	case KindReplicaDelta:
+		m = &ReplicaDelta{}
+	case KindRejoinRequest:
+		m = &RejoinRequest{}
+	case KindRejoinReply:
+		m = &RejoinReply{}
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", k)
 	}
@@ -571,7 +653,7 @@ func (m *PageReply) sizeBody() int {
 	return 4 + bytesSize(m.Data) + i32sSize(len(m.AppliedVT))
 }
 
-func (m *DiffRequest) sizeBody() int { return 8 + i32sSize(len(m.Intervals)) }
+func (m *DiffRequest) sizeBody() int { return 12 + i32sSize(len(m.Intervals)) }
 
 func (m *DiffReply) sizeBody() int {
 	n := 4 + 4
@@ -618,7 +700,7 @@ func (m *SWFlush) sizeBody() int { return 4 }
 func (m *SWInvalidate) sizeBody() int { return 4 }
 
 func (m *DiffBatchRequest) sizeBody() int {
-	n := 4 + 4
+	n := 8 + 4
 	for _, pi := range m.Pages {
 		n += 4 + i32sSize(len(pi.Intervals))
 	}
@@ -636,7 +718,21 @@ func (m *DiffBatchReply) sizeBody() int {
 	return n
 }
 
-func (m *LockPull) sizeBody() int { return 8 + i32sSize(len(m.Seen)) }
+func (m *LockPull) sizeBody() int { return 12 + i32sSize(len(m.Seen)) }
+
+func (m *ReplicaDelta) sizeBody() int {
+	n := 16 + noticesSize(m.Notices) + 4 + noticesSize(m.Known)
+	for _, df := range m.Diffs {
+		n += bytesSize(df) // nil → 4 (the -1 marker)
+	}
+	return n
+}
+
+func (m *RejoinRequest) sizeBody() int { return 4 }
+
+func (m *RejoinReply) sizeBody() int {
+	return 8 + i32sSize(len(m.Seen)) + i32sSize(len(m.Homes))
+}
 
 func (m *PageRequest) encodeBody(e *encoder) {
 	e.i32(m.From)
@@ -687,6 +783,7 @@ func (m *PageReply) decodeBody(d *decoder) (err error) {
 func (m *DiffRequest) encodeBody(e *encoder) {
 	e.i32(m.From)
 	e.i32(m.Page)
+	e.i32(m.Writer)
 	e.i32(int32(len(m.Intervals)))
 	for _, iv := range m.Intervals {
 		e.i32(iv)
@@ -698,6 +795,9 @@ func (m *DiffRequest) decodeBody(d *decoder) (err error) {
 		return err
 	}
 	if m.Page, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Writer, err = d.i32(); err != nil {
 		return err
 	}
 	n, err := d.length()
@@ -1027,6 +1127,7 @@ func (m *SWInvalidate) decodeBody(d *decoder) (err error) {
 
 func (m *DiffBatchRequest) encodeBody(e *encoder) {
 	e.i32(m.From)
+	e.i32(m.Writer)
 	e.i32(int32(len(m.Pages)))
 	for _, pi := range m.Pages {
 		e.i32(pi.Page)
@@ -1039,6 +1140,9 @@ func (m *DiffBatchRequest) encodeBody(e *encoder) {
 
 func (m *DiffBatchRequest) decodeBody(d *decoder) (err error) {
 	if m.From, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Writer, err = d.i32(); err != nil {
 		return err
 	}
 	n, err := d.length()
@@ -1106,6 +1210,7 @@ func (m *DiffBatchReply) decodeBody(d *decoder) (err error) {
 func (m *LockPull) encodeBody(e *encoder) {
 	e.i32(m.Node)
 	e.i32(m.Lock)
+	e.i32(m.Holder)
 	e.i32(int32(len(m.Seen)))
 	for _, s := range m.Seen {
 		e.i32(s)
@@ -1119,6 +1224,9 @@ func (m *LockPull) decodeBody(d *decoder) (err error) {
 	if m.Lock, err = d.i32(); err != nil {
 		return err
 	}
+	if m.Holder, err = d.i32(); err != nil {
+		return err
+	}
 	n, err := d.length()
 	if err != nil {
 		return err
@@ -1126,6 +1234,102 @@ func (m *LockPull) decodeBody(d *decoder) (err error) {
 	m.Seen = make([]int32, n)
 	for i := range m.Seen {
 		if m.Seen[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *ReplicaDelta) encodeBody(e *encoder) {
+	e.i32(m.Origin)
+	e.i32(m.Seq)
+	e.i32(m.Interval)
+	e.i32(m.Lam)
+	e.notices(m.Notices)
+	e.i32(int32(len(m.Diffs)))
+	for _, df := range m.Diffs {
+		if df == nil {
+			e.i32(-1)
+			continue
+		}
+		e.bytes(df)
+	}
+	e.notices(m.Known)
+}
+
+func (m *ReplicaDelta) decodeBody(d *decoder) (err error) {
+	if m.Origin, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Seq, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Interval, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Notices, err = d.notices(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Diffs = make([][]byte, n)
+	for i := range m.Diffs {
+		if m.Diffs[i], err = d.bytesOrNil(); err != nil {
+			return err
+		}
+	}
+	m.Known, err = d.notices()
+	return err
+}
+
+func (m *RejoinRequest) encodeBody(e *encoder) { e.i32(m.Node) }
+
+func (m *RejoinRequest) decodeBody(d *decoder) (err error) {
+	m.Node, err = d.i32()
+	return err
+}
+
+func (m *RejoinReply) encodeBody(e *encoder) {
+	e.i32(m.Interval)
+	e.i32(m.Lam)
+	e.i32(int32(len(m.Seen)))
+	for _, s := range m.Seen {
+		e.i32(s)
+	}
+	e.i32(int32(len(m.Homes)))
+	for _, h := range m.Homes {
+		e.i32(h)
+	}
+}
+
+func (m *RejoinReply) decodeBody(d *decoder) (err error) {
+	if m.Interval, err = d.i32(); err != nil {
+		return err
+	}
+	if m.Lam, err = d.i32(); err != nil {
+		return err
+	}
+	n, err := d.length()
+	if err != nil {
+		return err
+	}
+	m.Seen = make([]int32, n)
+	for i := range m.Seen {
+		if m.Seen[i], err = d.i32(); err != nil {
+			return err
+		}
+	}
+	if n, err = d.length(); err != nil {
+		return err
+	}
+	m.Homes = make([]int32, n)
+	for i := range m.Homes {
+		if m.Homes[i], err = d.i32(); err != nil {
 			return err
 		}
 	}

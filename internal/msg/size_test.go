@@ -59,6 +59,12 @@ func sizeCorpus() []Message {
 			{Page: 8},
 		}},
 		&DiffBatchReply{},
+		&ReplicaDelta{Origin: 1, Seq: 4, Interval: 3, Lam: 9, Notices: ns,
+			Diffs: [][]byte{{1, 2}, nil}, Known: ns},
+		&ReplicaDelta{Origin: 2, Seq: 5, Interval: 3, Lam: 10},
+		&RejoinRequest{Node: 3},
+		&RejoinReply{Interval: 7, Lam: 12, Seen: []int32{1, 0, 4}, Homes: []int32{0, 1, 2, 0}},
+		&RejoinReply{},
 	}
 }
 

@@ -279,6 +279,40 @@ func TestMetricsCoverSnapshot(t *testing.T) {
 	}
 }
 
+// TestMetricsFailoverCounters pins the exposition names of the fault-
+// tolerance counters (DESIGN.md §12). The reflection walk above already
+// proves they are emitted; this test freezes the exact names and sample
+// values a failover dashboard would scrape, so a Stats rename cannot
+// silently move them.
+func TestMetricsFailoverCounters(t *testing.T) {
+	var snap dsm.Snapshot
+	snap.Crashes = 1
+	snap.Rejoins = 2
+	snap.ReplicaDeltas = 3
+	snap.ReplicaBytes = 4
+	snap.Failovers = 5
+	snap.RecoveryFetches = 6
+	snap.RecoveryRounds = 7
+	var buf bytes.Buffer
+	if err := obs.MetricsText(snap, &buf); err != nil {
+		t.Fatalf("MetricsText: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"actdsm_crashes_total 1",
+		"actdsm_rejoins_total 2",
+		"actdsm_replica_deltas_total 3",
+		"actdsm_replica_bytes_total 4",
+		"actdsm_failovers_total 5",
+		"actdsm_recovery_fetches_total 6",
+		"actdsm_recovery_rounds_total 7",
+	} {
+		if !strings.Contains(text, "\n"+want+"\n") {
+			t.Errorf("failover metric sample %q missing from dump", want)
+		}
+	}
+}
+
 func TestRecorderRingWrap(t *testing.T) {
 	r := obs.NewRecorder(obs.Config{Enabled: true, BufferEvents: 8})
 	for i := 0; i < 20; i++ {

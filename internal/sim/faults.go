@@ -1,0 +1,36 @@
+package sim
+
+// Deterministic crash/restart schedules.
+//
+// A CrashSchedule pins a node failure to the transport's global call
+// numbering (the same 1-based counter chaos plans key on, see
+// transport.RecordingPlan): the node is fail-stop from call N onward —
+// every call to or from it fails permanently — until an explicit revive
+// at a named barrier episode. Because the call counter is deterministic
+// under SerialFanOut, the same schedule replays the same crash on every
+// run, composing with drop/delay/partition plans that share the counter.
+
+// CrashSchedule describes one deterministic node crash and, optionally,
+// its restart point.
+type CrashSchedule struct {
+	// Node is the node that crashes.
+	Node int
+	// Call is the 1-based global transport call number at which the
+	// crash arms: the call numbered Call and every later call involving
+	// Node fails. Call <= 1 means the node is down from the start.
+	Call int64
+	// RestartEpoch, when non-zero, is the earliest barrier episode at
+	// whose start the node rejoins the cluster (the DSM layer runs its
+	// recovery protocol and revives the transport). The first episode
+	// at or after RestartEpoch that begins with the node down triggers
+	// the rejoin, so a crash call landing after the named episode still
+	// recovers at the next barrier. Zero means the node never restarts.
+	RestartEpoch int64
+}
+
+// RestartsAt reports whether the schedule revives its node at the start
+// of barrier episode ep (assuming the node is down then; the caller
+// checks liveness).
+func (s CrashSchedule) RestartsAt(ep int64) bool {
+	return s.RestartEpoch != 0 && ep >= s.RestartEpoch
+}

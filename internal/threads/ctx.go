@@ -108,6 +108,16 @@ func (c *Ctx) EndIteration() {
 	c.t.yield(event{kind: evIterEnd})
 }
 
+// Yield ends the thread's scheduler slice without parking it: the
+// thread stays runnable and resumes on a later round, after co-resident
+// threads have had a turn. Polling loops need it — an uncontended Lock
+// never yields, so a poller sharing a node with the thread it waits on
+// (possible after a crash migrates threads together) would otherwise
+// spin out its retry budget without ever letting the writer run.
+func (c *Ctx) Yield() {
+	c.t.yield(event{kind: evYield})
+}
+
 // Lock acquires a global lock, applying the consistency information its
 // grant carries.
 func (c *Ctx) Lock(lock int32) error {

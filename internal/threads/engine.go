@@ -29,6 +29,7 @@ const (
 	evBarrier eventKind = iota + 1
 	evIterEnd
 	evLockWait
+	evYield
 	evDone
 )
 
@@ -408,6 +409,9 @@ func (e *Engine) loop(ctx context.Context) error {
 				case evLockWait:
 					t.state = stateLockWait
 					t.waitLock = ev.lock
+				case evYield:
+					// Stays runnable; the slice just ended so co-resident
+					// threads get a turn before the next poll.
 				}
 			}
 		}
@@ -539,6 +543,20 @@ func (e *Engine) completeBarrier() error {
 	}
 	for n, c := range costs {
 		e.clocks[n].Advance(c)
+	}
+	// Fault tolerance: the barrier may have shrunk the membership view.
+	// Threads resident on a crashed node resume on its ring successor —
+	// the node holding the crashed node's replicated manager state — so
+	// the workload completes over the survivors.
+	for _, d := range e.cluster.DeadNodes() {
+		to := e.cluster.AliveSuccessor(d)
+		for tid, n := range e.nodeOf {
+			if n == d && to != d {
+				if err := e.Migrate(tid, to); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	// Correlation-driven prefetch rides the barrier release: the epoch's
 	// write notices are fully delivered, the threads are still parked, and

@@ -81,6 +81,29 @@ type ChaosOptions struct {
 	// first byte is the msg.Kind, letting plans target specific
 	// protocol messages.
 	Plan func(from, to int, payload []byte, call int64) Fault
+	// FaultBudget, when positive, caps the total number of faults the
+	// probabilistic knobs may inject; once spent, every later decision
+	// is FaultNone. Soak tests use it to guarantee the workload's tail
+	// runs fault-free, so a run always terminates regardless of how
+	// unlucky the stream was. Plan, Partitioned, and Crashes are exempt
+	// (they are deterministic by construction).
+	FaultBudget int64
+	// MaxConsecutive, when positive, bounds runs of consecutive
+	// probabilistic injections: after that many faults in a row the next
+	// decision is forced to FaultNone. With MaxConsecutive below the
+	// retry budget (Options.MaxAttempts), no single call can have every
+	// attempt faulted, which makes randomized soaks deadline-robust
+	// without changing their expected fault rate materially.
+	MaxConsecutive int
+	// Crashes are deterministic fail-stop windows keyed on the same
+	// global call counter Plan sees: from schedule s's Call onward,
+	// every call to or from s.Node fails with ErrNodeDown until Revive
+	// is called for the node (the DSM layer does so when it runs the
+	// node's recovery protocol at s.RestartEpoch). Crash windows
+	// compose with Plan, Partitioned, and the probabilistic knobs —
+	// they are evaluated first and, like every fault here, consume the
+	// call's sequence number.
+	Crashes []sim.CrashSchedule
 }
 
 // Chaos wraps a Transport with fault injection. It generalizes
@@ -94,8 +117,24 @@ type Chaos struct {
 	calls    atomic.Int64
 	injected atomic.Int64
 
-	mu  sync.Mutex // guards rng
-	rng *sim.RNG
+	mu     sync.Mutex // guards rng, budget, streak
+	rng    *sim.RNG
+	budget int64 // remaining probabilistic faults (if budgeted)
+	streak int   // consecutive probabilistic injections
+
+	// crashMu guards the crash-window state below. Separate from mu so
+	// downAt checks never serialize on the fault generator.
+	crashMu sync.Mutex
+	// sched holds the configured schedules; consumed[i] is set once
+	// schedule i's node has been revived, retiring that window.
+	sched    []sim.CrashSchedule
+	consumed []bool
+	// killed holds nodes put down imperatively via Kill, outside any
+	// schedule, until revived.
+	killed map[int]bool
+	// hasCrash short-circuits the per-call crash check when no schedule
+	// or Kill has ever been installed (the common, fault-free case).
+	hasCrash atomic.Bool
 }
 
 // Compile-time interface check.
@@ -109,7 +148,61 @@ func NewChaos(inner Transport, o ChaosOptions) *Chaos {
 	if o.Delay <= 0 {
 		o.Delay = time.Millisecond
 	}
-	return &Chaos{inner: inner, o: o, rng: sim.NewRNG(o.Seed)}
+	c := &Chaos{inner: inner, o: o, rng: sim.NewRNG(o.Seed), budget: o.FaultBudget, killed: make(map[int]bool)}
+	c.sched = append(c.sched, o.Crashes...)
+	c.consumed = make([]bool, len(c.sched))
+	if len(c.sched) > 0 {
+		c.hasCrash.Store(true)
+	}
+	return c
+}
+
+// Kill puts node down immediately, outside any schedule: every later
+// call to or from it fails with ErrNodeDown until Revive. Tests use it
+// to crash a node at a precise point in a driven workload without
+// computing call numbers.
+func (c *Chaos) Kill(node int) {
+	c.crashMu.Lock()
+	c.killed[node] = true
+	c.crashMu.Unlock()
+	c.hasCrash.Store(true)
+}
+
+// Revive brings node back up: it retires the node's armed (or pending)
+// crash windows and clears any imperative Kill, so calls involving the
+// node flow again. The DSM recovery protocol calls this when the node
+// rejoins.
+func (c *Chaos) Revive(node int) {
+	c.crashMu.Lock()
+	delete(c.killed, node)
+	for i, s := range c.sched {
+		if s.Node == node {
+			c.consumed[i] = true
+		}
+	}
+	c.crashMu.Unlock()
+}
+
+// Down reports whether node is currently down, given the calls observed
+// so far.
+func (c *Chaos) Down(node int) bool {
+	call := c.calls.Load()
+	c.crashMu.Lock()
+	defer c.crashMu.Unlock()
+	return c.downLocked(node, call+1)
+}
+
+// downLocked reports whether node is down for call number `call`.
+func (c *Chaos) downLocked(node int, call int64) bool {
+	if c.killed[node] {
+		return true
+	}
+	for i, s := range c.sched {
+		if s.Node == node && !c.consumed[i] && call >= s.Call {
+			return true
+		}
+	}
+	return false
 }
 
 // Calls returns the number of calls observed (including retries).
@@ -121,6 +214,15 @@ func (c *Chaos) Injected() int64 { return c.injected.Load() }
 // Call implements Transport.
 func (c *Chaos) Call(from, to int, payload []byte) ([]byte, error) {
 	call := c.calls.Add(1)
+	if c.hasCrash.Load() {
+		c.crashMu.Lock()
+		down := c.downLocked(from, call) || c.downLocked(to, call)
+		c.crashMu.Unlock()
+		if down {
+			c.injected.Add(1)
+			return nil, fmt.Errorf("transport: crash %d->%d at call %d: %w", from, to, call, ErrNodeDown)
+		}
+	}
 	if c.o.Partitioned != nil && c.o.Partitioned(from, to) {
 		c.injected.Add(1)
 		return nil, fmt.Errorf("transport: partition %d->%d: %w", from, to, ErrInjected)
@@ -154,18 +256,34 @@ func (c *Chaos) fault(from, to int, payload []byte, call int64) Fault {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	switch x := c.rng.Float64(); {
-	case x < c.o.DropRequestProb:
-		return FaultDropRequest
-	case x < c.o.DropRequestProb+c.o.DropReplyProb:
-		return FaultDropReply
-	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb:
-		return FaultDuplicate
-	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb+c.o.DelayProb:
-		return FaultDelay
-	default:
+	x := c.rng.Float64() // always consume the stream: decisions stay
+	// seed-deterministic whether or not the guards below veto them
+	if c.o.FaultBudget > 0 && c.budget <= 0 {
 		return FaultNone
 	}
+	if c.o.MaxConsecutive > 0 && c.streak >= c.o.MaxConsecutive {
+		c.streak = 0
+		return FaultNone
+	}
+	var f Fault
+	switch {
+	case x < c.o.DropRequestProb:
+		f = FaultDropRequest
+	case x < c.o.DropRequestProb+c.o.DropReplyProb:
+		f = FaultDropReply
+	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb:
+		f = FaultDuplicate
+	case x < c.o.DropRequestProb+c.o.DropReplyProb+c.o.DuplicateProb+c.o.DelayProb:
+		f = FaultDelay
+	default:
+		c.streak = 0
+		return FaultNone
+	}
+	if c.o.FaultBudget > 0 {
+		c.budget--
+	}
+	c.streak++
+	return f
 }
 
 // Close implements Transport.

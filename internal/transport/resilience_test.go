@@ -554,3 +554,47 @@ func TestChaosWithRetryRecovers(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosFaultBudget proves the probabilistic knobs stop injecting
+// once the budget is spent, so a budgeted soak's tail runs fault-free.
+func TestChaosFaultBudget(t *testing.T) {
+	tr := NewChaos(NewLocal(echoHandlers(2)), ChaosOptions{
+		DropRequestProb: 1.0, // every unbudgeted decision would fault
+		FaultBudget:     3,
+	})
+	defer func() { _ = tr.Close() }()
+	faults := 0
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Call(0, 1, []byte("x")); err != nil {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("faults = %d, want exactly the budget of 3", faults)
+	}
+	if tr.Injected() != 3 {
+		t.Fatalf("Injected = %d, want 3", tr.Injected())
+	}
+}
+
+// TestChaosMaxConsecutive proves streaks of probabilistic injections are
+// capped: with certain-fault knobs and MaxConsecutive=2, every third
+// call must succeed, so a retry budget of 3 can never be exhausted.
+func TestChaosMaxConsecutive(t *testing.T) {
+	tr := NewChaos(NewLocal(echoHandlers(2)), ChaosOptions{
+		DropRequestProb: 1.0,
+		MaxConsecutive:  2,
+	})
+	defer func() { _ = tr.Close() }()
+	pattern := make([]bool, 0, 9)
+	for i := 0; i < 9; i++ {
+		_, err := tr.Call(0, 1, []byte("x"))
+		pattern = append(pattern, err == nil)
+	}
+	for i, ok := range pattern {
+		want := (i+1)%3 == 0 // every third decision is forced clean
+		if ok != want {
+			t.Fatalf("call %d success = %v, want %v (pattern %v)", i+1, ok, want, pattern)
+		}
+	}
+}

@@ -56,6 +56,13 @@ var ErrInjected = errors.New("transport: injected failure")
 // not fit in one frame. The reply is not sent; the connection survives.
 var ErrFrameTooLarge = errors.New("transport: reply exceeds frame limit")
 
+// ErrNodeDown is returned for calls to or from a crashed node (a Chaos
+// wrapper with an armed CrashSchedule, or an explicit Kill). Unlike
+// ErrInjected it marks a PERMANENT failure: Retryable reports false, so
+// retry loops surface it immediately and the caller can fail the role
+// over to a successor instead of burning its retry budget.
+var ErrNodeDown = errors.New("transport: node down")
+
 // errConnStale marks a connection that was closed by another caller's
 // dropConn before this caller sent anything. Nothing of the request went
 // out, so TCP.Call retries it transparently on a fresh connection.
@@ -97,8 +104,12 @@ func Retryable(err error) bool {
 	if errors.As(err, &re) {
 		// A remote handler failure is deterministic unless the handler
 		// itself hit an injected fault (e.g. a nested call through a
-		// Chaos wrapper): re-running the handler can then succeed.
+		// Chaos wrapper): re-running the handler can then succeed. A
+		// nested ErrNodeDown stays permanent across the wire.
 		return errors.Is(re.Sentinel, ErrInjected)
+	}
+	if errors.Is(err, ErrNodeDown) {
+		return false
 	}
 	if errors.Is(err, ErrInjected) || errors.Is(err, errConnStale) {
 		return true
@@ -177,6 +188,10 @@ const (
 	// tcpErrTooLarge reports a reply that exceeded maxFrame; the client
 	// re-attaches ErrFrameTooLarge.
 	tcpErrTooLarge = 3
+	// tcpErrNodeDown carries a remote handler error that matched
+	// ErrNodeDown; the client re-attaches the sentinel so failover
+	// triggers across transports.
+	tcpErrNodeDown = 4
 	// maxFrame bounds a frame so a corrupt peer cannot force a huge
 	// allocation.
 	maxFrame = 64 << 20
@@ -193,6 +208,8 @@ func statusFor(err error) byte {
 		return tcpErrInjected
 	case errors.Is(err, ErrFrameTooLarge):
 		return tcpErrTooLarge
+	case errors.Is(err, ErrNodeDown):
+		return tcpErrNodeDown
 	default:
 		return tcpErr
 	}
@@ -205,6 +222,8 @@ func sentinelFor(status byte) error {
 		return ErrInjected
 	case tcpErrTooLarge:
 		return ErrFrameTooLarge
+	case tcpErrNodeDown:
+		return ErrNodeDown
 	default:
 		return nil
 	}
