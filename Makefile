@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmt-check tools bench bench-compare bench-hotpath doc-links fuzz-smoke sweep check-mutations
+.PHONY: check build vet test race lint fmt-check tools bench bench-compare bench-hotpath bench-transport doc-links fuzz-smoke sweep check-mutations
 
 ## check: the full gate — formatting, build, vet, static analysis, and
 ## the test suite under the race detector. This is what CI runs (CI's
@@ -35,10 +35,14 @@ doc-links:
 	$(GO) test -run TestDocLinks .
 
 ## tools: one-time install of the analysis tools check/CI use. Requires
-## network access; CI's lint job runs the same installs.
+## network access; CI's lint job runs the same installs. Versions are
+## pinned so a tool release can't break CI out from under a PR (and so
+## CI's ~/go/bin cache key is stable); bump them deliberately here.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 tools:
-	$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
-	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 test:
 	$(GO) test ./...
@@ -69,11 +73,18 @@ bench:
 ## byte for byte) or the recovery call counts drift; then
 ## reruns the hot-path locking comparison and fails if the sharded
 ## speedup falls below the floor or the steady-state message encode
-## starts allocating. The prefetch, managers, and serving runs are
-## deterministic (virtual time), so regenerate-and-compare is stable;
-## the hotpath run is compare-only (no -hotpath-json rewrite): its
-## numbers are wall-clock and vary between machines, so the committed
-## BENCH_hotpath.json only changes deliberately via 'make bench-hotpath'.
+## starts allocating; then reruns the transport wire-discipline
+## comparison over real TCP sockets and fails if the mux-over-serialized
+## speedup falls below the floor, the steady-state mux round trip starts
+## allocating, or the deterministic heterogeneous-topology leg (SOR over
+## a fast/slow cluster: virtual elapsed times and per-link call/byte
+## traffic) diverges from the committed baseline. The prefetch,
+## managers, and serving runs are deterministic (virtual time), so
+## regenerate-and-compare is stable; the hotpath and transport runs are
+## compare-only (no -json rewrite): their TCP-leg numbers are wall-clock
+## and vary between machines, so the committed BENCH_hotpath.json and
+## BENCH_transport.json only change deliberately via 'make
+## bench-hotpath' / 'make bench-transport'.
 bench-compare:
 	$(GO) run ./cmd/actbench -only prefetch \
 		-prefetch-json BENCH_prefetch.json \
@@ -89,6 +100,8 @@ bench-compare:
 		-failover-baseline BENCH_failover.json
 	$(GO) run ./cmd/actbench -only hotpath \
 		-hotpath-baseline BENCH_hotpath.json
+	$(GO) run ./cmd/actbench -only transport \
+		-transport-baseline BENCH_transport.json
 
 ## bench-hotpath: regenerate the committed BENCH_hotpath.json (sharded
 ## vs single-mutex service throughput + encode allocs/op). Run on a
@@ -97,6 +110,15 @@ bench-compare:
 bench-hotpath:
 	$(GO) run ./cmd/actbench -only hotpath \
 		-hotpath-json BENCH_hotpath.json
+
+## bench-transport: regenerate the committed BENCH_transport.json (mux
+## vs serialized wire discipline over real TCP + mux round-trip
+## allocs/op + the deterministic heterogeneous-topology leg). Run on a
+## quiet machine: generation targets >= 1.5x, the CI gate tolerates
+## noisy shared runners down to 1.3x.
+bench-transport:
+	$(GO) run ./cmd/actbench -only transport \
+		-transport-json BENCH_transport.json
 
 ## fuzz-smoke: run every fuzz target briefly (FUZZTIME each, default
 ## 10s). Catches codec and diff-application regressions without a long

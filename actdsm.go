@@ -86,6 +86,16 @@ type (
 	Time = sim.Time
 	// Costs is the virtual-time cost model.
 	Costs = sim.Costs
+	// Topology is the heterogeneous cost model: per-node compute scaling
+	// plus a per-directed-link latency/bandwidth matrix (ClusterConfig.
+	// Topology; nil or NewTopology behaves exactly like the uniform
+	// Costs model).
+	Topology = sim.Topology
+	// LinkCost is one directed link's latency and per-byte cost.
+	LinkCost = sim.LinkCost
+	// LinkSnapshot is one directed link's traffic counters within a
+	// Snapshot (render the table with Snapshot.FormatLinks).
+	LinkSnapshot = dsm.LinkSnapshot
 	// RNG is the deterministic random-number generator.
 	RNG = sim.RNG
 	// Bitmap is a per-thread page-access bitmap.
@@ -178,6 +188,19 @@ func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
 // DefaultCosts returns the default virtual-time cost model.
 func DefaultCosts() Costs { return sim.DefaultCosts() }
 
+// Heterogeneous topology constructors (ClusterConfig.Topology).
+var (
+	// NewTopology returns a uniform n-node topology (identical to no
+	// topology at all) as the base for SetComputeScale / SetLink edits.
+	NewTopology = sim.NewTopology
+	// FastSlowTopology marks every slowEvery-th node slow: compute
+	// scaled by cpuFactor, links touching it by netFactor.
+	FastSlowTopology = sim.FastSlowTopology
+	// RackTopology groups nodes into racks with scaled, optionally
+	// asymmetric cross-rack links.
+	RackTopology = sim.RackTopology
+)
+
 // NewMatrix returns an n×n zero correlation matrix.
 func NewMatrix(n int) *Matrix { return core.NewMatrix(n) }
 
@@ -245,6 +268,11 @@ type (
 	PrefetchReport = experiments.PrefetchReport
 	// HotpathReport is the BENCH_hotpath.json schema.
 	HotpathReport = experiments.HotpathReport
+	// TransportReport is the BENCH_transport.json schema.
+	TransportReport = experiments.TransportReport
+	// TransportLink is one directed link's deterministic traffic in the
+	// transport report's heterogeneous leg.
+	TransportLink = experiments.TransportLink
 	// ManagersReport is the BENCH_managers.json schema.
 	ManagersReport = experiments.ManagersReport
 	// ServingReport is the BENCH_serving.json schema.
@@ -280,6 +308,11 @@ var (
 	HotpathReportJSON     = experiments.HotpathReportJSON
 	CompareHotpathReports = experiments.CompareHotpathReports
 	FormatHotpathReport   = experiments.FormatHotpathReport
+
+	TransportComparison     = experiments.TransportComparison
+	TransportReportJSON     = experiments.TransportReportJSON
+	CompareTransportReports = experiments.CompareTransportReports
+	FormatTransportReport   = experiments.FormatTransportReport
 
 	ManagersComparison     = experiments.ManagersComparison
 	ManagersReportJSON     = experiments.ManagersReportJSON

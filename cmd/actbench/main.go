@@ -81,6 +81,8 @@ func run() error {
 		srvBase   = flag.String("serving-baseline", "", "compare the serving report against this committed baseline; fail on >5% QPS/p99 regression or when home migration stops beating static placement")
 		ftJSON    = flag.String("failover-json", "", "write the crash-recovery comparison report as JSON to this file")
 		ftBase    = flag.String("failover-baseline", "", "compare the failover report against this committed baseline; fail when the leg digests diverge or the recovery call counts drift")
+		trJSON    = flag.String("transport-json", "", "write the mux-vs-serialized transport comparison report as JSON to this file")
+		trBase    = flag.String("transport-baseline", "", "compare the transport report against this committed baseline; fail when the mux speedup or send-path allocation floor regresses, or the deterministic heterogeneous leg diverges")
 		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON timeline of the sor section to this file")
 		metricOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the sor section to this file")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
@@ -472,6 +474,44 @@ func run() error {
 	if selected("transport") {
 		if err := section("Transport: per-message call statistics (SOR)", func() (string, error) {
 			return transportStats(*threads, *nodes, opts.Scale)
+		}); err != nil {
+			return err
+		}
+		if err := section("Transport: mux vs serialized wire discipline (real TCP)", func() (string, error) {
+			rep, err := actdsm.TransportComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatTransportReport(rep)
+			report, err := actdsm.TransportReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_transport.json.
+			var baseline []byte
+			if *trBase != "" {
+				baseline, err = os.ReadFile(*trBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *trJSON != "" {
+				if err := os.WriteFile(*trJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *trJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.CompareTransportReports(baseline, report)
+				out += "\n-- vs baseline " + *trBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
 		}); err != nil {
 			return err
 		}

@@ -23,6 +23,14 @@ type Config struct {
 	// Costs is the virtual-time cost model; zero value selects
 	// sim.DefaultCosts.
 	Costs sim.Costs
+	// Topology, when non-nil, replaces the uniform network cost model
+	// with per-directed-link latencies and bandwidths (and carries
+	// per-node compute scaling for the thread engine): protocol round
+	// trips are charged at the actual (from, to) and (to, from) link
+	// costs instead of Costs.MsgLatency/MsgPerByte. Its node count must
+	// match Nodes. Nil keeps the uniform model; a uniform Topology
+	// (sim.NewTopology) behaves identically to nil by construction.
+	Topology *sim.Topology
 	// GCThresholdBytes triggers diff garbage collection when the
 	// cluster-wide stored diff volume exceeds it at a barrier.
 	// 0 selects a default; negative disables GC.
@@ -130,6 +138,7 @@ const defaultGCThreshold = 64 << 20
 type Cluster struct {
 	cfg        Config
 	costs      sim.Costs
+	topo       *sim.Topology
 	shardCount int
 	nodes      []*node
 	tr         transport.Transport
@@ -220,6 +229,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Costs == (sim.Costs{}) {
 		cfg.Costs = sim.DefaultCosts()
 	}
+	if cfg.Topology != nil && cfg.Topology.Nodes() != cfg.Nodes {
+		return nil, fmt.Errorf("dsm: Topology has %d nodes, cluster has %d",
+			cfg.Topology.Nodes(), cfg.Nodes)
+	}
 	if cfg.GCThresholdBytes == 0 {
 		cfg.GCThresholdBytes = defaultGCThreshold
 	}
@@ -243,7 +256,8 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, errors.New("dsm: fault tolerance excludes prefetch and diff batching")
 		}
 	}
-	c := &Cluster{cfg: cfg, costs: cfg.Costs, shardCount: normalizeShards(cfg.ServiceShards)}
+	c := &Cluster{cfg: cfg, costs: cfg.Costs, topo: cfg.Topology, shardCount: normalizeShards(cfg.ServiceShards)}
+	c.stats.InitLinks(cfg.Nodes)
 	c.dead = make([]bool, cfg.Nodes)
 	c.barriers = make([]barrierState, cfg.Nodes)
 	c.nodes = make([]*node, cfg.Nodes)
@@ -413,21 +427,39 @@ func (c *Cluster) call(from, to int, m msg.Message) (msg.Message, sim.Time, erro
 	rb, err := c.tr.Call(from, to, b)
 	msg.PutBuf(b)
 	if err != nil {
-		c.stats.recordCall(kind, reqLen, time.Since(start), true)
+		d := time.Since(start)
+		c.stats.recordCall(kind, reqLen, d, true)
+		c.stats.recordLink(from, to, reqLen, d)
 		return nil, 0, err
 	}
 	reply, err := msg.Decode(rb)
 	repLen := len(rb)
 	msg.PutBuf(rb)
+	d := time.Since(start)
+	c.stats.recordLink(from, to, reqLen+repLen, d)
 	if err != nil {
-		c.stats.recordCall(kind, reqLen+repLen, time.Since(start), true)
+		c.stats.recordCall(kind, reqLen+repLen, d, true)
 		return nil, 0, fmt.Errorf("dsm: decode reply: %w", err)
 	}
-	c.stats.recordCall(kind, reqLen+repLen, time.Since(start), false)
+	c.stats.recordCall(kind, reqLen+repLen, d, false)
 	c.stats.Messages.Add(2)
 	c.stats.BytesTotal.Add(int64(reqLen + repLen))
-	return reply, c.costs.FetchCost(reqLen, repLen), nil
+	return reply, c.fetchCost(from, to, reqLen, repLen), nil
 }
+
+// fetchCost charges a round trip under the cluster's network model: the
+// heterogeneous topology's directed link costs when one is configured,
+// the uniform Costs model otherwise.
+func (c *Cluster) fetchCost(from, to, reqBytes, replyBytes int) sim.Time {
+	if c.topo != nil {
+		return c.topo.FetchCost(from, to, reqBytes, replyBytes)
+	}
+	return c.costs.FetchCost(reqBytes, replyBytes)
+}
+
+// Topology returns the heterogeneous cost topology, or nil when the
+// cluster runs the uniform model.
+func (c *Cluster) Topology() *sim.Topology { return c.topo }
 
 // fanOut runs f(0..n-1) concurrently and returns the lowest-index error
 // (errgroup-style aggregation; deterministic error selection keeps

@@ -71,6 +71,21 @@ type CallStats struct {
 	Latency [LatencyBuckets]atomic.Int64
 }
 
+// LinkStat counts one directed (from, to) link's transport traffic. All
+// fields are atomic: the parallel fan-outs and TCP server goroutines
+// report concurrently. With a heterogeneous Config.Topology the per-link
+// volumes show which links the protocol actually loads — the quantity
+// placement and prefetch decisions on non-uniform clusters care about.
+type LinkStat struct {
+	// Calls counts completed round trips charged to the link (success
+	// or failure), excluding retries of the same logical call.
+	Calls atomic.Int64
+	// Bytes counts request + reply wire bytes.
+	Bytes atomic.Int64
+	// LatencyNS accumulates wall-clock round-trip nanoseconds.
+	LatencyNS atomic.Int64
+}
+
 // record folds one completed call into the counters.
 func (cs *CallStats) record(bytes int, d time.Duration, failed bool) {
 	cs.Count.Add(1)
@@ -184,6 +199,38 @@ type Stats struct {
 	// Calls holds per-message-type call counters and latency
 	// histograms, indexed by msg.Kind of the request.
 	Calls [msg.KindCount]CallStats
+
+	// links holds per-directed-link counters, row-major from*linkN+to,
+	// sized by InitLinks (the cluster constructor calls it). An unsized
+	// Stats records nothing, so standalone Stats values in tests keep
+	// working.
+	linkN int
+	links []LinkStat
+}
+
+// InitLinks sizes the per-link counter matrix for an n-node cluster.
+// Not concurrency-safe; call before any traffic is recorded.
+func (s *Stats) InitLinks(n int) {
+	s.linkN = n
+	s.links = make([]LinkStat, n*n)
+}
+
+// Link returns the live counters for the directed (from, to) link, or
+// nil when the matrix is unsized or the pair is out of range.
+func (s *Stats) Link(from, to int) *LinkStat {
+	if from < 0 || to < 0 || from >= s.linkN || to >= s.linkN {
+		return nil
+	}
+	return &s.links[from*s.linkN+to]
+}
+
+// recordLink folds one completed round trip into the (from, to) link.
+func (s *Stats) recordLink(from, to, bytes int, d time.Duration) {
+	if ls := s.Link(from, to); ls != nil {
+		ls.Calls.Add(1)
+		ls.Bytes.Add(int64(bytes))
+		ls.LatencyNS.Add(d.Nanoseconds())
+	}
 }
 
 // recordCall folds one completed transport round trip into the per-kind
@@ -286,6 +333,20 @@ type Snapshot struct {
 	// Calls holds the per-message-type counters for every kind with
 	// activity, ordered by kind.
 	Calls []CallSnapshot
+	// Links holds the per-directed-link counters for every link with
+	// activity, ordered row-major by (From, To). LatencyNS is wall-clock
+	// and therefore, like the Calls latency histograms, excluded from
+	// the determinism-compared Counters subset.
+	Links []LinkSnapshot
+}
+
+// LinkSnapshot is a plain-value copy of one directed link's LinkStat.
+type LinkSnapshot struct {
+	From      int
+	To        int
+	Calls     int64
+	Bytes     int64
+	LatencyNS int64
 }
 
 // Snapshot returns the current counter values.
@@ -345,6 +406,20 @@ func (s *Stats) Snapshot() Snapshot {
 			c.Latency[b] = cs.Latency[b].Load()
 		}
 		out.Calls = append(out.Calls, c)
+	}
+	for i := range s.links {
+		ls := &s.links[i]
+		l := LinkSnapshot{
+			From:      i / s.linkN,
+			To:        i % s.linkN,
+			Calls:     ls.Calls.Load(),
+			Bytes:     ls.Bytes.Load(),
+			LatencyNS: ls.LatencyNS.Load(),
+		}
+		if l.Calls == 0 && l.Bytes == 0 {
+			continue
+		}
+		out.Links = append(out.Links, l)
 	}
 	return out
 }
@@ -487,6 +562,20 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		}
 		d.Calls = append(d.Calls, c)
 	}
+	prevLinks := make(map[[2]int]LinkSnapshot, len(o.Links))
+	for _, l := range o.Links {
+		prevLinks[[2]int{l.From, l.To}] = l
+	}
+	for _, l := range s.Links {
+		p := prevLinks[[2]int{l.From, l.To}]
+		l.Calls -= p.Calls
+		l.Bytes -= p.Bytes
+		l.LatencyNS -= p.LatencyNS
+		if l.Calls == 0 && l.Bytes == 0 {
+			continue
+		}
+		d.Links = append(d.Links, l)
+	}
 	return d
 }
 
@@ -550,6 +639,26 @@ func (s Snapshot) FormatPrefetch() string {
 			}
 			fmt.Fprintf(&b, "  %7s %9d\n", label, n)
 		}
+	}
+	return b.String()
+}
+
+// FormatLinks renders the per-directed-link traffic as an aligned
+// table, busiest links (by bytes) first.
+func (s Snapshot) FormatLinks() string {
+	if len(s.Links) == 0 {
+		return "(no per-link traffic recorded)\n"
+	}
+	links := append([]LinkSnapshot(nil), s.Links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].Bytes > links[j].Bytes })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %9s %12s %10s\n", "link", "calls", "bytes", "mean-rtt")
+	for _, l := range links {
+		var mean time.Duration
+		if l.Calls > 0 {
+			mean = time.Duration(l.LatencyNS / l.Calls)
+		}
+		fmt.Fprintf(&b, "%3d->%-4d %9d %12d %10s\n", l.From, l.To, l.Calls, l.Bytes, fmtLat(mean))
 	}
 	return b.String()
 }

@@ -83,14 +83,14 @@ func TestCompareFailoverReportsRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, mutate := range map[string]func(*FailoverReport){
-		"digest divergence":  func(r *FailoverReport) { r.Crash.Digest = "deadbeefdeadbeef" },
-		"clean leg crashed":  func(r *FailoverReport) { r.Clean.Crashes = 1 },
-		"missed crash":       func(r *FailoverReport) { r.Crash.Crashes = 0 },
-		"no failovers":       func(r *FailoverReport) { r.Crash.Failovers = 0 },
-		"missed rejoin":      func(r *FailoverReport) { r.Restart.Rejoins = 0 },
-		"no recovery fetch":  func(r *FailoverReport) { r.Restart.RecoveryFetches = 0 },
-		"replication off":    func(r *FailoverReport) { r.Clean.ReplicaDeltas = 0 },
-		"call-count drift":   func(r *FailoverReport) { r.Crash.Calls += 7 },
+		"digest divergence": func(r *FailoverReport) { r.Crash.Digest = "deadbeefdeadbeef" },
+		"clean leg crashed": func(r *FailoverReport) { r.Clean.Crashes = 1 },
+		"missed crash":      func(r *FailoverReport) { r.Crash.Crashes = 0 },
+		"no failovers":      func(r *FailoverReport) { r.Crash.Failovers = 0 },
+		"missed rejoin":     func(r *FailoverReport) { r.Restart.Rejoins = 0 },
+		"no recovery fetch": func(r *FailoverReport) { r.Restart.RecoveryFetches = 0 },
+		"replication off":   func(r *FailoverReport) { r.Clean.ReplicaDeltas = 0 },
+		"call-count drift":  func(r *FailoverReport) { r.Crash.Calls += 7 },
 		"baseline digest": func(r *FailoverReport) {
 			r.Clean.Digest = "feedfacefeedface"
 			r.Crash.Digest = "feedfacefeedface"

@@ -50,6 +50,9 @@ type RunConfig struct {
 	// BatchDiffs forwards to dsm.Config: coalesce demand diff fetches
 	// into one DiffBatchRequest per writer.
 	BatchDiffs bool
+	// Topology forwards to dsm.Config: heterogeneous per-link network
+	// costs and per-node compute scaling (nil = uniform).
+	Topology *sim.Topology
 }
 
 // RunResult captures everything the experiment tables need from one run.
@@ -95,6 +98,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Protocol:         cfg.Protocol,
 		PrefetchBudget:   cfg.PrefetchBudget,
 		BatchDiffs:       cfg.BatchDiffs,
+		Topology:         cfg.Topology,
 	})
 	if err != nil {
 		return nil, err

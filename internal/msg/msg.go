@@ -530,28 +530,44 @@ func EncodeTo(buf []byte, m Message) []byte {
 	return out
 }
 
-// bufPool backs GetBuf/PutBuf. Entries are *[]byte (not []byte) so
-// Put does not allocate a fresh interface box per call (staticcheck
-// SA6002); capacity starts at 512 and grows to whatever the workload
-// re-Puts, so steady state converges on right-sized buffers.
-var bufPool = sync.Pool{New: func() any {
-	b := make([]byte, 0, 512)
-	return &b
-}}
+// bufPool backs GetBuf/PutBuf. Entries are *[]byte headers with live
+// backing arrays; capacity starts at 512 and grows to whatever the
+// workload re-Puts, so steady state converges on right-sized buffers.
+//
+// The headers themselves cycle through hdrPool: PutBuf(&b) would box a
+// fresh 24-byte slice header per recycle, which is exactly the per-call
+// allocation the transport's zero-alloc send path must not make. With
+// the two pools a Get/Put cycle moves pointers only.
+var bufPool sync.Pool
+
+// hdrPool holds empty *[]byte headers awaiting reuse by PutBuf.
+var hdrPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // GetBuf returns a pooled, zero-length byte buffer for use with
 // EncodeTo. Return it with PutBuf when the encoded bytes are no longer
 // referenced (the transports never retain a payload past Call, and
 // Decode copies, so "after the Call returns" is the usual point).
 func GetBuf() []byte {
-	return (*bufPool.Get().(*[]byte))[:0]
+	v := bufPool.Get()
+	if v == nil {
+		return make([]byte, 0, 512)
+	}
+	h := v.(*[]byte)
+	b := *h
+	*h = nil
+	hdrPool.Put(h)
+	return b[:0]
 }
 
 // PutBuf recycles a buffer obtained from GetBuf (or any buffer the
 // caller owns outright — e.g. a reply buffer a transport allocated and
 // will not touch again). The caller must not reference b afterwards.
+// Steady state allocates nothing: the slice header recycles through
+// hdrPool alongside the bytes.
 func PutBuf(b []byte) {
-	bufPool.Put(&b)
+	h := hdrPool.Get().(*[]byte)
+	*h = b
+	bufPool.Put(h)
 }
 
 // Decode parses a message produced by Encode.

@@ -87,6 +87,10 @@ func MetricsText(s dsm.Snapshot, w io.Writer) error {
 			if err := writeCalls(w, s.Calls); err != nil {
 				return err
 			}
+		case f.Name == "Links":
+			if err := writeLinks(w, s.Links); err != nil {
+				return err
+			}
 		default:
 			// A new Snapshot field of an unhandled shape: emit a marker
 			// comment so the coverage test still sees the field name and
@@ -165,6 +169,37 @@ func writeCalls(w io.Writer, calls []dsm.CallSnapshot) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_count{kind=%q} %d\n", lat, c.Kind, cum); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// writeLinks renders the per-directed-link traffic table. Latency is
+// exposed as a plain counter of summed round-trip seconds (mean = sum /
+// calls), not a histogram: the per-link dimension already multiplies
+// the series count by n², so buckets would be excessive.
+func writeLinks(w io.Writer, links []dsm.LinkSnapshot) error {
+	type scalar struct {
+		name, help string
+		get        func(dsm.LinkSnapshot) float64
+		fmt        string
+	}
+	scalars := []scalar{
+		{"actdsm_link_calls_total", "completed transport calls by directed link",
+			func(l dsm.LinkSnapshot) float64 { return float64(l.Calls) }, "%s{from=\"%d\",to=\"%d\"} %.0f\n"},
+		{"actdsm_link_bytes_total", "request+reply wire bytes by directed link",
+			func(l dsm.LinkSnapshot) float64 { return float64(l.Bytes) }, "%s{from=\"%d\",to=\"%d\"} %.0f\n"},
+		{"actdsm_link_latency_seconds_total", "summed wall-clock round-trip seconds by directed link",
+			func(l dsm.LinkSnapshot) float64 { return float64(l.LatencyNS) / 1e9 }, "%s{from=\"%d\",to=\"%d\"} %g\n"},
+	}
+	for _, sc := range scalars {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", sc.name, sc.help, sc.name); err != nil {
+			return err
+		}
+		for _, l := range links {
+			if _, err := fmt.Fprintf(w, sc.fmt, sc.name, l.From, l.To, sc.get(l)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -269,6 +269,23 @@ func TestMetricsCoverSnapshot(t *testing.T) {
 					t.Errorf("call kind %s missing from dump", c.Kind)
 				}
 			}
+		case f.Name == "Links":
+			for _, m := range []string{
+				"actdsm_link_calls_total", "actdsm_link_bytes_total",
+				"actdsm_link_latency_seconds_total",
+			} {
+				if got := countHelp(m); got != 1 {
+					t.Errorf("link metric %s appears %d times, want exactly 1", m, got)
+				}
+			}
+			if len(snap.Links) == 0 {
+				t.Error("run produced no per-link traffic to cover")
+			}
+			for _, l := range snap.Links {
+				if !strings.Contains(text, fmt.Sprintf("actdsm_link_calls_total{from=\"%d\",to=\"%d\"} %d", l.From, l.To, l.Calls)) {
+					t.Errorf("link %d->%d missing from dump", l.From, l.To)
+				}
+			}
 		default:
 			t.Errorf("snapshot field %s has unrecognized shape %s: teach the dump and this test", f.Name, f.Type.Kind())
 		}

@@ -77,3 +77,175 @@ func DefaultCosts() Costs {
 func (c Costs) FetchCost(reqBytes, replyBytes int) Time {
 	return 2*c.MsgLatency + Time(reqBytes+replyBytes)*c.MsgPerByte
 }
+
+// LinkCost is the directed network cost of one (from, to) link: the
+// one-way latency of a message and the per-byte transmission cost
+// (inverse bandwidth). Distinct directions of a node pair may carry
+// distinct costs — asymmetric uplinks are common on heterogeneous
+// clusters (Cudennec, arXiv:2009.01507).
+type LinkCost struct {
+	Latency Time
+	PerByte Time
+}
+
+// Topology is the heterogeneous extension of the uniform Costs model:
+// per-node compute speed scaling and a per-directed-link latency and
+// bandwidth matrix. The zero-configuration topology (NewTopology) is
+// exactly the uniform model, so a cluster with a uniform topology and
+// one without behave identically; the FastSlow and Racks constructors
+// introduce the non-uniform hardware the placement, prefetch, and
+// serving layers are stressed by.
+type Topology struct {
+	n       int
+	base    Costs
+	compute []float64 // per-node compute-cost multiplier (1 = baseline)
+	links   [][]LinkCost
+}
+
+// NewTopology returns a uniform n-node topology over the base cost
+// model: every node computes at speed 1 and every link carries the base
+// MsgLatency / MsgPerByte.
+func NewTopology(n int, base Costs) *Topology {
+	if base == (Costs{}) {
+		base = DefaultCosts()
+	}
+	t := &Topology{n: n, base: base}
+	t.compute = make([]float64, n)
+	for i := range t.compute {
+		t.compute[i] = 1
+	}
+	uniform := LinkCost{Latency: base.MsgLatency, PerByte: base.MsgPerByte}
+	t.links = make([][]LinkCost, n)
+	for i := range t.links {
+		t.links[i] = make([]LinkCost, n)
+		for j := range t.links[i] {
+			t.links[i][j] = uniform
+		}
+	}
+	return t
+}
+
+// FastSlowTopology models a cluster where every slowEvery-th node
+// (starting at node slowEvery-1) is a slow machine: its compute costs
+// are scaled by cpuFactor and every link touching it (either direction)
+// by netFactor. slowEvery <= 1 marks every node slow; factors <= 1 are
+// clamped to 1 (a "slow" node is never faster than baseline).
+func FastSlowTopology(n int, base Costs, slowEvery int, cpuFactor, netFactor float64) *Topology {
+	t := NewTopology(n, base)
+	if cpuFactor < 1 {
+		cpuFactor = 1
+	}
+	if netFactor < 1 {
+		netFactor = 1
+	}
+	slow := func(i int) bool { return slowEvery <= 1 || i%slowEvery == slowEvery-1 }
+	for i := 0; i < n; i++ {
+		if slow(i) {
+			t.compute[i] = cpuFactor
+		}
+		for j := 0; j < n; j++ {
+			// A link is slow when either endpoint is; scale it once.
+			if slow(i) || slow(j) {
+				t.ScaleLink(i, j, netFactor)
+			}
+		}
+	}
+	return t
+}
+
+// RackTopology models rack-locality: nodes are grouped into racks of
+// rackSize, intra-rack links carry the base cost, and cross-rack links
+// are scaled by crossFactor in both latency and per-byte cost.
+// Cross-rack links are additionally asymmetric when upFactor > 1: the
+// direction from the higher-numbered rack to the lower-numbered one
+// (the "uplink") is scaled by crossFactor*upFactor, modeling the
+// constrained uplinks of oversubscribed cluster networks.
+func RackTopology(n int, base Costs, rackSize int, crossFactor, upFactor float64) *Topology {
+	t := NewTopology(n, base)
+	if rackSize <= 0 {
+		rackSize = n
+	}
+	if crossFactor < 1 {
+		crossFactor = 1
+	}
+	if upFactor < 1 {
+		upFactor = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ri, rj := i/rackSize, j/rackSize
+			if ri == rj {
+				continue
+			}
+			f := crossFactor
+			if ri > rj {
+				f *= upFactor
+			}
+			t.ScaleLink(i, j, f)
+		}
+	}
+	return t
+}
+
+// Nodes returns the topology's node count.
+func (t *Topology) Nodes() int { return t.n }
+
+// Base returns the uniform cost model the topology scales.
+func (t *Topology) Base() Costs { return t.base }
+
+// SetComputeScale sets node's compute-cost multiplier (2 = half speed).
+// Values <= 0 are ignored.
+func (t *Topology) SetComputeScale(node int, s float64) {
+	if s > 0 && node >= 0 && node < t.n {
+		t.compute[node] = s
+	}
+}
+
+// ComputeScale returns node's compute-cost multiplier. Out-of-range
+// nodes report 1 so callers need no bounds checks on thread spill paths.
+func (t *Topology) ComputeScale(node int) float64 {
+	if node < 0 || node >= t.n {
+		return 1
+	}
+	return t.compute[node]
+}
+
+// SetLink sets the directed (from, to) link cost.
+func (t *Topology) SetLink(from, to int, lc LinkCost) {
+	if from >= 0 && from < t.n && to >= 0 && to < t.n {
+		t.links[from][to] = lc
+	}
+}
+
+// ScaleLink multiplies the directed (from, to) link's latency and
+// per-byte cost by f.
+func (t *Topology) ScaleLink(from, to int, f float64) {
+	if from < 0 || from >= t.n || to < 0 || to >= t.n {
+		return
+	}
+	lc := t.links[from][to]
+	lc.Latency = Time(float64(lc.Latency) * f)
+	lc.PerByte = Time(float64(lc.PerByte) * f)
+	t.links[from][to] = lc
+}
+
+// Link returns the directed (from, to) link cost. Out-of-range indices
+// report the base uniform link.
+func (t *Topology) Link(from, to int) LinkCost {
+	if from < 0 || from >= t.n || to < 0 || to >= t.n {
+		return LinkCost{Latency: t.base.MsgLatency, PerByte: t.base.MsgPerByte}
+	}
+	return t.links[from][to]
+}
+
+// FetchCost is the heterogeneous counterpart of Costs.FetchCost: the
+// requester-side cost of a round trip from `from` to `to` sending
+// reqBytes and receiving replyBytes, with the request charged at the
+// (from, to) link's cost and the reply at the (to, from) link's — the
+// two directions may differ.
+func (t *Topology) FetchCost(from, to, reqBytes, replyBytes int) Time {
+	req := t.Link(from, to)
+	rep := t.Link(to, from)
+	return req.Latency + rep.Latency +
+		Time(reqBytes)*req.PerByte + Time(replyBytes)*rep.PerByte
+}

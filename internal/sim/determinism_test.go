@@ -45,7 +45,9 @@ var wallClockAllowed = map[string]bool{
 	"internal/dsm/hotbench.go":        true, // wall-clock benchmark harness: elapsed timing + injected service hold; only ever run by benchmarks, never by protocol runs (Cluster.serviceHold is zero outside the harness)
 	"internal/experiments/hotpath.go": true, // BENCH_hotpath.json generator: encode-loop timing; measurement only
 	"internal/obs/obs.go":             true, // recorder start anchor + transport-span end stamps; export-only, never protocol input
+	"internal/transport/bench.go":     true, // wall-clock benchmark harness: elapsed timing + injected service hold; only ever run by benchmarks and the actbench transport section, never by protocol runs
 	"internal/transport/chaos.go":     true, // injected FaultDelay sleeps
+	"internal/transport/mux.go":       true, // pooled CallTimeout timers; a timeout only poisons the conn for redial, never steers the protocol
 	"internal/transport/observer.go":  true, // per-call wall latency fed to the observability probe
 	"internal/transport/options.go":   true, // backoff sleep between retries
 	"internal/transport/transport.go": true, // call latency measurement

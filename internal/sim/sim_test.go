@@ -103,6 +103,69 @@ func TestFetchCost(t *testing.T) {
 	}
 }
 
+func TestTopologyUniformMatchesCosts(t *testing.T) {
+	c := Costs{MsgLatency: 10, MsgPerByte: 2}
+	topo := NewTopology(4, c)
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			if got, want := topo.FetchCost(from, to, 5, 10), c.FetchCost(5, 10); got != want {
+				t.Fatalf("FetchCost(%d,%d) = %d, want %d", from, to, got, want)
+			}
+		}
+	}
+	if s := topo.ComputeScale(2); s != 1 {
+		t.Fatalf("ComputeScale = %v, want 1", s)
+	}
+	if s := topo.ComputeScale(99); s != 1 {
+		t.Fatalf("out-of-range ComputeScale = %v, want 1", s)
+	}
+}
+
+func TestFastSlowTopology(t *testing.T) {
+	c := Costs{MsgLatency: 10, MsgPerByte: 2}
+	// Every 2nd node slow: nodes 1 and 3 of 4.
+	topo := FastSlowTopology(4, c, 2, 3, 5)
+	if s := topo.ComputeScale(0); s != 1 {
+		t.Fatalf("fast node compute scale = %v, want 1", s)
+	}
+	if s := topo.ComputeScale(1); s != 3 {
+		t.Fatalf("slow node compute scale = %v, want 3", s)
+	}
+	// Fast-fast link keeps base cost; any link touching a slow node is
+	// scaled by 5 in both directions.
+	if lc := topo.Link(0, 2); lc.Latency != 10 || lc.PerByte != 2 {
+		t.Fatalf("fast-fast link = %+v", lc)
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 0}, {3, 2}, {1, 3}} {
+		if lc := topo.Link(pair[0], pair[1]); lc.Latency != 50 || lc.PerByte != 10 {
+			t.Fatalf("slow link %v = %+v, want {50 10}", pair, lc)
+		}
+	}
+}
+
+func TestRackTopologyAsymmetry(t *testing.T) {
+	c := Costs{MsgLatency: 10, MsgPerByte: 2}
+	// Two racks of 2; cross-rack ×2, uplink (high rack → low rack) ×3 more.
+	topo := RackTopology(4, c, 2, 2, 3)
+	if lc := topo.Link(0, 1); lc.Latency != 10 {
+		t.Fatalf("intra-rack link = %+v", lc)
+	}
+	down := topo.Link(0, 2) // rack 0 → rack 1
+	up := topo.Link(2, 0)   // rack 1 → rack 0 (the constrained uplink)
+	if down.Latency != 20 || down.PerByte != 4 {
+		t.Fatalf("cross-rack down link = %+v, want {20 4}", down)
+	}
+	if up.Latency != 60 || up.PerByte != 12 {
+		t.Fatalf("cross-rack up link = %+v, want {60 12}", up)
+	}
+	// FetchCost mixes the two directions: request 0→2 at down cost,
+	// reply 2→0 at up cost.
+	want := down.Latency + up.Latency + 5*down.PerByte + 10*up.PerByte
+	if got := topo.FetchCost(0, 2, 5, 10); got != want {
+		t.Fatalf("asymmetric FetchCost = %d, want %d", got, want)
+	}
+}
+
 func TestNodeIntervalTimeSingleThread(t *testing.T) {
 	ths := []ThreadInterval{{Compute: 100, Stall: 50, Overhead: 10}}
 	// One thread: scheduler cannot hide anything.

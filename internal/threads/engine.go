@@ -117,10 +117,13 @@ type Config struct {
 	// MigrationStackBytes is the stack payload a migration ships.
 	MigrationStackBytes int
 	// NodeSpeeds scales each node's CPU speed (1.0 = baseline; 2.0 =
-	// twice as fast). nil means homogeneous. The paper's §2 motivates
-	// unequal thread counts with exactly this heterogeneity ("some
-	// machines are faster than others"); capacity-aware placement
-	// (placement.StretchCapacities / MinCostCapacities) exploits it.
+	// twice as fast). nil derives the speeds from the cluster's
+	// heterogeneous topology when one is configured (the inverse of
+	// sim.Topology.ComputeScale), and means homogeneous otherwise. The
+	// paper's §2 motivates unequal thread counts with exactly this
+	// heterogeneity ("some machines are faster than others");
+	// capacity-aware placement (placement.StretchCapacities /
+	// MinCostCapacities) exploits it.
 	NodeSpeeds []float64
 }
 
@@ -174,6 +177,20 @@ func NewEngine(cluster *dsm.Cluster, cfg Config) (*Engine, error) {
 	}
 	if cfg.MigrationStackBytes == 0 {
 		cfg.MigrationStackBytes = defaultStackBytes
+	}
+	if cfg.NodeSpeeds == nil {
+		// A heterogeneous cluster topology is the single source of
+		// hardware truth: derive node speeds from its per-node compute
+		// scaling (a cost multiplier — 2 = half speed) so the same
+		// Topology drives both network charging (dsm.Cluster.call) and
+		// compute folding here. Explicit NodeSpeeds still override.
+		if topo := cluster.Topology(); topo != nil {
+			speeds := make([]float64, nnodes)
+			for n := range speeds {
+				speeds[n] = 1 / topo.ComputeScale(n)
+			}
+			cfg.NodeSpeeds = speeds
+		}
 	}
 	if cfg.NodeSpeeds != nil {
 		if len(cfg.NodeSpeeds) != nnodes {

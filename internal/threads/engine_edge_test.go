@@ -6,6 +6,7 @@ import (
 
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
+	"actdsm/internal/sim"
 	"actdsm/internal/vm"
 )
 
@@ -201,6 +202,49 @@ func TestNodeSpeedsScaleCompute(t *testing.T) {
 	half := run([]float64{2, 1})
 	if half < base*95/100 {
 		t.Fatalf("speeding one node broke the critical path: %d vs %d", half, base)
+	}
+}
+
+// TestTopologyDerivesNodeSpeeds pins the heterogeneous-topology
+// integration: with NodeSpeeds unset, the engine derives them from the
+// cluster Topology's compute scaling (a slow node stretches the run),
+// and an explicit NodeSpeeds still overrides the topology.
+func TestTopologyDerivesNodeSpeeds(t *testing.T) {
+	run := func(topo *sim.Topology, speeds []float64) int64 {
+		c, err := dsm.New(dsm.Config{Nodes: 2, Pages: 1, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = c.Close() }()
+		e, err := NewEngine(c, Config{Threads: 2, Placement: []int{0, 1}, NodeSpeeds: speeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = e.Run(func(tid int) Body {
+			return func(ctx *Ctx) error {
+				ctx.Compute(100000)
+				ctx.EndIteration()
+				return nil
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(e.Elapsed())
+	}
+	base := run(nil, nil)
+	// Node 1 computes at quadruple cost: the barrier's critical path
+	// must stretch.
+	slow := sim.NewTopology(2, sim.Costs{})
+	slow.SetComputeScale(1, 4)
+	stretched := run(slow, nil)
+	if stretched <= base {
+		t.Fatalf("slow-node topology did not stretch the run: %d vs %d", stretched, base)
+	}
+	// Explicit NodeSpeeds override the topology entirely.
+	overridden := run(slow, []float64{1, 1})
+	if overridden != base {
+		t.Fatalf("explicit NodeSpeeds did not override topology: %d vs %d", overridden, base)
 	}
 }
 

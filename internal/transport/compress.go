@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+
+	"actdsm/internal/msg"
+)
+
+// Optional frame compression for the multiplexed discipline
+// (Options.CompressMin). Deflate state is pooled in both directions so
+// compressing a large diff/push payload costs CPU, not steady-state
+// allocations.
+
+// deflater pairs a flate writer with its output buffer.
+type deflater struct {
+	buf bytes.Buffer
+	fw  *flate.Writer
+}
+
+var deflaters = sync.Pool{New: func() any {
+	d := &deflater{}
+	d.fw, _ = flate.NewWriter(&d.buf, flate.BestSpeed) // valid level: no error
+	return d
+}}
+
+// deflateFrame compresses src into a pooled buffer. It reports false
+// when compression does not shrink the payload — incompressible data
+// travels verbatim, so the receiver never inflates in vain.
+func deflateFrame(src []byte) ([]byte, bool) {
+	d := deflaters.Get().(*deflater)
+	d.buf.Reset()
+	d.fw.Reset(&d.buf)
+	_, werr := d.fw.Write(src)
+	cerr := d.fw.Close()
+	if werr != nil || cerr != nil || d.buf.Len() >= len(src) {
+		deflaters.Put(d)
+		return nil, false
+	}
+	out := getFrameBuf(d.buf.Len())
+	copy(out, d.buf.Bytes())
+	deflaters.Put(d)
+	return out, true
+}
+
+// inflater pairs a flate reader with its source reader.
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser
+}
+
+var inflaters = sync.Pool{New: func() any {
+	i := &inflater{}
+	i.fr = flate.NewReader(&i.src)
+	return i
+}}
+
+// inflateFrame decompresses src into a pooled buffer, bounded by
+// maxFrame so a corrupt peer cannot force an unbounded allocation.
+func inflateFrame(src []byte) ([]byte, error) {
+	i := inflaters.Get().(*inflater)
+	defer inflaters.Put(i)
+	i.src.Reset(src)
+	if err := i.fr.(flate.Resetter).Reset(&i.src, nil); err != nil {
+		return nil, err
+	}
+	out := msg.GetBuf()
+	for {
+		if len(out) == cap(out) {
+			if cap(out) >= maxFrame {
+				msg.PutBuf(out)
+				return nil, ErrFrameTooLarge
+			}
+			out = append(out, 0)[:len(out)] // grow capacity only
+		}
+		n, err := i.fr.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			msg.PutBuf(out)
+			return nil, err
+		}
+	}
+}

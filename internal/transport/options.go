@@ -32,6 +32,35 @@ type Options struct {
 	// 1-based number of the attempt that just failed. It must not
 	// block; the DSM layer uses it to count retries per message type.
 	OnRetry func(from, to, attempt int, payload []byte, err error)
+	// Serialized selects the pre-multiplexing connection discipline on
+	// the TCP transport: one connection per (from, to) pair carrying one
+	// outstanding call at a time, with a fresh round trip per call. The
+	// default (false) multiplexes every pair's calls over one pipelined
+	// stream with tagged request IDs and out-of-order reply matching —
+	// strictly faster under concurrent callers. The serialized mode is
+	// kept as the transport benchmark's baseline (BENCH_transport.json)
+	// and as a conservative fallback.
+	Serialized bool
+	// CompressMin, when positive, deflate-compresses multiplexed frame
+	// payloads of at least this many bytes (both requests and replies;
+	// in the DSM's traffic only diff, page, and push payloads reach
+	// realistic thresholds). Compression trades CPU and a few
+	// allocations per large frame for wire bytes, so it pays on
+	// constrained links, not on loopback. 0 disables it. The serialized
+	// discipline ignores the knob.
+	CompressMin int
+	// MuxWorkers bounds concurrent handler executions per inbound
+	// multiplexed connection (the server-side pipelining depth). 0
+	// selects the default (8).
+	MuxWorkers int
+}
+
+// muxWorkers returns the effective MuxWorkers value.
+func (o Options) muxWorkers() int {
+	if o.MuxWorkers > 0 {
+		return o.MuxWorkers
+	}
+	return 8
 }
 
 // withDefaults fills zero fields with the documented defaults.

@@ -86,9 +86,9 @@ func TestTCPOrdinaryRemoteErrorNotRetryable(t *testing.T) {
 // --- oversized replies ------------------------------------------------
 
 func TestTCPOversizedReply(t *testing.T) {
-	big := false
+	var big atomic.Bool
 	hs := []Handler{func(from int, p []byte) ([]byte, error) {
-		if big {
+		if big.Load() {
 			return make([]byte, maxFrame), nil
 		}
 		return append([]byte("ok:"), p...), nil
@@ -98,7 +98,7 @@ func TestTCPOversizedReply(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = tr.Close() }()
-	big = true
+	big.Store(true)
 	_, err = tr.Call(0, 0, []byte("x"))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
@@ -108,7 +108,7 @@ func TestTCPOversizedReply(t *testing.T) {
 	}
 	// The structured error frame must leave the connection usable; the
 	// old behaviour poisoned it ("bad reply length" + forced drop).
-	big = false
+	big.Store(false)
 	got, err := tr.Call(0, 0, []byte("y"))
 	if err != nil {
 		t.Fatalf("connection poisoned after oversized reply: %v", err)
@@ -124,7 +124,7 @@ func TestTCPOversizedReply(t *testing.T) {
 // fix: a round trip on a connection a concurrent caller already tore down
 // reports errConnStale instead of writing into the closed socket.
 func TestTCPStaleConnDetected(t *testing.T) {
-	tr, err := NewTCP(echoHandlers(2))
+	tr, err := NewTCPWithOptions(echoHandlers(2), Options{Serialized: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestTCPStaleConnDetected(t *testing.T) {
 // queued on a connection's lock while another caller tears it down must
 // re-resolve and succeed rather than erroring on the closed socket.
 func TestTCPStaleConnWaiterRecovers(t *testing.T) {
-	tr, err := NewTCP(echoHandlers(2))
+	tr, err := NewTCPWithOptions(echoHandlers(2), Options{Serialized: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +191,10 @@ func TestTCPStaleConnWaiterRecovers(t *testing.T) {
 // TestTCPReconnectAfterDrop closes a live connection out from under the
 // transport: the next attempt fails (bytes may have been sent), but the
 // failure is Retryable and a WithRetry wrapper transparently redials.
+// Runs in Serialized mode, which owns the conns map the test inspects;
+// the mux analogue is TestMuxReconnectMidPipeline.
 func TestTCPReconnectAfterDrop(t *testing.T) {
-	base, err := NewTCP(echoHandlers(2))
+	base, err := NewTCPWithOptions(echoHandlers(2), Options{Serialized: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,9 +257,10 @@ func TestTCPCallTimeout(t *testing.T) {
 // TestTCPConcurrentPairsWithDrops hammers overlapping (from,to) pairs
 // while a background goroutine repeatedly tears down the busiest
 // connection. Every call must still succeed: queued waiters take the
-// stale-conn path and redial. Run with -race.
+// stale-conn path and redial. Run with -race. Serialized mode (the
+// dropper needs the conns map); the mux analogue lives in mux_test.go.
 func TestTCPConcurrentPairsWithDrops(t *testing.T) {
-	base, err := NewTCP(echoHandlers(3))
+	base, err := NewTCPWithOptions(echoHandlers(3), Options{Serialized: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,12 +24,23 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
+
+	"actdsm/internal/msg"
 )
 
 // Handler serves a request payload arriving at a node and returns the
 // reply payload.
+//
+// Buffer ownership: the transport owns the payload and may recycle it
+// (msg.PutBuf) as soon as the handler returns, so the handler must not
+// retain it. The reply passes ownership the other way — the transport
+// recycles it after framing it. A handler must therefore return either
+// a buffer it owns outright (freshly allocated or msg.GetBuf'd, the
+// usual msg.EncodeTo shape) or the payload slice itself (echoes); never
+// a buffer that is shared or referenced elsewhere.
 type Handler func(from int, payload []byte) ([]byte, error)
 
 // Transport is a synchronous request/reply fabric between n nodes.
@@ -162,7 +173,12 @@ func (l *Local) Close() error { return nil }
 
 // TCP carries frames over loopback TCP sockets, one listener per node.
 //
-// Frame format, both directions:
+// Each dialed connection starts with a 4-byte preamble selecting one of
+// two disciplines. The default is the multiplexed stream ("ACTM", see
+// mux.go): pipelined tagged frames, out-of-order reply matching, and
+// vectored batched writes. Options.Serialized selects the historical
+// discipline ("ACTS"): one outstanding call per (from, to) connection,
+// with frames
 //
 //	request:  [u32 length][u32 from][payload]
 //	reply:    [u32 length][u8 status][payload or error text]
@@ -171,8 +187,30 @@ type TCP struct {
 	listeners []net.Listener
 	addrs     []string
 
-	mu    sync.Mutex // guards conns map only
+	mu    sync.Mutex // guards conns and muxes maps only
 	conns map[[2]int]*lockedConn
+	muxes map[[2]int]*muxConn
+
+	// wireOut/wireIn count frame bytes crossing the sockets (see
+	// WireBytes).
+	wireOut atomic.Int64
+	wireIn  atomic.Int64
+
+	// hb is an in-process happens-before bridge. The simulated
+	// transport delivers a call by invoking the handler directly, so
+	// everything the caller did before Call is ordered before the
+	// handler body — and the DSM layer's locking model is built on that
+	// contract (its application threads write page memory unlocked
+	// between synchronization operations). A kernel socket gives the Go
+	// memory model no such edge when both endpoints live in one process
+	// (the usual test and benchmark topology: one TCP instance hosts
+	// every node). Each side therefore bumps this shared atomic at the
+	// four hand-off points of a call — caller send, server receive,
+	// server reply, caller receive. Atomic read-modify-writes on one
+	// address form a single synchronized-before chain (Go memory model,
+	// "Atomic Values"), which restores Call-happens-before-handler and
+	// handler-happens-before-return without any lock on the data path.
+	hb atomic.Int64
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -245,6 +283,7 @@ func NewTCPWithOptions(handlers []Handler, opts Options) (*TCP, error) {
 		listeners: make([]net.Listener, len(handlers)),
 		addrs:     make([]string, len(handlers)),
 		conns:     make(map[[2]int]*lockedConn),
+		muxes:     make(map[[2]int]*muxConn),
 		closed:    make(chan struct{}),
 	}
 	for i, h := range handlers {
@@ -272,7 +311,16 @@ func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
 		go func() {
 			defer t.wg.Done()
 			defer func() { _ = conn.Close() }()
-			t.serveConn(conn, h)
+			var pre [4]byte
+			if _, err := io.ReadFull(conn, pre[:]); err != nil {
+				return
+			}
+			switch pre {
+			case muxPreamble:
+				t.serveMux(conn, h)
+			case serialPreamble:
+				t.serveConn(conn, h)
+			}
 		}()
 	}
 }
@@ -288,11 +336,15 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		if n > maxFrame {
 			return
 		}
-		payload := make([]byte, n)
+		payload := getFrameBuf(int(n))
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			msg.PutBuf(payload)
 			return
 		}
+		t.wireIn.Add(int64(len(hdr)) + int64(n))
+		t.hb.Add(1) // acquire the caller's send clock (see hb)
 		reply, err := h(from, payload)
+		t.hb.Add(1) // release the handler's effects to the caller
 		if err == nil && 1+len(reply) > maxFrame {
 			// An oversized reply written as-is would exceed the
 			// client's frame bound and poison the connection
@@ -301,23 +353,36 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			// error frame instead; the connection stays usable.
 			err = fmt.Errorf("%w (%d bytes > %d)", ErrFrameTooLarge, 1+len(reply), maxFrame)
 		}
-		var out []byte
+		out := msg.GetBuf()
+		var rh [5]byte
 		if err != nil {
-			e := []byte(err.Error())
+			e := err.Error()
 			if 1+len(e) > maxFrame { // cannot happen in practice; stay safe
 				e = e[:1024]
 			}
-			out = make([]byte, 5+len(e))
-			binary.LittleEndian.PutUint32(out, uint32(1+len(e)))
-			out[4] = statusFor(err)
-			copy(out[5:], e)
+			binary.LittleEndian.PutUint32(rh[:4], uint32(1+len(e)))
+			rh[4] = statusFor(err)
+			out = append(out, rh[:]...)
+			out = append(out, e...)
+			msg.PutBuf(payload)
 		} else {
-			out = make([]byte, 5+len(reply))
-			binary.LittleEndian.PutUint32(out, uint32(1+len(reply)))
-			out[4] = tcpOK
-			copy(out[5:], reply)
+			binary.LittleEndian.PutUint32(rh[:4], uint32(1+len(reply)))
+			rh[4] = tcpOK
+			out = append(out, rh[:]...)
+			out = append(out, reply...)
+			if sameBase(reply, payload) {
+				msg.PutBuf(payload) // echo: one buffer, one recycle
+			} else {
+				msg.PutBuf(payload)
+				if reply != nil {
+					msg.PutBuf(reply)
+				}
+			}
 		}
-		if _, err := conn.Write(out); err != nil {
+		_, werr := conn.Write(out)
+		t.wireOut.Add(int64(len(out)))
+		msg.PutBuf(out)
+		if werr != nil {
 			return
 		}
 	}
@@ -335,10 +400,11 @@ type lockedConn struct {
 	dead bool
 }
 
-// Call implements Transport. Calls with the same (from, to) pair reuse one
-// connection and are serialized on it.
+// Call implements Transport. Calls with the same (from, to) pair share
+// one stream: pipelined on it under the default multiplexed discipline,
+// serialized on it with Options.Serialized.
 //
-// If the connection was declared dead by a concurrent caller before this
+// If the stream was declared dead by a concurrent caller before this
 // call sent any bytes, Call transparently re-resolves (redialing if
 // needed) and retries: nothing of the request reached the peer, so the
 // retry is safe regardless of the payload's idempotency. Failures after
@@ -352,16 +418,34 @@ func (t *TCP) Call(from, to int, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("transport: no source node %d", from)
 	}
 	for attempt := 0; ; attempt++ {
-		lc, err := t.conn(from, to)
-		if err != nil {
-			return nil, err
+		var reply []byte
+		var err error
+		if t.opts.Serialized {
+			var lc *lockedConn
+			if lc, err = t.conn(from, to); err == nil {
+				reply, err = t.roundTrip(lc, from, to, payload)
+			}
+		} else {
+			var mc *muxConn
+			if mc, err = t.mux(from, to); err == nil {
+				reply, err = mc.roundTrip(payload)
+			}
 		}
-		reply, err := t.roundTrip(lc, from, to, payload)
 		if err != nil && errors.Is(err, errConnStale) && attempt < staleRetries {
 			continue // dead on arrival; nothing was sent
 		}
 		return reply, err
 	}
+}
+
+// WireBytes reports the total frame bytes written to and read from this
+// transport's sockets (dial preambles excluded). On the usual loopback
+// setup both endpoints of every connection belong to this TCP, so each
+// call's bytes are counted once on the send side and once on the
+// receive side. Compression tests use the sent counter to verify large
+// payloads shrink on the wire.
+func (t *TCP) WireBytes() (sent, received int64) {
+	return t.wireOut.Load(), t.wireIn.Load()
 }
 
 // roundTrip performs one request/reply exchange on lc.
@@ -375,36 +459,48 @@ func (t *TCP) roundTrip(lc *lockedConn, from, to int, payload []byte) ([]byte, e
 	if t.opts.CallTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(t.opts.CallTimeout))
 	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], uint32(from))
-	copy(frame[8:], payload)
-	if _, err := conn.Write(frame); err != nil {
+	frame := msg.GetBuf()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(from))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, payload...)
+	t.hb.Add(1) // release the caller's clock to the server (see hb)
+	_, werr := conn.Write(frame)
+	t.wireOut.Add(int64(len(frame)))
+	msg.PutBuf(frame)
+	if werr != nil {
 		t.dropConn(from, to, lc)
-		return nil, fmt.Errorf("transport: write %d->%d: %w", from, to, err)
+		return nil, fmt.Errorf("transport: write %d->%d: %w", from, to, werr)
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	var rh [5]byte
+	if _, err := io.ReadFull(conn, rh[:]); err != nil {
 		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(rh[:4])
 	if n == 0 || n > maxFrame {
 		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: bad reply length %d", n)
 	}
-	body := make([]byte, n)
+	status := rh[4]
+	body := getFrameBuf(int(n) - 1)
 	if _, err := io.ReadFull(conn, body); err != nil {
+		msg.PutBuf(body)
 		t.dropConn(from, to, lc)
 		return nil, fmt.Errorf("transport: read %d->%d: %w", from, to, err)
 	}
+	t.wireIn.Add(int64(4) + int64(n))
+	t.hb.Add(1) // acquire the handler's effects (see hb)
 	if t.opts.CallTimeout > 0 {
 		_ = conn.SetDeadline(time.Time{})
 	}
-	if body[0] != tcpOK {
-		return nil, &RemoteError{Node: to, Sentinel: sentinelFor(body[0]), Msg: string(body[1:])}
+	if status != tcpOK {
+		err := &RemoteError{Node: to, Sentinel: sentinelFor(status), Msg: string(body)}
+		msg.PutBuf(body)
+		return nil, err
 	}
-	return body[1:], nil
+	return body, nil
 }
 
 func (t *TCP) conn(from, to int) (*lockedConn, error) {
@@ -421,6 +517,10 @@ func (t *TCP) conn(from, to int) (*lockedConn, error) {
 	}
 	c, err := net.Dial("tcp", t.addrs[to])
 	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	if _, err := c.Write(serialPreamble[:]); err != nil {
+		_ = c.Close()
 		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
 	}
 	lc := &lockedConn{conn: c}
@@ -457,12 +557,26 @@ func (t *TCP) Close() error {
 			_ = ln.Close()
 		}
 	}
+	// Collect under the lock, tear down outside it: muxConn.fail calls
+	// removeMux, which takes t.mu itself.
 	t.mu.Lock()
+	muxes := make([]*muxConn, 0, len(t.muxes))
+	for k, m := range t.muxes {
+		muxes = append(muxes, m)
+		delete(t.muxes, k)
+	}
+	conns := make([]*lockedConn, 0, len(t.conns))
 	for k, c := range t.conns {
-		_ = c.conn.Close()
+		conns = append(conns, c)
 		delete(t.conns, k)
 	}
 	t.mu.Unlock()
+	for _, m := range muxes {
+		m.fail(net.ErrClosed)
+	}
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
 	t.wg.Wait()
 	return nil
 }
