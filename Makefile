@@ -67,7 +67,12 @@ bench:
 ## min-cost vs home-migration placement), rewrites BENCH_serving.json,
 ## and fails on a >5% QPS or p99 regression per row or if
 ## home-migration stops beating static placement on p99 and QPS;
-## reruns the crash-recovery comparison (fault-free vs crash vs
+## reruns the placement-v2 controller ablation (static vs thread-only
+## vs data-only vs combined on Ocean-under-GC and ServeKV over a
+## fast/slow topology), rewrites BENCH_placement.json, and fails on a
+## >5% elapsed or demand-call regression per row or if the combined
+## controller stops beating both single-sided variants on at least one
+## workload; reruns the crash-recovery comparison (fault-free vs crash vs
 ## crash+rejoin), rewrites BENCH_failover.json, and fails if the leg
 ## digests diverge (a crashed run must reproduce the fault-free memory
 ## byte for byte) or the recovery call counts drift; then
@@ -79,7 +84,8 @@ bench:
 ## allocating, or the deterministic heterogeneous-topology leg (SOR over
 ## a fast/slow cluster: virtual elapsed times and per-link call/byte
 ## traffic) diverges from the committed baseline. The prefetch,
-## managers, and serving runs are deterministic (virtual time), so
+## managers, serving, and placement runs are deterministic (virtual
+## time), so
 ## regenerate-and-compare is stable; the hotpath and transport runs are
 ## compare-only (no -json rewrite): their TCP-leg numbers are wall-clock
 ## and vary between machines, so the committed BENCH_hotpath.json and
@@ -95,6 +101,9 @@ bench-compare:
 	$(GO) run ./cmd/actbench -only serving \
 		-serving-json BENCH_serving.json \
 		-serving-baseline BENCH_serving.json
+	$(GO) run ./cmd/actbench -only placement \
+		-placement-json BENCH_placement.json \
+		-placement-baseline BENCH_placement.json
 	$(GO) run ./cmd/actbench -only failover \
 		-failover-json BENCH_failover.json \
 		-failover-baseline BENCH_failover.json

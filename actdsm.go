@@ -113,6 +113,20 @@ type (
 	DensityTracker = core.DensityTracker
 	// Move is one thread migration of a reconfiguration plan.
 	Move = placement.Move
+	// ControllerConfig tunes the online placement controller (trigger
+	// period, hysteresis, per-epoch move budgets, matrix smoothing).
+	ControllerConfig = placement.ControllerConfig
+	// Controller is the online placement controller: joint thread +
+	// page-home re-placement at iteration boundaries (DESIGN.md §14).
+	// Wire one with WithPlacementController.
+	Controller = placement.Controller
+	// CostInput carries the cluster state the joint placement cost
+	// model prices (correlation matrix, access bitmaps, write history,
+	// topology).
+	CostInput = placement.CostInput
+	// HomeMove is one proposed page-home reassignment with its
+	// predicted joint-cost gain.
+	HomeMove = placement.HomeMove
 	// ObsRecorder is the observability layer's event recorder: epoch
 	// timelines, Perfetto trace export (WriteTrace), metrics dump
 	// (WriteMetrics), and per-epoch breakdown (Breakdown). Obtain one
@@ -237,6 +251,15 @@ var (
 	StretchCapacities = placement.StretchCapacities
 	// MinCostCapacities is MinCost with explicit per-node capacities.
 	MinCostCapacities = placement.MinCostCapacities
+	// JointCost scores a joint (thread → node, page → home) assignment
+	// under the unified topology-weighted cost model (DESIGN.md §14).
+	JointCost = placement.JointCost
+	// BestHomes proposes budget-clamped page-home moves under the joint
+	// cost model.
+	BestHomes = placement.BestHomes
+	// DefaultControllerConfig returns the stock online-controller
+	// policy (period 2, 5% hysteresis, unbounded budgets, re-tracking).
+	DefaultControllerConfig = placement.DefaultControllerConfig
 )
 
 // Experiment harness (the paper's tables and figures).
@@ -279,6 +302,12 @@ type (
 	ServingReport = experiments.ServingReport
 	// ServingRow is one placement variant's serving measurements.
 	ServingRow = experiments.ServingRow
+	// PlacementReport is the BENCH_placement.json schema.
+	PlacementReport = experiments.PlacementReport
+	// PlacementWorkload is one workload's placement-ablation rows.
+	PlacementWorkload = experiments.PlacementWorkload
+	// PlacementRow is one controller configuration's measurements.
+	PlacementRow = experiments.PlacementRow
 )
 
 // Summarize computes a MapSummary for a correlation matrix.
@@ -323,6 +352,11 @@ var (
 	ServingReportJSON     = experiments.ServingReportJSON
 	CompareServingReports = experiments.CompareServingReports
 	FormatServingReport   = experiments.FormatServingReport
+
+	PlacementComparison     = experiments.PlacementComparison
+	PlacementReportJSON     = experiments.PlacementReportJSON
+	ComparePlacementReports = experiments.ComparePlacementReports
+	FormatPlacementReport   = experiments.FormatPlacementReport
 
 	FailoverComparison     = experiments.FailoverComparison
 	FailoverReportJSON     = experiments.FailoverReportJSON

@@ -30,6 +30,13 @@
 // crash plus rejoin — all three legs must produce byte-identical memory;
 // -failover-json and -failover-baseline drive the deterministic
 // BENCH_failover.json gate, which also pins the recovery call counts.
+// The "placement" section runs the placement-v2 controller ablation
+// (DESIGN.md §14) — static, thread-only, data-only, and combined online
+// co-orchestration of thread placement and page homes over a fast/slow
+// topology; -placement-json and -placement-baseline drive the
+// deterministic BENCH_placement.json gate, which also requires the
+// combined controller to beat both single-sided variants on at least
+// one workload.
 //
 // The "sor" section runs one observed SOR workload and prints its
 // per-epoch time breakdown (DESIGN.md §9). With -trace-out it writes a
@@ -68,7 +75,7 @@ func run() error {
 		configs   = flag.Int("configs", 0, "random configurations for Table 2 (0 = default)")
 		seed      = flag.Uint64("seed", 1999, "random seed")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: paper set)")
-		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, serving, failover, check, transport, sor)")
+		only      = flag.String("only", "", "comma-separated experiments (table1..table6, figure2, figure3, ablation, prefetch, hotpath, managers, serving, placement, failover, check, transport, sor)")
 		mapsDir   = flag.String("maps-dir", "", "write correlation maps as PGM files to this directory")
 		fig1CSV   = flag.String("figure1-csv", "", "write the Figure 1 scatter (Table 2 data) as CSV to this file")
 		prefJSON  = flag.String("prefetch-json", "", "write the prefetch comparison report as JSON to this file")
@@ -79,6 +86,8 @@ func run() error {
 		mgrBase   = flag.String("managers-baseline", "", "compare the managers report against this committed baseline; fail when the tree-barrier depth or the sharded lock spread regresses")
 		srvJSON   = flag.String("serving-json", "", "write the serving placement-ablation report as JSON to this file")
 		srvBase   = flag.String("serving-baseline", "", "compare the serving report against this committed baseline; fail on >5% QPS/p99 regression or when home migration stops beating static placement")
+		plcJSON   = flag.String("placement-json", "", "write the placement-v2 controller ablation report as JSON to this file")
+		plcBase   = flag.String("placement-baseline", "", "compare the placement report against this committed baseline; fail on >5% elapsed/demand-call regression or when the combined controller stops beating both single-sided variants")
 		ftJSON    = flag.String("failover-json", "", "write the crash-recovery comparison report as JSON to this file")
 		ftBase    = flag.String("failover-baseline", "", "compare the failover report against this committed baseline; fail when the leg digests diverge or the recovery call counts drift")
 		trJSON    = flag.String("transport-json", "", "write the mux-vs-serialized transport comparison report as JSON to this file")
@@ -410,6 +419,46 @@ func run() error {
 			if baseline != nil {
 				cmp, err := actdsm.CompareServingReports(baseline, report)
 				out += "\n-- vs baseline " + *srvBase + " --\n" + cmp
+				if err != nil {
+					fmt.Print(out)
+					return "", err
+				}
+			}
+			return out, nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("placement") {
+		if err := section("Placement v2: static/thread/data/combined controller ablation", func() (string, error) {
+			rep, err := actdsm.PlacementComparison()
+			if err != nil {
+				return "", err
+			}
+			out := actdsm.FormatPlacementReport(rep)
+			report, err := actdsm.PlacementReportJSON(rep)
+			if err != nil {
+				return "", err
+			}
+			// Read the baseline before (possibly) overwriting it: the
+			// Makefile's bench-compare target points both flags at the
+			// committed BENCH_placement.json.
+			var baseline []byte
+			if *plcBase != "" {
+				baseline, err = os.ReadFile(*plcBase)
+				if err != nil {
+					return "", err
+				}
+			}
+			if *plcJSON != "" {
+				if err := os.WriteFile(*plcJSON, report, 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("\n(wrote %s)\n", *plcJSON)
+			}
+			if baseline != nil {
+				cmp, err := actdsm.ComparePlacementReports(baseline, report)
+				out += "\n-- vs baseline " + *plcBase + " --\n" + cmp
 				if err != nil {
 					fmt.Print(out)
 					return "", err

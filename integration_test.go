@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"actdsm"
+	"actdsm/internal/vm"
 )
 
 // TestFullStackSoak drives every major mechanism in one run: an
@@ -112,5 +113,71 @@ func TestFullStackSoakTCP(t *testing.T) {
 	}
 	if err := sys.Cluster().CheckCoherence(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSystemPlacementController wires the online controller through the
+// facade: WithPlacementController alone (no explicit TrackIteration)
+// must arm a tracker, trigger evaluations, and surface the decision
+// counters in the stats snapshot. The workload pairs thread t with
+// t XOR 4, so the default stretch placement splits every pair across
+// nodes — obvious headroom the default hysteresis must clear.
+func TestSystemPlacementController(t *testing.T) {
+	const nthreads, iters = 8, 8
+	var region actdsm.Region
+	app, err := actdsm.NewCustomApp("pairs", nthreads, iters,
+		func(l *actdsm.Layout) error {
+			var err error
+			region, err = l.Alloc("pairs.data", nthreads*actdsm.PageSize)
+			return err
+		},
+		func(tid int) actdsm.Body {
+			return func(ctx *actdsm.Ctx) error {
+				for i := 0; i < iters; i++ {
+					b, err := ctx.SpanRegion(region, tid*actdsm.PageSize, 8, vm.Write)
+					if err != nil {
+						return err
+					}
+					b[0]++
+					partner := (tid ^ 4) * actdsm.PageSize
+					if _, err := ctx.SpanRegion(region, partner, 8, vm.Read); err != nil {
+						return err
+					}
+					ctx.EndIteration()
+				}
+				return nil
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlCfg := actdsm.DefaultControllerConfig()
+	ctrlCfg.Period = 1
+	sys, err := actdsm.NewSystem(app, 4,
+		actdsm.WithClusterConfig(actdsm.ClusterConfig{HomeMigration: true}),
+		actdsm.WithPlacementController(ctrlCfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl := sys.PlacementController(); ctrl == nil {
+		t.Fatal("controller not constructed")
+	} else if err := ctrl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Cluster().Stats().Snapshot()
+	if snap.PlacementTriggers == 0 {
+		t.Fatal("controller never triggered")
+	}
+	if snap.PlacementApplied+snap.PlacementSkipped != snap.PlacementTriggers {
+		t.Fatalf("decisions don't add up: %d applied + %d skipped != %d triggers",
+			snap.PlacementApplied, snap.PlacementSkipped, snap.PlacementTriggers)
+	}
+	if snap.PlacementApplied == 0 {
+		t.Fatal("split pairs should clear default hysteresis at least once")
 	}
 }

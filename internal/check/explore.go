@@ -23,9 +23,11 @@ import (
 	"time"
 
 	"actdsm/internal/apps"
+	"actdsm/internal/core"
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
 	"actdsm/internal/msg"
+	"actdsm/internal/placement"
 	"actdsm/internal/serve"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
@@ -68,6 +70,13 @@ type Scenario struct {
 	// trials also cover the recovery protocol (state wipe, re-fetch,
 	// re-registration), not just failover.
 	Restart bool
+	// Controller runs the online placement controller (internal/
+	// placement) during the trial: an active tracker plus an eager
+	// controller (Period 1, zero hysteresis, unbounded budgets), so every
+	// iteration may migrate threads and queue explicit home moves while
+	// the oracle watches. Exercises the track → decide → migrate loop
+	// under seeded chaos.
+	Controller bool
 }
 
 // Scenarios returns the default sweep set: the paper's regular
@@ -92,6 +101,12 @@ func Scenarios() []Scenario {
 			BatchDiffs: true, HomeMigration: true, LockShards: 2},
 		{Name: "SOR32tree", App: "SOR", Threads: 32, Nodes: 32, Iterations: 2,
 			BarrierArity: 2, HomeMigration: true},
+		// Online co-orchestration: the placement controller migrating
+		// threads and queueing explicit home moves every iteration while
+		// chaos faults land — the full track → decide → migrate loop under
+		// the oracle.
+		{Name: "Ocean4ctl", App: "Ocean", Threads: 4, Nodes: 4, Iterations: 4,
+			BatchDiffs: true, HomeMigration: true, Controller: true},
 		// Online serving: zipfian lock-striped KV requests instead of
 		// barrier-phased array sweeps — irregular page/lock interleavings
 		// per window, with and without the migration machinery.
@@ -398,7 +413,27 @@ func RunTrial(tr Trial) TrialResult {
 		return fail(err)
 	}
 
+	var ctrl *placement.Controller
+	if tr.Scenario.Controller {
+		// Eager controller: evaluate every iteration with zero hysteresis
+		// and unbounded budgets, so trials take the migration paths as
+		// often as the cost model allows. Tracking starts at iteration 1
+		// (iteration 0 is initialization-skewed).
+		tracker := core.NewActiveTracker(eng, 1)
+		ctrl, err = placement.NewController(cl, eng, tracker, placement.ControllerConfig{
+			Period: 1, ThreadBudget: -1, HomeBudget: -1, Smoothing: 0.5, Retrack: true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		eng.SetHooks(tracker.Hooks(ctrl.Hooks(threads.Hooks{})))
+		tracker.Start()
+	}
+
 	runErr := eng.Run(app.Body)
+	if runErr == nil && ctrl != nil {
+		runErr = ctrl.Err()
+	}
 	res.Calls = calls.Load()
 	barrierMu.Lock()
 	res.BarrierCalls = barrierCalls

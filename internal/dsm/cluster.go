@@ -169,6 +169,26 @@ type Cluster struct {
 	// (refreshView) and revives rejoining nodes through it.
 	chaos *transport.Chaos
 
+	// histMu guards the write history and the placement controller's
+	// queued explicit home moves below.
+	histMu sync.Mutex
+	// writeHist accumulates per-(page, writer) write-notice counts over
+	// every completed barrier episode, row-major page*Nodes+writer. The
+	// placement controller windows it by differencing successive
+	// WriteHistory snapshots.
+	writeHist []int64
+	// queuedHomes holds the placement controller's explicit page-home
+	// moves (page → target node). They ride the next barrier episode's
+	// release fan-out — overriding the last-writer heuristic's decision
+	// for the same page — and clear once the episode succeeds.
+	queuedHomes map[int32]int32
+	// ftNotices, ftHomeMoved, and ftHomeSkipped stash the latest FT
+	// barrier attempt's notice union and queued-home accounting so the
+	// successful attempt's values are committed exactly once (attempts
+	// recompute them; a crashed attempt's values are overwritten).
+	ftNotices                  []msg.Notice
+	ftHomeMoved, ftHomeSkipped int64
+
 	// viewMu guards the membership view below. Failover routing takes
 	// the read side on protocol paths; refreshView and the rejoin
 	// protocol take the write side on membership changes.
@@ -258,6 +278,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, costs: cfg.Costs, topo: cfg.Topology, shardCount: normalizeShards(cfg.ServiceShards)}
 	c.stats.InitLinks(cfg.Nodes)
+	c.writeHist = make([]int64, cfg.Pages*cfg.Nodes)
 	c.dead = make([]bool, cfg.Nodes)
 	c.barriers = make([]barrierState, cfg.Nodes)
 	c.nodes = make([]*node, cfg.Nodes)
@@ -724,13 +745,17 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 		}
 		return a.Page < b.Page
 	})
+	c.recordWriteHistory(notices)
 	// Home migration: derive this episode's ownership moves from the
 	// sorted union; the decisions ride the release fan-out so every
-	// node applies them while its threads are still parked.
+	// node applies them while its threads are still parked. The
+	// placement controller's explicit moves are folded in on top,
+	// overriding the last-writer heuristic where both speak.
 	var homes []msg.PageHome
 	if c.cfg.HomeMigration {
 		homes = c.migrationDecisions(notices)
 	}
+	homes, qMoved, qSkipped := c.queuedHomeDecisions(c.nodes[0], homes)
 	// Piggybacked push: the manager batch-fetches the diffs each node's
 	// prediction (BarrierEnter.Hot) will need — coalesced to at most one
 	// DiffBatchRequest per writer for the whole cluster — and rides them
@@ -780,6 +805,7 @@ func (c *Cluster) Barrier() ([]sim.Time, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.commitQueuedHomes(qMoved, qSkipped)
 	if pushEnabled {
 		// Applying pushed diffs happened inside serveBarrierRelease;
 		// charge each node's accumulated apply cost to this episode.
@@ -1048,6 +1074,145 @@ func (c *Cluster) migrationDecisionsAll(root *node, notices []msg.Notice, all bo
 	sort.Slice(homes, func(i, j int) bool { return homes[i].Page < homes[j].Page })
 	c.stats.HomeMigrations.Add(moved)
 	return homes
+}
+
+// recordWriteHistory folds one completed episode's sorted notice union
+// into the per-(page, writer) write history. Callers invoke it exactly
+// once per episode (the FT barrier records only the successful attempt),
+// so the history counts each write notice once.
+func (c *Cluster) recordWriteHistory(notices []msg.Notice) {
+	c.histMu.Lock()
+	for _, nt := range notices {
+		p, w := int(nt.Page), int(nt.Writer)
+		if p >= 0 && p < c.cfg.Pages && w >= 0 && w < c.cfg.Nodes {
+			c.writeHist[p*c.cfg.Nodes+w]++
+		}
+	}
+	c.histMu.Unlock()
+}
+
+// WriteHistory returns a copy of the cumulative per-page write-notice
+// counts: row p holds, per node, how many barrier write notices node n
+// has produced for page p. The placement controller differences
+// successive snapshots to obtain a recent-window write profile.
+func (c *Cluster) WriteHistory() [][]int64 {
+	out := make([][]int64, c.cfg.Pages)
+	flat := make([]int64, c.cfg.Pages*c.cfg.Nodes)
+	c.histMu.Lock()
+	copy(flat, c.writeHist)
+	c.histMu.Unlock()
+	for p := range out {
+		out[p] = flat[p*c.cfg.Nodes : (p+1)*c.cfg.Nodes]
+	}
+	return out
+}
+
+// Homes returns the current page → home-node table as node 0 sees it
+// (all nodes agree between barriers: home updates only ride barrier
+// releases, which deliver to every node before threads resume).
+func (c *Cluster) Homes() []int {
+	out := make([]int, c.cfg.Pages)
+	for p := range out {
+		out[p] = c.nodes[0].home(vm.PageID(p))
+	}
+	return out
+}
+
+// QueueHomeMoves schedules explicit page-home moves (page → target
+// node) on behalf of the placement controller. The moves ride the next
+// barrier episode's release fan-out — applied on every node while
+// application threads are parked, overriding the last-writer
+// heuristic's decision for the same page — and the queue clears when
+// that episode succeeds. At apply time a move is dropped (counted in
+// Stats.PlacementHomeSkips) when its target is dead or no longer holds
+// a copy of the page: garbage collection invalidates non-home replicas,
+// and a home must hold a base image to serve the page. Later calls for
+// the same page before the next barrier override earlier ones.
+func (c *Cluster) QueueHomeMoves(moves map[int]int) error {
+	if c.cfg.Protocol != MultiWriter {
+		return errors.New("dsm: explicit home moves require the multi-writer protocol")
+	}
+	for p, to := range moves {
+		if p < 0 || p >= c.cfg.Pages {
+			return fmt.Errorf("dsm: home move for page %d out of range [0,%d)", p, c.cfg.Pages)
+		}
+		if to < 0 || to >= c.cfg.Nodes {
+			return fmt.Errorf("dsm: home move of page %d to node %d out of range [0,%d)", p, to, c.cfg.Nodes)
+		}
+	}
+	c.histMu.Lock()
+	if c.queuedHomes == nil {
+		c.queuedHomes = make(map[int32]int32, len(moves))
+	}
+	for p, to := range moves {
+		c.queuedHomes[int32(p)] = int32(to)
+	}
+	c.histMu.Unlock()
+	return nil
+}
+
+// queuedHomeDecisions folds the queued explicit home moves into an
+// episode's decision set, reading current homes from root. The queue is
+// left intact (commitQueuedHomes consumes it after the episode
+// succeeds; FT attempts may re-run this). Returns the merged decisions
+// plus how many queued moves actually change a home and how many were
+// dropped (dead target, or target without a page copy).
+func (c *Cluster) queuedHomeDecisions(root *node, homes []msg.PageHome) ([]msg.PageHome, int64, int64) {
+	c.histMu.Lock()
+	queued := make([]msg.PageHome, 0, len(c.queuedHomes))
+	for p, h := range c.queuedHomes {
+		queued = append(queued, msg.PageHome{Page: p, Home: h})
+	}
+	c.histMu.Unlock()
+	if len(queued) == 0 {
+		return homes, 0, 0
+	}
+	sort.Slice(queued, func(i, j int) bool { return queued[i].Page < queued[j].Page })
+	byPage := make(map[int32]int, len(homes))
+	for i, ph := range homes {
+		byPage[ph.Page] = i
+	}
+	var moved, skipped int64
+	for _, q := range queued {
+		p := vm.PageID(q.Page)
+		to := int(q.Home)
+		if c.isDead(to) || !c.nodeHasCopy(to, p) {
+			skipped++
+			continue
+		}
+		if root.home(p) != to {
+			moved++
+		}
+		if i, ok := byPage[q.Page]; ok {
+			homes[i].Home = q.Home
+		} else if root.home(p) != to {
+			byPage[q.Page] = len(homes)
+			homes = append(homes, q)
+		}
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i].Page < homes[j].Page })
+	return homes, moved, skipped
+}
+
+// nodeHasCopy reports whether the node holds page data (current or
+// stale-but-patchable). Called between barrier phases with application
+// threads parked.
+func (c *Cluster) nodeHasCopy(id int, p vm.PageID) bool {
+	n := c.nodes[id]
+	sh := n.rlockShard(p)
+	ok := n.pages[p].hasCopy
+	sh.runlock()
+	return ok
+}
+
+// commitQueuedHomes records a successful episode's queued-home
+// accounting and clears the queue.
+func (c *Cluster) commitQueuedHomes(moved, skipped int64) {
+	c.stats.PlacementHomeMoves.Add(moved)
+	c.stats.PlacementHomeSkips.Add(skipped)
+	c.histMu.Lock()
+	c.queuedHomes = nil
+	c.histMu.Unlock()
 }
 
 // collectGarbage consolidates every page that has stored diffs at its

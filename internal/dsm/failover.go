@@ -726,6 +726,16 @@ func (c *Cluster) barrierFT() ([]sim.Time, error) {
 		return nil, err
 	}
 
+	// The episode succeeded: commit exactly the final attempt's notice
+	// union to the write history and consume the queued home moves.
+	c.histMu.Lock()
+	notices := c.ftNotices
+	qMoved, qSkipped := c.ftHomeMoved, c.ftHomeSkipped
+	c.ftNotices, c.ftHomeMoved, c.ftHomeSkipped = nil, 0, 0
+	c.histMu.Unlock()
+	c.recordWriteHistory(notices)
+	c.commitQueuedHomes(qMoved, qSkipped)
+
 	alive := c.aliveList()
 	for _, i := range alive {
 		costs[i] += c.costs.BarrierBase
@@ -899,6 +909,14 @@ func (c *Cluster) barrierFTAttempt(episode int32, costs []sim.Time) error {
 	if c.cfg.HomeMigration {
 		homes = c.migrationDecisionsAll(c.nodes[mgr], notices, true)
 	}
+	homes, qMoved, qSkipped := c.queuedHomeDecisions(c.nodes[mgr], homes)
+	// Stash this attempt's notice union and queued-home accounting: the
+	// successful attempt's values are committed once by barrierFT (a
+	// crashed attempt recomputes and overwrites them).
+	c.histMu.Lock()
+	c.ftNotices = notices
+	c.ftHomeMoved, c.ftHomeSkipped = qMoved, qSkipped
+	c.histMu.Unlock()
 
 	// Phase 3: release fan-out over the alive set.
 	if tree {

@@ -184,6 +184,26 @@ type Stats struct {
 	// RecoveryRounds counts standby-reseed sweeps (one per crash epoch
 	// and one per GC round under fault tolerance).
 	RecoveryRounds atomic.Int64
+	// PlacementTriggers counts placement-controller evaluations: each
+	// increment is one cost-model pass over the correlation matrix,
+	// write history, and topology (placement v2, DESIGN.md §14).
+	PlacementTriggers atomic.Int64
+	// PlacementApplied counts controller evaluations whose predicted
+	// improvement cleared the hysteresis threshold and were acted on.
+	PlacementApplied atomic.Int64
+	// PlacementSkipped counts controller evaluations suppressed by
+	// hysteresis (predicted improvement below the threshold).
+	PlacementSkipped atomic.Int64
+	// PlacementThreadMoves counts thread migrations issued by the
+	// placement controller (engine ApplyPlacement moves).
+	PlacementThreadMoves atomic.Int64
+	// PlacementHomeMoves counts explicit page-home moves queued by the
+	// placement controller and applied at a barrier release.
+	PlacementHomeMoves atomic.Int64
+	// PlacementHomeSkips counts queued home moves dropped at apply time:
+	// the target node was dead or no longer held a copy of the page (a
+	// post-GC home must hold a base image to serve it).
+	PlacementHomeSkips atomic.Int64
 	// ShardContention counts contended page-shard lock acquisitions:
 	// each increment means a service-path operation found its page's
 	// shard held by another request and had to wait. A high rate
@@ -321,6 +341,13 @@ type Snapshot struct {
 	Failovers        int64
 	RecoveryFetches  int64
 	RecoveryRounds   int64
+
+	PlacementTriggers    int64
+	PlacementApplied     int64
+	PlacementSkipped     int64
+	PlacementThreadMoves int64
+	PlacementHomeMoves   int64
+	PlacementHomeSkips   int64
 	// ShardContention and SyncContention count contended lock
 	// acquisitions on the service path (see Stats). They measure
 	// wall-clock interleaving, not protocol behaviour, so they are
@@ -384,8 +411,16 @@ func (s *Stats) Snapshot() Snapshot {
 		Failovers:        s.Failovers.Load(),
 		RecoveryFetches:  s.RecoveryFetches.Load(),
 		RecoveryRounds:   s.RecoveryRounds.Load(),
-		ShardContention:  s.ShardContention.Load(),
-		SyncContention:   s.SyncContention.Load(),
+
+		PlacementTriggers:    s.PlacementTriggers.Load(),
+		PlacementApplied:     s.PlacementApplied.Load(),
+		PlacementSkipped:     s.PlacementSkipped.Load(),
+		PlacementThreadMoves: s.PlacementThreadMoves.Load(),
+		PlacementHomeMoves:   s.PlacementHomeMoves.Load(),
+		PlacementHomeSkips:   s.PlacementHomeSkips.Load(),
+
+		ShardContention: s.ShardContention.Load(),
+		SyncContention:  s.SyncContention.Load(),
 	}
 	for b := range s.BatchSizeHist {
 		out.BatchSizeHist[b] = s.BatchSizeHist[b].Load()
@@ -461,6 +496,13 @@ type Counters struct {
 	Failovers        int64
 	RecoveryFetches  int64
 	RecoveryRounds   int64
+
+	PlacementTriggers    int64
+	PlacementApplied     int64
+	PlacementSkipped     int64
+	PlacementThreadMoves int64
+	PlacementHomeMoves   int64
+	PlacementHomeSkips   int64
 }
 
 // Counters projects the snapshot onto its comparable counter subset.
@@ -498,6 +540,13 @@ func (s Snapshot) Counters() Counters {
 		Failovers:        s.Failovers,
 		RecoveryFetches:  s.RecoveryFetches,
 		RecoveryRounds:   s.RecoveryRounds,
+
+		PlacementTriggers:    s.PlacementTriggers,
+		PlacementApplied:     s.PlacementApplied,
+		PlacementSkipped:     s.PlacementSkipped,
+		PlacementThreadMoves: s.PlacementThreadMoves,
+		PlacementHomeMoves:   s.PlacementHomeMoves,
+		PlacementHomeSkips:   s.PlacementHomeSkips,
 	}
 }
 
@@ -538,8 +587,16 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Failovers:        s.Failovers - o.Failovers,
 		RecoveryFetches:  s.RecoveryFetches - o.RecoveryFetches,
 		RecoveryRounds:   s.RecoveryRounds - o.RecoveryRounds,
-		ShardContention:  s.ShardContention - o.ShardContention,
-		SyncContention:   s.SyncContention - o.SyncContention,
+
+		PlacementTriggers:    s.PlacementTriggers - o.PlacementTriggers,
+		PlacementApplied:     s.PlacementApplied - o.PlacementApplied,
+		PlacementSkipped:     s.PlacementSkipped - o.PlacementSkipped,
+		PlacementThreadMoves: s.PlacementThreadMoves - o.PlacementThreadMoves,
+		PlacementHomeMoves:   s.PlacementHomeMoves - o.PlacementHomeMoves,
+		PlacementHomeSkips:   s.PlacementHomeSkips - o.PlacementHomeSkips,
+
+		ShardContention: s.ShardContention - o.ShardContention,
+		SyncContention:  s.SyncContention - o.SyncContention,
 	}
 	for b := range d.BatchSizeHist {
 		d.BatchSizeHist[b] = s.BatchSizeHist[b] - o.BatchSizeHist[b]

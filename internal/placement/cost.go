@@ -1,0 +1,179 @@
+package placement
+
+import (
+	"sort"
+
+	"actdsm/internal/core"
+	"actdsm/internal/memlayout"
+	"actdsm/internal/sim"
+	"actdsm/internal/vm"
+)
+
+// Placement v2 (DESIGN.md §14): a unified cost model scoring a joint
+// (thread → node, page → home) assignment. The paper's cut cost only
+// prices thread-thread sharing on a uniform network; the joint cost adds
+// the data side — where each page's home sits relative to its recent
+// writers and its readers — and weights every term by the actual
+// per-directed-link cost of the cluster topology, so the same number
+// ranks candidate thread moves and candidate home moves. On a uniform
+// topology with no page terms the joint cost degenerates to the paper's
+// cut cost exactly (weight 1 per crossing pair).
+
+// CostInput carries the cluster state the joint cost model prices. The
+// thread assignment and home table are passed separately to JointCost so
+// one input can score many candidates.
+type CostInput struct {
+	// Matrix is the thread-correlation matrix (sharing weights).
+	Matrix *core.Matrix
+	// Bitmaps, when non-nil, holds per-thread page-access bitmaps from
+	// the tracker; they price each thread's affinity to the pages it
+	// touches against the pages' homes. Bitmaps[t] may be nil.
+	Bitmaps []*vm.Bitmap
+	// Writes, when non-nil, holds recent per-(page, node) write-notice
+	// counts (a windowed dsm.Cluster.WriteHistory difference); they
+	// price each page's write traffic against its home.
+	Writes [][]int64
+	// Topo supplies per-directed-link network costs; nil prices every
+	// remote link uniformly at weight 1.
+	Topo *sim.Topology
+	// Nodes is the cluster size.
+	Nodes int
+}
+
+// linkWeight prices one remote (a, b) exchange as the round-trip cost
+// of a nominal page-sized transfer over the directed links, normalized
+// so the uniform base link weighs exactly 1. Same-node exchanges are
+// free. With a nil topology every remote pair weighs 1, which reduces
+// the thread term of JointCost to the paper's cut cost.
+func linkWeight(topo *sim.Topology, a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if topo == nil {
+		return 1
+	}
+	base := topo.Base()
+	unit := float64(2*base.MsgLatency + memlayout.PageSize*base.MsgPerByte)
+	if unit == 0 {
+		return 1
+	}
+	return float64(topo.FetchCost(a, b, 0, memlayout.PageSize)) / unit
+}
+
+// JointCost scores a joint placement: assign maps thread → node and
+// homes maps page → home node (homes may be nil when only the thread
+// side is priced). Lower is better. Three terms, all in units of
+// link-weighted exchanges:
+//
+//   - thread-thread: for every thread pair on distinct nodes, the pair's
+//     correlation times the link weight between their nodes (the paper's
+//     cut cost, topology-weighted);
+//   - read affinity: for every (thread, page) access in Bitmaps, the
+//     link weight between the thread's node and the page's home;
+//   - write traffic: for every (page, writer-node) count in Writes, the
+//     count times the link weight between the writer and the home.
+func JointCost(in CostInput, assign []int, homes []int) float64 {
+	var cost float64
+	if m := in.Matrix; m != nil {
+		n := m.N()
+		for i := 0; i < n && i < len(assign); i++ {
+			for j := i + 1; j < n && j < len(assign); j++ {
+				if c := m.At(i, j); c != 0 {
+					cost += float64(c) * linkWeight(in.Topo, assign[i], assign[j])
+				}
+			}
+		}
+	}
+	if homes == nil {
+		return cost
+	}
+	for t, bm := range in.Bitmaps {
+		if bm == nil || t >= len(assign) {
+			continue
+		}
+		for p := range homes {
+			if bm.Get(vm.PageID(p)) {
+				cost += linkWeight(in.Topo, assign[t], homes[p])
+			}
+		}
+	}
+	for p, row := range in.Writes {
+		if p >= len(homes) {
+			break
+		}
+		for w, c := range row {
+			if c != 0 {
+				cost += float64(c) * linkWeight(in.Topo, w, homes[p])
+			}
+		}
+	}
+	return cost
+}
+
+// pageCost prices one page's traffic with its home at h under assign:
+// the read-affinity and write terms of JointCost restricted to page p.
+func pageCost(in CostInput, assign []int, p, h int) float64 {
+	var cost float64
+	for t, bm := range in.Bitmaps {
+		if bm != nil && t < len(assign) && bm.Get(vm.PageID(p)) {
+			cost += linkWeight(in.Topo, assign[t], h)
+		}
+	}
+	if p < len(in.Writes) {
+		for w, c := range in.Writes[p] {
+			if c != 0 {
+				cost += float64(c) * linkWeight(in.Topo, w, h)
+			}
+		}
+	}
+	return cost
+}
+
+// HomeMove is one proposed page-home reassignment with its predicted
+// cost improvement under the joint model.
+type HomeMove struct {
+	Page int
+	To   int
+	Gain float64
+}
+
+// BestHomes proposes page-home moves under the joint cost model: for
+// every page with priced traffic (a read bit or a recent write), the
+// home minimizing the page's cost under assign, keeping only strict
+// improvements over the current homes. Moves come back sorted by gain
+// (largest first; page ascending breaks ties); budget >= 0 truncates to
+// the top entries, budget < 0 keeps all.
+func BestHomes(in CostInput, assign []int, homes []int, budget int) []HomeMove {
+	if budget == 0 {
+		return nil
+	}
+	var moves []HomeMove
+	for p := range homes {
+		cur := pageCost(in, assign, p, homes[p])
+		if cur == 0 {
+			continue
+		}
+		best, bestCost := homes[p], cur
+		for h := 0; h < in.Nodes; h++ {
+			if h == homes[p] {
+				continue
+			}
+			if c := pageCost(in, assign, p, h); c < bestCost {
+				best, bestCost = h, c
+			}
+		}
+		if best != homes[p] {
+			moves = append(moves, HomeMove{Page: p, To: best, Gain: cur - bestCost})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].Gain != moves[j].Gain {
+			return moves[i].Gain > moves[j].Gain
+		}
+		return moves[i].Page < moves[j].Page
+	})
+	if budget > 0 && len(moves) > budget {
+		moves = moves[:budget]
+	}
+	return moves
+}

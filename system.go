@@ -9,6 +9,7 @@ import (
 	"actdsm/internal/dsm"
 	"actdsm/internal/memlayout"
 	"actdsm/internal/obs"
+	"actdsm/internal/placement"
 	"actdsm/internal/sim"
 	"actdsm/internal/threads"
 )
@@ -42,6 +43,8 @@ type System struct {
 	tracker  *core.ActiveTracker
 	recorder *obs.Recorder
 	hooks    Hooks
+	ctrlCfg  *ControllerConfig
+	ctrl     *placement.Controller
 	ran      bool
 }
 
@@ -80,6 +83,15 @@ type SystemConfig struct {
 	// a ServingApp measures whatever configuration the app was built
 	// with. Set it with WithServing.
 	Serving ServingConfig
+	// Controller, when non-nil, runs the online placement controller
+	// (placement v2, DESIGN.md §14): at iteration boundaries it scores
+	// the joint (thread → node, page → home) assignment under the
+	// unified cost model and issues thread migrations and explicit
+	// page-home moves together, subject to the configured trigger
+	// period, hysteresis threshold, and per-epoch move budgets. Set it
+	// with WithPlacementController. If TrackIteration was not called,
+	// Run arms a tracker at Controller.TrackIteration automatically.
+	Controller *ControllerConfig
 }
 
 // SystemOption customizes NewSystem by mutating a SystemConfig.
@@ -107,6 +119,16 @@ func WithConfig(c SystemConfig) SystemOption {
 // ServeKV and NewServingApp (see SystemConfig.Serving).
 func WithServing(c ServingConfig) SystemOption {
 	return func(sc *SystemConfig) { sc.Serving = c }
+}
+
+// WithPlacementController enables the online placement controller with
+// the given configuration (zero fields take the DefaultControllerConfig
+// values; pass DefaultControllerConfig() for the stock policy). The
+// controller co-orchestrates thread placement and page homes online —
+// see SystemConfig.Controller and DESIGN.md §14. A non-zero home budget
+// requires the multi-writer protocol.
+func WithPlacementController(c ControllerConfig) SystemOption {
+	return func(sc *SystemConfig) { cp := c; sc.Controller = &cp }
 }
 
 // WithPlacement sets the initial thread → node assignment (default:
@@ -282,7 +304,7 @@ func NewSystem(app Workload, nodes int, opts ...SystemOption) (*System, error) {
 		_ = cluster.Close()
 		return nil, err
 	}
-	sys := &System{app: app, cluster: cluster, engine: engine, layout: layout}
+	sys := &System{app: app, cluster: cluster, engine: engine, layout: layout, ctrlCfg: cfg.Controller}
 	sys.recorder = obs.NewRecorder(cfg.Obs)
 	if sys.recorder.Enabled() {
 		cluster.SetProbe(sys.recorder.Probe())
@@ -360,15 +382,34 @@ type stoppable interface{ Stop() }
 // open-ended serving runs (MeasureWindows == 0) terminate. It returns
 // ctx.Err() when cancellation cut the run short.
 //
-// Hook composition order: the workload's own serving instrumentation
-// (window spans) wraps the user hooks, and the tracker wraps all, so
-// tracker begin/end still brackets exactly the tracked iteration.
+// Hook composition order: the placement controller wraps the user
+// hooks, the workload's own serving instrumentation (window spans)
+// wraps both, and the tracker wraps all — so tracker begin/end still
+// brackets exactly the tracked iteration and the controller sees a
+// complete correlation window the same iteration it closes.
 func (s *System) RunContext(ctx context.Context) error {
 	if s.ran {
 		return ErrAlreadyRan
 	}
 	s.ran = true
 	hooks := s.hooks
+	if s.ctrlCfg != nil {
+		if s.tracker == nil {
+			// Arm a tracker for the controller's first window; default
+			// iteration 1 skips initialization-skewed iteration 0.
+			iter := s.ctrlCfg.TrackIteration
+			if iter <= 0 {
+				iter = 1
+			}
+			s.tracker = core.NewActiveTracker(s.engine, iter)
+		}
+		ctrl, err := placement.NewController(s.cluster, s.engine, s.tracker, *s.ctrlCfg)
+		if err != nil {
+			return err
+		}
+		s.ctrl = ctrl
+		hooks = ctrl.Hooks(hooks)
+	}
 	if sh, ok := s.app.(servingHooked); ok {
 		hooks = sh.ServingHooks(hooks, s.engine.Elapsed, s.cluster.Stats().Snapshot)
 	}
@@ -394,8 +435,19 @@ func (s *System) RunContext(ctx context.Context) error {
 		}
 		return core.PredictNodePages(tracker.Bitmaps(), engine.Placement(), node, cluster.NumPages())
 	})
-	return s.engine.RunContext(ctx, s.app.Body)
+	err := s.engine.RunContext(ctx, s.app.Body)
+	if err == nil && s.ctrl != nil {
+		// Hook callbacks cannot return errors; surface the controller's
+		// first apply-side failure here.
+		err = s.ctrl.Err()
+	}
+	return err
 }
+
+// PlacementController returns the online placement controller wired by
+// WithPlacementController, or nil when none was configured or Run has
+// not yet been called (RunContext constructs it).
+func (s *System) PlacementController() *placement.Controller { return s.ctrl }
 
 // Elapsed returns the cluster-wide elapsed virtual time.
 func (s *System) Elapsed() Time { return s.engine.Elapsed() }
